@@ -1,0 +1,62 @@
+// Command corrgen emits the paper's evaluation datasets as CSV on stdout:
+// one "x,y" tuple per line.
+//
+// Usage:
+//
+//	corrgen -dataset uniform|zipf1|zipf2|ethernet [-n 1000000] [-seed 1]
+//	        [-xdom 500001] [-ydom 1000001]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/streamagg/correlated/internal/gen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "uniform", "uniform, zipf1, zipf2, or ethernet")
+		n       = flag.Int("n", 1_000_000, "number of tuples")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		xdom    = flag.Uint64("xdom", 500_001, "identifier domain size (not used by ethernet)")
+		ydom    = flag.Uint64("ydom", 1_000_001, "y domain size (not used by ethernet)")
+	)
+	flag.Parse()
+
+	var s gen.Stream
+	switch *dataset {
+	case "uniform":
+		s = gen.Uniform(*n, *xdom, *ydom, *seed)
+	case "zipf1":
+		s = gen.Zipf(*n, *xdom, *ydom, 1.0, *seed)
+	case "zipf2":
+		s = gen.Zipf(*n, *xdom, *ydom, 2.0, *seed)
+	case "ethernet":
+		s = gen.Ethernet(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "corrgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	buf := make([]byte, 0, 64)
+	for {
+		t, ok := s.Next()
+		if !ok {
+			return
+		}
+		buf = strconv.AppendUint(buf[:0], t.X, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, t.Y, 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command corrquery ingests a CSV stream of "x,y" tuples (as produced by
+// corrgen, or exported flow logs) and answers interactive drill-down
+// queries from stdin — the paper's motivating workflow as a tool.
+//
+// Usage:
+//
+//	corrquery -in data.csv [-eps 0.15] [-delta 0.1] [-ymax 1048575]
+//	          [-xdom 1048576] [-n 16777216] [-seed 1]
+//
+// Then on stdin, one query per line:
+//
+//	quantile 0.95      → the 95th-percentile y value
+//	count le 5000      → COUNT of tuples with y <= 5000
+//	count ge 5000
+//	f2 le 5000         → F2 of identifiers among tuples with y <= 5000
+//	f2 ge 5000
+//	f0 le 5000         → distinct identifiers among tuples with y <= 5000
+//	f0 ge 5000
+//	rarity le 5000     → fraction of selected identifiers seen exactly once
+//	space              → summary sizes
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	correlated "github.com/streamagg/correlated"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input CSV of x,y tuples (required)")
+		eps   = flag.Float64("eps", 0.15, "relative error")
+		delta = flag.Float64("delta", 0.1, "failure probability")
+		ymax  = flag.Uint64("ymax", 1<<20-1, "largest y value")
+		xdom  = flag.Uint64("xdom", 1<<20, "identifier domain size")
+		n     = flag.Uint64("n", 1<<24, "stream length bound")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "corrquery: -in is required")
+		os.Exit(2)
+	}
+
+	opts := correlated.Options{
+		Eps: *eps, Delta: *delta, YMax: *ymax,
+		MaxStreamLen: *n, MaxX: *xdom, Seed: *seed,
+		Predicate: correlated.Both,
+	}
+	f2, err := correlated.NewF2Summary(opts)
+	die(err)
+	f0, err := correlated.NewF0Summary(opts)
+	die(err)
+	cnt, err := correlated.NewCountSummary(opts)
+	die(err)
+	quant, err := correlated.NewQuantiles(minf(*eps, 0.02))
+	die(err)
+
+	f, err := os.Open(*in)
+	die(err)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rows uint64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		comma := strings.IndexByte(line, ',')
+		if comma < 0 {
+			continue
+		}
+		x, err1 := strconv.ParseUint(line[:comma], 10, 64)
+		y, err2 := strconv.ParseUint(line[comma+1:], 10, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		die(f2.Add(x, y))
+		die(f0.Add(x, y))
+		die(cnt.Add(x, y))
+		quant.Add(y)
+		rows++
+	}
+	die(sc.Err())
+	f.Close()
+	fmt.Printf("ingested %d tuples; ready (type 'help')\n", rows)
+
+	repl := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !repl.Scan() {
+			return
+		}
+		fields := strings.Fields(strings.ToLower(repl.Text()))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("quantile <phi> | count|f2|f0|rarity le|ge <c> | space | quit")
+		case "space":
+			fmt.Printf("f2=%d f0=%d count=%d quantiles=%d (stream=%d)\n",
+				f2.Space(), f0.Space(), cnt.Space(), quant.Space(), rows)
+		case "quantile":
+			if len(fields) != 2 {
+				fmt.Println("usage: quantile <phi>")
+				continue
+			}
+			phi, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				fmt.Println("bad phi:", err)
+				continue
+			}
+			v, err := quant.Query(phi)
+			answer(float64(v), err)
+		case "count", "f2", "f0", "rarity":
+			if len(fields) != 3 || (fields[1] != "le" && fields[1] != "ge") {
+				fmt.Printf("usage: %s le|ge <c>\n", fields[0])
+				continue
+			}
+			c, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				fmt.Println("bad cutoff:", err)
+				continue
+			}
+			le := fields[1] == "le"
+			switch fields[0] {
+			case "count":
+				answer(dir(le, cnt.QueryLE, cnt.QueryGE)(c))
+			case "f2":
+				answer(dir(le, f2.QueryLE, f2.QueryGE)(c))
+			case "f0":
+				answer(dir(le, f0.QueryLE, f0.QueryGE)(c))
+			case "rarity":
+				answer(dir(le, f0.RarityLE, f0.RarityGE)(c))
+			}
+		default:
+			fmt.Println("unknown command; type 'help'")
+		}
+	}
+}
+
+func dir(le bool, leFn, geFn func(uint64) (float64, error)) func(uint64) (float64, error) {
+	if le {
+		return leFn
+	}
+	return geFn
+}
+
+func answer(v float64, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.6g\n", v)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corrquery: %v\n", err)
+		os.Exit(1)
+	}
+}

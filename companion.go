@@ -1,0 +1,160 @@
+package correlated
+
+import (
+	"github.com/streamagg/correlated/internal/core"
+	"github.com/streamagg/correlated/internal/corrf0"
+	"github.com/streamagg/correlated/internal/quantile"
+	"github.com/streamagg/correlated/internal/turnstile"
+	"github.com/streamagg/correlated/internal/window"
+)
+
+// Quantiles is an ε-approximate whole-stream quantile summary over the y
+// dimension (Greenwald–Khanna). It is the companion structure of the
+// paper's drill-down scenario: query it for the median or the 95th
+// percentile, then feed that value as the cutoff of a correlated query.
+type Quantiles struct {
+	gk *quantile.GK
+}
+
+// NewQuantiles builds a quantile summary with rank error eps·n.
+func NewQuantiles(eps float64) (*Quantiles, error) {
+	gk, err := quantile.New(eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Quantiles{gk: gk}, nil
+}
+
+// Add records one y value.
+func (q *Quantiles) Add(y uint64) { q.gk.Insert(y) }
+
+// Query returns a value whose rank is within eps·n of phi·n.
+func (q *Quantiles) Query(phi float64) (uint64, error) { return q.gk.Query(phi) }
+
+// Median is Query(0.5).
+func (q *Quantiles) Median() (uint64, error) { return q.gk.Median() }
+
+// Space reports stored tuples.
+func (q *Quantiles) Space() int { return q.gk.Space() }
+
+// Count reports values inserted.
+func (q *Quantiles) Count() uint64 { return q.gk.Count() }
+
+// CountWindow counts items in a sliding window over an asynchronous
+// stream (Section 1.1's reduction to correlated aggregation).
+type CountWindow struct{ w *window.Window }
+
+// NewCountWindow builds a sliding-window counter over timestamps in
+// [0, horizon].
+func NewCountWindow(o Options, horizon uint64) (*CountWindow, error) {
+	w, err := window.New(core.CountAggregate(), o.coreConfig(), horizon)
+	if err != nil {
+		return nil, err
+	}
+	return &CountWindow{w: w}, nil
+}
+
+// Add records item x at timestamp ts (arrival order free).
+func (c *CountWindow) Add(x, ts uint64) error { return c.w.Add(x, ts) }
+
+// Query estimates the count over the window [now−width+1, now]; now must
+// be at least every observed timestamp.
+func (c *CountWindow) Query(now, width uint64) (float64, error) { return c.w.Query(now, width) }
+
+// Space reports stored counters/tuples.
+func (c *CountWindow) Space() int64 { return c.w.Space() }
+
+// F2Window estimates F2 over a sliding window of an asynchronous stream.
+type F2Window struct{ w *window.Window }
+
+// NewF2Window builds a sliding-window F2 summary over timestamps in
+// [0, horizon].
+func NewF2Window(o Options, horizon uint64) (*F2Window, error) {
+	w, err := window.New(core.F2Aggregate(), o.coreConfig(), horizon)
+	if err != nil {
+		return nil, err
+	}
+	return &F2Window{w: w}, nil
+}
+
+// Add records item x at timestamp ts.
+func (f *F2Window) Add(x, ts uint64) error { return f.w.Add(x, ts) }
+
+// Query estimates F2 over the window [now−width+1, now].
+func (f *F2Window) Query(now, width uint64) (float64, error) { return f.w.Query(now, width) }
+
+// Space reports stored counters/tuples.
+func (f *F2Window) Space() int64 { return f.w.Space() }
+
+// F0Window counts distinct items in a sliding window of an asynchronous
+// stream.
+type F0Window struct{ w *window.F0Window }
+
+// NewF0Window builds a sliding-window distinct counter; Options.MaxX
+// bounds the identifier domain.
+func NewF0Window(o Options, horizon uint64) (*F0Window, error) {
+	xdom := o.MaxX
+	if xdom == 0 {
+		xdom = 1 << 32
+	}
+	w, err := window.NewF0(corrf0.Config{
+		Eps: o.Eps, Delta: o.Delta, XDomain: xdom, Alpha: o.Alpha, Seed: o.Seed,
+	}, horizon)
+	if err != nil {
+		return nil, err
+	}
+	return &F0Window{w: w}, nil
+}
+
+// Add records item x at timestamp ts.
+func (f *F0Window) Add(x, ts uint64) error { return f.w.Add(x, ts) }
+
+// Query estimates the distinct count over the window [now−width+1, now].
+func (f *F0Window) Query(now, width uint64) (float64, error) { return f.w.Query(now, width) }
+
+// Space reports stored sample tuples.
+func (f *F0Window) Space() int64 { return f.w.Space() }
+
+// Turnstile model (Section 4) re-exports. In the turnstile model items
+// carry positive or negative weights; Theorem 6 shows a single pass needs
+// linear space, and MULTIPASS achieves small space in O(log ymax) passes.
+
+// Record is one weighted stream element.
+type Record = turnstile.Record
+
+// Tape is a replayable weighted stream.
+type Tape = turnstile.Tape
+
+// NewTape wraps records as a tape.
+func NewTape(recs []Record) *Tape { return turnstile.NewTape(recs) }
+
+// MultipassConfig configures RunMultipass.
+type MultipassConfig = turnstile.MultipassConfig
+
+// MultipassF selects the aggregate MULTIPASS estimates.
+type MultipassF = turnstile.MultipassF
+
+// Multipass aggregate selectors.
+const (
+	// MultipassF2 estimates the second moment of net weights.
+	MultipassF2 = turnstile.MultipassF2
+	// MultipassF1 estimates the first moment of net weights.
+	MultipassF1 = turnstile.MultipassF1
+)
+
+// MultipassResult is the output of RunMultipass; query it with Query.
+type MultipassResult = turnstile.MultipassResult
+
+// RunMultipass runs the paper's Algorithm 4 over the tape: O(log ymax)
+// sequential passes producing a summary that answers correlated F2
+// queries over ±-weighted data within (1+ε).
+func RunMultipass(t *Tape, cfg MultipassConfig) (*MultipassResult, error) {
+	return turnstile.RunMultipass(t, cfg)
+}
+
+// SolveGreaterThan runs the executable GREATER-THAN reduction of
+// Theorem 6 using the multipass protocol (bits are most-significant
+// first): the returned comparison is +1, −1, or 0 for a > b, a < b, a = b.
+func SolveGreaterThan(a, b []bool, eps, delta float64, seed uint64) (*turnstile.GTResult, error) {
+	return turnstile.SolveGreaterThan(a, b, eps, delta, seed)
+}

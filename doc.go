@@ -1,0 +1,49 @@
+// Package correlated implements streaming estimation of correlated
+// aggregates, reproducing Tirthapura and Woodruff, "A General Method for
+// Estimating Correlated Aggregates Over a Data Stream" (ICDE 2012;
+// Algorithmica 73(2), 2015).
+//
+// On a stream of tuples (x, y) — x an item identifier, y a numeric
+// attribute — a correlated aggregate query applies a selection predicate
+// on y first and an aggregation on x second:
+//
+//	C(σ, AGG, S) = AGG{ x_i | σ(y_i) }
+//
+// The predicate is of the form y <= c (or y >= c), with the cutoff c
+// supplied only at query time. That late binding is the point: one small
+// summary, built online in a single pass, supports interactive drill-down
+// ("aggregate the flows larger than the median; now only the top five
+// percent") over cutoffs chosen after the data has gone by.
+//
+// # Summaries
+//
+//   - F2Summary, FkSummary — correlated frequency moments via the paper's
+//     general reduction (Section 2) over AMS/CountSketch and
+//     Indyk–Woodruff sketches.
+//   - SumSummary, CountSummary — correlated SUM and COUNT through the same
+//     reduction with exact counter "sketches".
+//   - F0Summary — correlated distinct counting (Section 3.2) by distinct
+//     sampling with y-priority eviction; also answers rarity queries
+//     (Section 3.3).
+//   - HeavyHittersSummary — correlated F2 heavy hitters (Section 3.3).
+//   - Quantiles — a Greenwald–Khanna whole-stream quantile summary over
+//     the y dimension, the companion structure for drill-down queries.
+//   - CountWindow, F2Window, F0Window — sliding-window aggregation over
+//     asynchronous (out-of-order) streams via the reduction of
+//     Section 1.1.
+//   - RunMultipass and the GREATER-THAN helpers — the turnstile
+//     (positive and negative weights) results of Section 4.
+//
+// All summaries are deterministic in their Seed option, single-threaded,
+// and built only on the Go standard library.
+//
+// # Quick example
+//
+//	s, _ := correlated.NewF2Summary(correlated.Options{
+//		Eps: 0.2, Delta: 0.1, YMax: 1 << 20, MaxStreamLen: 1 << 24,
+//	})
+//	for _, t := range tuples {
+//		_ = s.Add(t.X, t.Y)
+//	}
+//	est, _ := s.QueryLE(cutoff) // F2 of {x : y <= cutoff}
+package correlated

@@ -1,0 +1,113 @@
+package correlated_test
+
+import (
+	"fmt"
+
+	correlated "github.com/streamagg/correlated"
+)
+
+// The basic workflow: ingest (x, y) tuples once, then query correlated
+// aggregates for cutoffs chosen afterwards.
+func ExampleF2Summary() {
+	s, err := correlated.NewF2Summary(correlated.Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1023, MaxStreamLen: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Identifier 7 appears three times with y <= 100, once above.
+	for _, t := range []struct{ x, y uint64 }{
+		{7, 10}, {7, 50}, {7, 100}, {7, 900}, {8, 40}, {9, 800},
+	} {
+		if err := s.Add(t.x, t.y); err != nil {
+			panic(err)
+		}
+	}
+	// F2 of {x : y <= 100} = 3^2 + 1^2 = 10 (small streams are exact:
+	// they are answered from the singleton level).
+	est, err := s.QueryLE(100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("F2(y<=100) = %.0f\n", est)
+	// Output: F2(y<=100) = 10
+}
+
+// Correlated distinct counting with rarity.
+func ExampleF0Summary() {
+	s, err := correlated.NewF0Summary(correlated.Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1023, MaxX: 1 << 16, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Items 1..3 below the cutoff; item 2 twice (so 2 of 3 are "rare").
+	for _, t := range []struct{ x, y uint64 }{
+		{1, 10}, {2, 20}, {2, 30}, {3, 40}, {4, 500},
+	} {
+		if err := s.Add(t.x, t.y); err != nil {
+			panic(err)
+		}
+	}
+	distinct, _ := s.QueryLE(100)
+	rarity, _ := s.RarityLE(100)
+	fmt.Printf("distinct(y<=100) = %.0f, rarity = %.2f\n", distinct, rarity)
+	// Output: distinct(y<=100) = 3, rarity = 0.67
+}
+
+// The drill-down pattern from the paper's introduction: a quantile summary
+// picks the threshold, the correlated summary aggregates above it.
+func ExampleQuantiles() {
+	q, err := correlated.NewQuantiles(0.01)
+	if err != nil {
+		panic(err)
+	}
+	sum, err := correlated.NewSumSummary(correlated.Options{
+		Eps: 0.1, Delta: 0.1, YMax: 1 << 20, MaxX: 1 << 20,
+		Seed: 1, Predicate: correlated.GE,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		size := i * 10 // flow sizes 10..10000
+		q.Add(size)
+		if err := sum.Add(size, size); err != nil {
+			panic(err)
+		}
+	}
+	median, _ := q.Median()
+	total, _ := sum.QueryGE(median)
+	// Both answers are approximations (rank error εn for the quantile,
+	// relative error ε for the sum); assert the guarantees rather than
+	// exact values.
+	exactSum := 0.0
+	for size := uint64(10); size <= 10000; size += 10 {
+		if size >= median {
+			exactSum += float64(size)
+		}
+	}
+	fmt.Printf("median within 1%%: %v\n", median >= 4900 && median <= 5100)
+	fmt.Printf("sum within 10%%: %v\n", total >= 0.9*exactSum && total <= 1.1*exactSum)
+	// Output:
+	// median within 1%: true
+	// sum within 10%: true
+}
+
+// Turnstile streams: MULTIPASS answers correlated F2 over ±-weighted data
+// in O(log ymax) passes (a single pass provably cannot).
+func ExampleRunMultipass() {
+	tape := correlated.NewTape(nil)
+	for y := uint64(0); y < 16; y++ {
+		tape.Append(correlated.Record{X: y % 4, Y: y, W: 2})
+		tape.Append(correlated.Record{X: y % 4, Y: y, W: -1}) // deletion
+	}
+	res, err := correlated.RunMultipass(tape, correlated.MultipassConfig{
+		Eps: 0.25, Delta: 0.1, YMax: 15, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("passes = %d\n", res.Passes)
+	// Output: passes = 5
+}

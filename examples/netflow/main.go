@@ -1,0 +1,104 @@
+// Netflow drill-down: the scenario from the paper's introduction.
+//
+// A router emits flow records (destination, bytes). We maintain two small
+// structures online: a whole-stream quantile summary over flow sizes and
+// correlated-aggregate summaries keyed on flow size. After the stream has
+// gone by, an operator can ask questions whose thresholds depend on what
+// the data turned out to look like:
+//
+//  1. "What is the median flow size?"            → quantile summary
+//  2. "What is F2 of destinations among flows    → correlated F2,
+//     larger than the median?" (traffic skew       predicate y >= median
+//     among big flows)
+//  3. "That looks interesting — same question
+//     for the top five percent of flows."       → same summary, new cutoff
+//  4. "How many distinct destinations do those
+//     elephant flows hit?"                      → correlated F0
+//
+// Run with:
+//
+//	go run ./examples/netflow
+package main
+
+import (
+	"fmt"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+func main() {
+	const (
+		flows = 400_000
+		dsts  = 20_000
+		ymax  = 1<<20 - 1 // flow sizes in bytes, up to ~1MB
+	)
+	opts := correlated.Options{
+		Eps: 0.15, Delta: 0.1, YMax: ymax,
+		MaxStreamLen: flows, MaxX: dsts,
+		Seed:      1,
+		Predicate: correlated.GE, // drill-down asks about *large* flows
+	}
+
+	f2, err := correlated.NewF2Summary(opts)
+	check(err)
+	f0, err := correlated.NewF0Summary(opts)
+	check(err)
+	quant, err := correlated.NewQuantiles(0.01)
+	check(err)
+
+	// Synthesize traffic: most flows are mice; a handful of busy
+	// destinations receive disproportionately many elephants.
+	rng := hash.New(99)
+	fmt.Printf("observing %d flow records...\n", flows)
+	for i := 0; i < flows; i++ {
+		var dst, bytes uint64
+		switch {
+		case rng.Float64() < 0.02:
+			// Elephants, concentrated on 20 busy destinations.
+			dst = rng.Uint64n(20)
+			bytes = 200_000 + rng.Uint64n(800_000)
+		default:
+			dst = rng.Uint64n(dsts)
+			bytes = 40 + rng.Uint64n(20_000)
+		}
+		check(f2.Add(dst, bytes))
+		check(f0.Add(dst, bytes))
+		quant.Add(bytes)
+	}
+
+	// Drill-down, thresholds computed from the stream itself.
+	median, err := quant.Median()
+	check(err)
+	p95, err := quant.Query(0.95)
+	check(err)
+	fmt.Printf("\nmedian flow size: %d bytes; 95th percentile: %d bytes\n", median, p95)
+
+	f2med, err := f2.QueryGE(median)
+	check(err)
+	f0med, err := f0.QueryGE(median)
+	check(err)
+	fmt.Printf("\nflows >= median:  F2(dst) = %.3g over ~%.0f distinct destinations\n", f2med, f0med)
+
+	f2p95, err := f2.QueryGE(p95)
+	check(err)
+	f0p95, err := f0.QueryGE(p95)
+	check(err)
+	fmt.Printf("flows >= p95:     F2(dst) = %.3g over ~%.0f distinct destinations\n", f2p95, f0p95)
+
+	// F2/(count²/F0) style skew reading: compare concentration.
+	fmt.Printf("\nconcentration check: the top 5%% of flows hit ~%.0f destinations —\n", f0p95)
+	fmt.Printf("if that is far below the distinct count at the median (~%.0f),\n", f0med)
+	fmt.Println("the biggest flows are aimed at a small set of targets.")
+
+	fmt.Printf("\ntotal summary space: %d counters/samples + %d quantile tuples.\n",
+		f2.Space()+f0.Space(), quant.Space())
+	fmt.Println("The summaries stay this size no matter how long the router runs;")
+	fmt.Println("storing raw records grows without bound (Figures 3-5 of the paper).")
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

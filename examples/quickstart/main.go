@@ -1,0 +1,84 @@
+// Quickstart: build correlated-aggregate summaries over a synthetic
+// stream, then answer cutoff queries chosen only after ingestion —
+// comparing every estimate against exact recomputation.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/exact"
+	"github.com/streamagg/correlated/internal/gen"
+)
+
+func main() {
+	const (
+		n    = 500_000
+		xdom = 50_000
+		ymax = 1<<20 - 1
+	)
+	opts := correlated.Options{
+		Eps:          0.15,
+		Delta:        0.1,
+		YMax:         ymax,
+		MaxStreamLen: n,
+		MaxX:         xdom,
+		Seed:         42,
+	}
+
+	f2, err := correlated.NewF2Summary(opts)
+	check(err)
+	cnt, err := correlated.NewCountSummary(opts)
+	check(err)
+	f0, err := correlated.NewF0Summary(opts)
+	check(err)
+	base := exact.New()
+
+	fmt.Printf("ingesting %d tuples (x uniform over %d ids, y uniform over [0, 2^20))...\n", n, xdom)
+	stream := gen.Uniform(n, xdom, ymax+1, 7)
+	for {
+		t, ok := stream.Next()
+		if !ok {
+			break
+		}
+		check(f2.Add(t.X, t.Y))
+		check(cnt.Add(t.X, t.Y))
+		check(f0.Add(t.X, t.Y))
+		base.Add(t.X, t.Y)
+	}
+
+	fmt.Printf("\nsummary space: F2 %d counters, COUNT %d counters, F0 %d samples (stream: %d tuples)\n",
+		f2.Space(), cnt.Space(), f0.Space(), base.Space())
+	fmt.Println("\ncutoff c      | aggregate | estimate     | exact        | rel.err")
+	fmt.Println("--------------+-----------+--------------+--------------+--------")
+
+	for _, c := range []uint64{1 << 16, 1 << 18, 1 << 19, ymax} {
+		report(c, "COUNT", query(cnt.QueryLE, c), base.Count1(c))
+		report(c, "F2", query(f2.QueryLE, c), base.F2(c))
+		report(c, "F0", query(f0.QueryLE, c), base.F0(c))
+	}
+}
+
+func query(f func(uint64) (float64, error), c uint64) float64 {
+	v, err := f(c)
+	check(err)
+	return v
+}
+
+func report(c uint64, name string, est, want float64) {
+	rel := 0.0
+	if want != 0 {
+		rel = (est - want) / want
+	}
+	fmt.Printf("%-13d | %-9s | %12.0f | %12.0f | %+.3f\n", c, name, est, want, rel)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

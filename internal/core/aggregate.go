@@ -1,0 +1,125 @@
+// Package core implements the paper's primary contribution (Section 2): a
+// general reduction from correlated aggregation — estimating
+// AGG{x_i | y_i <= c} with the cutoff c given only at query time — to
+// whole-stream sketching of AGG.
+//
+// The reduction works for any aggregation function f satisfying the paper's
+// Conditions I–V:
+//
+//	I.   f(R) is polynomially bounded in |R|;
+//	II.  superadditivity: f(R1 ∪ R2) >= f(R1) + f(R2);
+//	III. a union bound c1(j): f(R1 ∪ ... ∪ Rj) <= c1(j)·max f(Ri);
+//	IV.  a residue bound c2(ε): B ⊆ A and f(B) <= c2(ε)·f(A) imply
+//	     f(A−B) >= (1−ε)·f(A);
+//	V.   a mergeable sketching function for whole-stream f.
+//
+// The Aggregate type captures exactly these conditions; the built-in
+// aggregates (F2, Fk, SUM, COUNT) supply the constants proved in the
+// paper's Section 3 (Lemmas 6–8).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/streamagg/correlated/internal/hash"
+	"github.com/streamagg/correlated/internal/sketch"
+)
+
+// Aggregate describes an aggregation function that satisfies the paper's
+// Conditions I–V and can therefore go through the general reduction.
+type Aggregate struct {
+	// Name identifies the aggregate in errors and diagnostics.
+	Name string
+
+	// C1 is the union-bound function of Condition III: if f(Ri) <= a for
+	// i = 1..j then f(R1 ∪ ... ∪ Rj) <= C1(j)·a.
+	C1 func(j int) float64
+
+	// C2 is the residue function of Condition IV: B ⊆ A with
+	// f(B) <= C2(eps)·f(A) implies f(A−B) >= (1−eps)·f(A).
+	C2 func(eps float64) float64
+
+	// NewMaker builds the whole-stream sketching function of Condition V
+	// for relative error upsilon and failure probability gamma.
+	NewMaker func(upsilon, gamma float64, rng *hash.RNG) sketch.Maker
+
+	// FMaxLog2 bounds log2 of the largest possible aggregate value over
+	// a stream of n items whose identifiers are below xmax (Condition I,
+	// which makes the level count logarithmic).
+	FMaxLog2 func(n, xmax uint64) int
+}
+
+// F2Aggregate returns the second frequency moment with the constants of
+// Lemma 6 (c1(j) = j^2) and Lemma 8 (c2(eps) = (eps/18)^2).
+func F2Aggregate() Aggregate {
+	return Aggregate{
+		Name: "F2",
+		C1:   func(j int) float64 { return float64(j) * float64(j) },
+		C2:   func(eps float64) float64 { return (eps / 18) * (eps / 18) },
+		NewMaker: func(upsilon, gamma float64, rng *hash.RNG) sketch.Maker {
+			return sketch.NewF2MakerError(upsilon, gamma, rng)
+		},
+		FMaxLog2: func(n, xmax uint64) int { return 2 * log2Ceil(n) },
+	}
+}
+
+// FkAggregate returns the k-th frequency moment, k >= 2, with the constants
+// of Lemmas 6 and 8: c1(j) = j^k, c2(eps) = (eps/(9k))^k.
+func FkAggregate(k int) Aggregate {
+	if k < 2 {
+		panic("core: FkAggregate needs k >= 2")
+	}
+	kf := float64(k)
+	return Aggregate{
+		Name: fmt.Sprintf("F%d", k),
+		C1:   func(j int) float64 { return math.Pow(float64(j), kf) },
+		C2:   func(eps float64) float64 { return math.Pow(eps/(9*kf), kf) },
+		NewMaker: func(upsilon, gamma float64, rng *hash.RNG) sketch.Maker {
+			return sketch.NewFkMakerError(k, upsilon, gamma, rng)
+		},
+		FMaxLog2: func(n, xmax uint64) int { return k * log2Ceil(n) },
+	}
+}
+
+// CountAggregate returns COUNT (the first frequency moment of the selected
+// substream). COUNT is additive, so c1(j) = j and c2(eps) = eps, and the
+// "sketch" is an exact counter with zero error.
+func CountAggregate() Aggregate {
+	return Aggregate{
+		Name: "COUNT",
+		C1:   func(j int) float64 { return float64(j) },
+		C2:   func(eps float64) float64 { return eps },
+		NewMaker: func(upsilon, gamma float64, rng *hash.RNG) sketch.Maker {
+			return sketch.NewCountMaker()
+		},
+		FMaxLog2: func(n, xmax uint64) int { return log2Ceil(n) },
+	}
+}
+
+// SumAggregate returns SUM over the x values of the selected substream,
+// the correlated sum of Gehrke et al. and Ananthakrishna et al. Like
+// COUNT it is additive and exactly sketchable.
+func SumAggregate() Aggregate {
+	return Aggregate{
+		Name: "SUM",
+		C1:   func(j int) float64 { return float64(j) },
+		C2:   func(eps float64) float64 { return eps },
+		NewMaker: func(upsilon, gamma float64, rng *hash.RNG) sketch.Maker {
+			return sketch.NewSumMaker()
+		},
+		FMaxLog2: func(n, xmax uint64) int { return log2Ceil(n) + log2Ceil(xmax) },
+	}
+}
+
+// log2Ceil returns ceil(log2(v)) for v >= 1, and 1 for v <= 1.
+func log2Ceil(v uint64) int {
+	if v <= 1 {
+		return 1
+	}
+	l := 0
+	for p := uint64(1); p < v && l < 63; p <<= 1 {
+		l++
+	}
+	return l
+}

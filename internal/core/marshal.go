@@ -1,0 +1,238 @@
+package core
+
+import (
+	"encoding"
+	"encoding/binary"
+	"errors"
+
+	"github.com/streamagg/correlated/internal/dyadic"
+	"github.com/streamagg/correlated/internal/sketch"
+)
+
+// Binary serialization of the correlated-aggregate summary, for
+// checkpointing a stream processor or shipping a summary to a query node.
+// Hash functions and configuration are NOT serialized: UnmarshalBinary
+// must be called on a Summary freshly created by NewSummary with the same
+// aggregate and Config (including Seed) as the source — the seeds
+// deterministically regenerate the sketching functions.
+
+const coreMarshalVersion = 1
+
+// ErrBadEncoding reports malformed or configuration-incompatible bytes.
+var ErrBadEncoding = errors.New("core: bad or incompatible encoding")
+
+type binarySketch interface {
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. It fails if the
+// aggregate's sketch type does not support serialization.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	buf := []byte{coreMarshalVersion}
+	buf = binary.AppendUvarint(buf, s.n)
+	buf = binary.AppendUvarint(buf, uint64(s.alpha))
+	buf = binary.AppendUvarint(buf, uint64(s.lmax))
+	buf = binary.AppendUvarint(buf, uint64(s.virginFrom))
+	var err error
+	if buf, err = appendSketch(buf, s.shared); err != nil {
+		return nil, err
+	}
+	// Singleton level.
+	buf = binary.AppendUvarint(buf, s.s0.y)
+	buf = binary.AppendUvarint(buf, uint64(len(s.s0.buckets)))
+	for y, b := range s.s0.buckets {
+		buf = binary.AppendUvarint(buf, y)
+		if buf, err = appendSketch(buf, b.sk); err != nil {
+			return nil, err
+		}
+	}
+	// Bucket-tree levels.
+	for i := 1; i <= s.lmax; i++ {
+		lv := s.levels[i]
+		buf = binary.AppendUvarint(buf, lv.y)
+		buf = binary.AppendUvarint(buf, uint64(lv.count))
+		if buf, err = appendNode(buf, lv.root); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendSketch(buf []byte, sk sketch.Sketch) ([]byte, error) {
+	bs, ok := sk.(binarySketch)
+	if !ok {
+		return nil, errors.New("core: sketch type does not support serialization")
+	}
+	payload, err := bs.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...), nil
+}
+
+func (s *Summary) readSketch(data []byte) (sketch.Sketch, []byte, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 || uint64(len(data)-sz) < n {
+		return nil, nil, ErrBadEncoding
+	}
+	sk := s.maker.New()
+	bs, ok := sk.(binarySketch)
+	if !ok {
+		return nil, nil, errors.New("core: sketch type does not support serialization")
+	}
+	if err := bs.UnmarshalBinary(data[sz : sz+int(n)]); err != nil {
+		return nil, nil, err
+	}
+	return sk, data[sz+int(n):], nil
+}
+
+// Node flags.
+const (
+	nodePresent = 1 << 0
+	nodeClosed  = 1 << 1
+	nodeHasSk   = 1 << 2
+)
+
+func appendNode(buf []byte, b *bucket) ([]byte, error) {
+	if b == nil {
+		return append(buf, 0), nil
+	}
+	flags := byte(nodePresent)
+	if b.closed {
+		flags |= nodeClosed
+	}
+	if b.sk != nil {
+		flags |= nodeHasSk
+	}
+	buf = append(buf, flags)
+	var err error
+	if b.sk != nil {
+		if buf, err = appendSketch(buf, b.sk); err != nil {
+			return nil, err
+		}
+	}
+	if buf, err = appendNode(buf, b.left); err != nil {
+		return nil, err
+	}
+	return appendNode(buf, b.right)
+}
+
+func (s *Summary) readNode(data []byte, iv dyadic.Interval) (*bucket, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, ErrBadEncoding
+	}
+	flags := data[0]
+	data = data[1:]
+	if flags&nodePresent == 0 {
+		return nil, data, nil
+	}
+	b := &bucket{iv: iv, closed: flags&nodeClosed != 0}
+	var err error
+	if flags&nodeHasSk != 0 {
+		if b.sk, data, err = s.readSketch(data); err != nil {
+			return nil, nil, err
+		}
+	}
+	if !iv.Single() {
+		lc, rc := iv.Children()
+		if b.left, data, err = s.readNode(data, lc); err != nil {
+			return nil, nil, err
+		}
+		if b.right, data, err = s.readNode(data, rc); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		// Single-point intervals are always leaves; consume their two
+		// nil child markers.
+		for k := 0; k < 2; k++ {
+			if len(data) < 1 || data[0] != 0 {
+				return nil, nil, ErrBadEncoding
+			}
+			data = data[1:]
+		}
+	}
+	return b, data, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The receiver must
+// have been created by NewSummary with the same aggregate and Config
+// (including Seed) that produced the bytes.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 || data[0] != coreMarshalVersion {
+		return ErrBadEncoding
+	}
+	data = data[1:]
+	var vals [4]uint64
+	for i := range vals {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return ErrBadEncoding
+		}
+		vals[i] = v
+		data = data[n:]
+	}
+	if int(vals[1]) != s.alpha || int(vals[2]) != s.lmax {
+		return ErrBadEncoding
+	}
+	s.n = vals[0]
+	s.virginFrom = int(vals[3])
+	var err error
+	if s.shared, data, err = s.readSketch(data); err != nil {
+		return err
+	}
+	// Singleton level.
+	y0, n := binary.Uvarint(data)
+	if n <= 0 {
+		return ErrBadEncoding
+	}
+	data = data[n:]
+	cnt, n := binary.Uvarint(data)
+	if n <= 0 {
+		return ErrBadEncoding
+	}
+	data = data[n:]
+	s.s0 = levelZero{buckets: make(map[uint64]*bucket, cnt), y: y0}
+	for i := uint64(0); i < cnt; i++ {
+		y, n := binary.Uvarint(data)
+		if n <= 0 {
+			return ErrBadEncoding
+		}
+		data = data[n:]
+		var sk sketch.Sketch
+		if sk, data, err = s.readSketch(data); err != nil {
+			return err
+		}
+		s.s0.buckets[y] = &bucket{iv: dyadic.Interval{L: y, R: y}, sk: sk}
+		heapPushU64(&s.s0.ys, y)
+	}
+	// Bucket-tree levels.
+	root := dyadic.Root(s.cfg.YMax)
+	for i := 1; i <= s.lmax; i++ {
+		lv := s.levels[i]
+		yv, n := binary.Uvarint(data)
+		if n <= 0 {
+			return ErrBadEncoding
+		}
+		data = data[n:]
+		cv, n := binary.Uvarint(data)
+		if n <= 0 {
+			return ErrBadEncoding
+		}
+		data = data[n:]
+		lv.y = yv
+		lv.count = int(cv)
+		if lv.root, data, err = s.readNode(data, root); err != nil {
+			return err
+		}
+		if lv.root == nil {
+			return ErrBadEncoding
+		}
+		s.cache[i] = nil
+	}
+	if len(data) != 0 {
+		return ErrBadEncoding
+	}
+	return nil
+}

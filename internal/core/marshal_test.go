@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+func buildForMarshal(t *testing.T, agg Aggregate, cfg Config, n int, streamSeed uint64) *Summary {
+	t.Helper()
+	s := mustSummary(t, agg, cfg)
+	rng := hash.New(streamSeed)
+	for i := 0; i < n; i++ {
+		if err := s.Add(rng.Uint64n(500), rng.Uint64n(cfg.YMax+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSummaryRoundTripCount(t *testing.T) {
+	cfg := Config{Eps: 0.15, Delta: 0.1, YMax: 1<<12 - 1, MaxStreamLen: 100000, Seed: 91}
+	src := buildForMarshal(t, CountAggregate(), cfg, 80000, 5)
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := mustSummary(t, CountAggregate(), cfg)
+	if err := dst.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count() != src.Count() || dst.Space() != src.Space() || dst.Buckets() != src.Buckets() {
+		t.Fatalf("bookkeeping differs: count %d/%d space %d/%d buckets %d/%d",
+			dst.Count(), src.Count(), dst.Space(), src.Space(), dst.Buckets(), src.Buckets())
+	}
+	for _, c := range []uint64{50, 1 << 8, 1 << 10, 1<<12 - 1} {
+		a, err1 := src.Query(c)
+		b, err2 := dst.Query(c)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("c=%d: src %v (%v), dst %v (%v)", c, a, err1, b, err2)
+		}
+	}
+	// Restored summary must keep ingesting identically.
+	rng := hash.New(77)
+	for i := 0; i < 20000; i++ {
+		x, y := rng.Uint64n(500), rng.Uint64n(1<<12)
+		if err := src.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := src.Query(1 << 11)
+	b, _ := dst.Query(1 << 11)
+	if a != b {
+		t.Fatalf("post-restore divergence: %v vs %v", a, b)
+	}
+}
+
+func TestSummaryRoundTripF2(t *testing.T) {
+	cfg := Config{Eps: 0.25, Delta: 0.1, YMax: 1<<10 - 1, MaxStreamLen: 50000, Seed: 93}
+	src := buildForMarshal(t, F2Aggregate(), cfg, 50000, 7)
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := mustSummary(t, F2Aggregate(), cfg)
+	if err := dst.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []uint64{100, 500, 1<<10 - 1} {
+		a, err1 := src.Query(c)
+		b, err2 := dst.Query(c)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("c=%d: src %v (%v), dst %v (%v)", c, a, err1, b, err2)
+		}
+	}
+}
+
+func TestSummaryRoundTripVirginLevels(t *testing.T) {
+	// A tiny stream leaves most levels virgin (nil root sketches); the
+	// round trip must preserve the shared-sketch arrangement.
+	cfg := Config{Eps: 0.2, Delta: 0.1, YMax: 255, MaxStreamLen: 1000, Seed: 95}
+	src := buildForMarshal(t, CountAggregate(), cfg, 10, 9)
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := mustSummary(t, CountAggregate(), cfg)
+	if err := dst.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if dst.virginFrom != src.virginFrom {
+		t.Fatalf("virginFrom %d, want %d", dst.virginFrom, src.virginFrom)
+	}
+	a, _ := src.Query(255)
+	b, _ := dst.Query(255)
+	if a != b || a != 10 {
+		t.Fatalf("tiny-stream queries: %v vs %v, want 10", a, b)
+	}
+}
+
+func TestSummaryUnmarshalWrongConfig(t *testing.T) {
+	cfg := Config{Eps: 0.2, Delta: 0.1, YMax: 1<<10 - 1, MaxStreamLen: 10000, Seed: 97}
+	src := buildForMarshal(t, CountAggregate(), cfg, 5000, 11)
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Eps = 0.1 // different alpha
+	dst := mustSummary(t, CountAggregate(), other)
+	if err := dst.UnmarshalBinary(data); err == nil {
+		t.Fatal("mismatched config accepted")
+	}
+}
+
+func TestSummaryUnmarshalGarbage(t *testing.T) {
+	cfg := Config{Eps: 0.2, Delta: 0.1, YMax: 255, MaxStreamLen: 1000, Seed: 99}
+	dst := mustSummary(t, CountAggregate(), cfg)
+	for _, bad := range [][]byte{nil, {0}, {1, 0xff, 0xff}, {2, 1, 2, 3}} {
+		if err := dst.UnmarshalBinary(bad); err == nil {
+			t.Fatalf("garbage %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/streamagg/correlated/internal/dyadic"
+	"github.com/streamagg/correlated/internal/hash"
+	"github.com/streamagg/correlated/internal/sketch"
+)
+
+// noWatermark is the initial value of each level's Y_i ("infinity").
+const noWatermark = math.MaxUint64
+
+// Summary is the sketch for correlated aggregation of Section 2. It
+// supports Add (Algorithm 2) and Query (Algorithm 3) for selection
+// predicates of the form y <= c with c supplied at query time.
+//
+// Levels ℓ = 1..ℓmax each hold a tree of buckets over dyadic intervals of
+// [0, ymax]. A bucket closes once its sketch estimate reaches 2^(ℓ+1) and
+// splits into its two dyadic children on the next arrival; when a level
+// exceeds its capacity α, the bucket with the largest left endpoint is
+// discarded and the level's watermark Y_ℓ records the smallest discarded
+// left endpoint. A query for cutoff c is answered from the smallest level
+// with Y_ℓ > c by composing the sketches of all buckets fully inside
+// [0, c]. Level 0 stores up to α exact singleton-y buckets.
+type Summary struct {
+	cfg   Config
+	agg   Aggregate
+	maker sketch.Maker
+	alpha int
+	lmax  int
+
+	s0     levelZero
+	levels []*level // levels[i] for i = 1..lmax; index 0 unused
+
+	n uint64 // tuples inserted
+
+	// cache holds, per level, the leaf that received the previous
+	// insertion; sorted (batched) insertion streams hit it repeatedly,
+	// which is the practical form of the paper's Lemma 9 amortization.
+	cache []*bucket
+
+	// Virgin-level sharing: every level whose root has never closed
+	// holds, by construction, a sketch of the *entire* stream so far —
+	// identical content across levels because sketches share seeds. One
+	// shared sketch stands in for all of them; when the shared estimate
+	// crosses a level's closing threshold, that level materializes its
+	// own copy and proceeds independently. This changes per-update cost
+	// from O(ℓmax) sketch updates to O(active levels) without changing
+	// behaviour in any way.
+	shared     sketch.Sketch
+	virginFrom int // smallest level whose root has never closed
+}
+
+type bucket struct {
+	iv        dyadic.Interval
+	sk        sketch.Sketch
+	closed    bool
+	discarded bool
+	left      *bucket
+	right     *bucket
+}
+
+type level struct {
+	idx    int
+	root   *bucket
+	y      uint64 // watermark Y_ℓ
+	count  int    // stored buckets
+	thresh float64
+}
+
+type levelZero struct {
+	buckets map[uint64]*bucket
+	ys      []uint64 // max-heap of singleton y values
+	y       uint64   // watermark Y_0
+}
+
+// NewSummary builds a correlated-aggregate summary for agg under cfg
+// (Algorithm 1).
+func NewSummary(agg Aggregate, cfg Config) (*Summary, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lmax := agg.FMaxLog2(cfg.MaxStreamLen, cfg.MaxX) + 1
+	if lmax > 62 {
+		lmax = 62
+	}
+	upsilon := cfg.Eps / 2
+	logy := float64(log2Ceil(cfg.YMax + 1))
+	var gamma float64
+	if cfg.StrictTheory {
+		gamma = cfg.Delta / (4 * float64(cfg.YMax) * float64(lmax+1))
+	} else {
+		gamma = cfg.Delta / (4 * float64(lmax+1) * logy)
+	}
+	rng := hash.New(cfg.Seed)
+	s := &Summary{
+		cfg:    cfg,
+		agg:    agg,
+		maker:  agg.NewMaker(upsilon, gamma, rng),
+		alpha:  deriveAlpha(cfg, agg),
+		lmax:   lmax,
+		levels: make([]*level, lmax+1),
+		cache:  make([]*bucket, lmax+1),
+	}
+	s.s0 = levelZero{buckets: make(map[uint64]*bucket), y: noWatermark}
+	for i := 1; i <= lmax; i++ {
+		s.levels[i] = &level{
+			idx:    i,
+			root:   &bucket{iv: dyadic.Root(cfg.YMax)},
+			y:      noWatermark,
+			count:  1,
+			thresh: math.Ldexp(1, i+1),
+		}
+	}
+	s.shared = s.maker.New()
+	s.virginFrom = 1
+	return s, nil
+}
+
+// Config returns the (normalized) configuration.
+func (s *Summary) Config() Config { return s.cfg }
+
+// Alpha returns the per-level bucket capacity in use.
+func (s *Summary) Alpha() int { return s.alpha }
+
+// Levels returns ℓmax, the number of non-singleton levels.
+func (s *Summary) Levels() int { return s.lmax }
+
+// Count returns the number of tuples inserted so far.
+func (s *Summary) Count() uint64 { return s.n }
+
+// Add inserts the tuple (x, y) with weight 1.
+func (s *Summary) Add(x, y uint64) error { return s.AddWeighted(x, y, 1) }
+
+// AddWeighted inserts w copies of (x, y), w > 0 (Algorithm 2). Negative
+// weights require the multipass machinery of Section 4 — the single-pass
+// structure provably cannot support them (Theorem 6).
+func (s *Summary) AddWeighted(x, y uint64, w int64) error {
+	if y > s.cfg.YMax {
+		return fmt.Errorf("core: y = %d exceeds YMax = %d", y, s.cfg.YMax)
+	}
+	if w <= 0 {
+		return fmt.Errorf("core: weight must be positive, got %d", w)
+	}
+	s.n++
+	s.insert0(x, y, w)
+	for i := 1; i < s.virginFrom; i++ {
+		s.insertLevel(s.levels[i], x, y, w, i)
+	}
+	if s.virginFrom <= s.lmax {
+		// All virgin levels share one whole-stream sketch.
+		s.shared.Add(x, w)
+		for s.virginFrom <= s.lmax &&
+			sketch.CheapEstimate(s.shared) >= s.levels[s.virginFrom].thresh {
+			s.materialize(s.levels[s.virginFrom])
+			s.virginFrom++
+		}
+	}
+	return nil
+}
+
+// materialize gives a virgin level its own copy of the shared sketch and
+// closes its root, exactly as Algorithm 2 would have done had the level
+// been maintaining the root sketch itself.
+func (s *Summary) materialize(lv *level) {
+	cp := s.maker.New()
+	// Same-maker merges cannot fail.
+	_ = cp.Merge(s.shared)
+	lv.root.sk = cp
+	if !lv.root.iv.Single() {
+		lv.root.closed = true
+	}
+}
+
+// insert0 handles the singleton level S0 (Algorithm 2 lines 1–6).
+func (s *Summary) insert0(x, y uint64, w int64) {
+	z := &s.s0
+	// A singleton at or past the watermark could never serve a query
+	// (Y_0 only decreases), so creating it would waste space.
+	if y >= z.y {
+		return
+	}
+	b := z.buckets[y]
+	if b == nil {
+		b = &bucket{iv: dyadic.Interval{L: y, R: y}, sk: s.maker.New()}
+		z.buckets[y] = b
+		heapPushU64(&z.ys, y)
+	}
+	b.sk.Add(x, w)
+	for len(z.buckets) > s.alpha {
+		top := heapPopU64(&z.ys)
+		delete(z.buckets, top)
+		if top < z.y {
+			z.y = top
+		}
+	}
+}
+
+// insertLevel inserts (x, y, w) into level lv (Algorithm 2 lines 7–21).
+func (s *Summary) insertLevel(lv *level, x, y uint64, w int64, i int) {
+	// The element's y falls in the level's discarded region: skip. (The
+	// paper's Algorithm 2 phrases this as an early return; since the
+	// watermarks Y_ℓ are in practice non-decreasing in ℓ, skipping just
+	// this level is the conservative reading that keeps every level
+	// consistent regardless of watermark ordering.)
+	if y >= lv.y {
+		return
+	}
+	// Fast path: the previous insertion's leaf (Lemma 9 batching).
+	if b := s.cache[i]; b != nil && !b.discarded && b.left == nil && b.right == nil &&
+		b.iv.Contains(y) && (!b.closed || b.iv.Single()) {
+		b.sk.Add(x, w)
+		if !b.closed && !b.iv.Single() && sketch.CheapEstimate(b.sk) >= lv.thresh {
+			b.closed = true
+		}
+		return
+	}
+	b := lv.root
+	for {
+		if b.left != nil || b.right != nil {
+			// Internal: descend toward y. Children are created in
+			// pairs and discarded right-to-left, so a missing
+			// target child means y is in the discarded region —
+			// unreachable given the watermark check above.
+			lc, _ := b.iv.Children()
+			if y <= lc.R {
+				if b.left == nil {
+					return
+				}
+				b = b.left
+			} else {
+				if b.right == nil {
+					return
+				}
+				b = b.right
+			}
+			continue
+		}
+		if b.closed && !b.iv.Single() {
+			// Closed leaf: split into the two dyadic children and
+			// continue into the one containing y.
+			lc, rc := b.iv.Children()
+			b.left = &bucket{iv: lc, sk: s.maker.New()}
+			b.right = &bucket{iv: rc, sk: s.maker.New()}
+			lv.count += 2
+			continue
+		}
+		b.sk.Add(x, w)
+		if !b.closed && !b.iv.Single() && sketch.CheapEstimate(b.sk) >= lv.thresh {
+			b.closed = true
+		}
+		s.cache[i] = b
+		break
+	}
+	// Check for overflow: evict largest-l buckets until within capacity.
+	for lv.count > s.alpha {
+		s.discardMax(lv)
+	}
+}
+
+// discardMax removes the stored bucket with the largest left endpoint
+// (always a childless bucket, found by walking right-then-left) and lowers
+// the level's watermark.
+func (s *Summary) discardMax(lv *level) {
+	var parent *bucket
+	b := lv.root
+	for b.left != nil || b.right != nil {
+		parent = b
+		if b.right != nil {
+			b = b.right
+		} else {
+			b = b.left
+		}
+	}
+	if parent == nil {
+		// The root itself is the only bucket; it is never discarded.
+		return
+	}
+	if parent.right == b {
+		parent.right = nil
+	} else {
+		parent.left = nil
+	}
+	b.discarded = true
+	lv.count--
+	if b.iv.L < lv.y {
+		lv.y = b.iv.L
+	}
+}
+
+// Query estimates AGG{x | (x, y) in stream, y <= c} (Algorithm 3). It
+// returns ErrNoLevel when even the top level cannot serve c, which under
+// the analysis's event G happens with probability at most δ.
+func (s *Summary) Query(c uint64) (float64, error) {
+	est, _, err := s.QueryWithLevel(c)
+	return est, err
+}
+
+// QueryWithLevel is Query plus the level that served the answer
+// (level 0 means the singleton level S0).
+func (s *Summary) QueryWithLevel(c uint64) (float64, int, error) {
+	sk, lvl, err := s.QuerySketch(c)
+	if err != nil {
+		return 0, lvl, err
+	}
+	return sk.Estimate(), lvl, nil
+}
+
+// QuerySketch returns the composed sketch of the buckets serving cutoff c
+// (the composition K of Algorithm 3) together with the level used. The
+// correlated heavy-hitters structure of Section 3.3 consumes the sketch
+// itself rather than just its estimate.
+func (s *Summary) QuerySketch(c uint64) (sketch.Sketch, int, error) {
+	if c > s.cfg.YMax {
+		c = s.cfg.YMax
+	}
+	if s.s0.y > c {
+		return s.query0(c), 0, nil
+	}
+	for i := 1; i <= s.lmax; i++ {
+		if s.levels[i].y > c {
+			return s.queryLevel(s.levels[i], c), i, nil
+		}
+	}
+	return nil, -1, ErrNoLevel
+}
+
+// query0 composes the singleton sketches with y <= c ("summing over
+// appropriate singletons": sketches here are linear, so composition and
+// summation coincide).
+func (s *Summary) query0(c uint64) sketch.Sketch {
+	out := s.maker.New()
+	for y, b := range s.s0.buckets {
+		if y <= c {
+			// Merging sketches from the same maker cannot fail.
+			_ = out.Merge(b.sk)
+		}
+	}
+	return out
+}
+
+// queryLevel composes the sketches of B1 — every stored bucket whose span
+// lies inside [0, c]. Buckets straddling c (the set B2 of the analysis)
+// are excluded; Lemma 4 bounds the mass they can hide.
+func (s *Summary) queryLevel(lv *level, c uint64) sketch.Sketch {
+	out := s.maker.New()
+	var inside func(b *bucket)
+	inside = func(b *bucket) {
+		if b == nil {
+			return
+		}
+		if b.sk != nil {
+			// Same-maker merges cannot fail.
+			_ = out.Merge(b.sk)
+		} else {
+			// A virgin level's root: its contents are the shared
+			// whole-stream sketch.
+			_ = out.Merge(s.shared)
+		}
+		inside(b.left)
+		inside(b.right)
+	}
+	var walk func(b *bucket)
+	walk = func(b *bucket) {
+		if b == nil || !b.iv.Intersects(c) {
+			return
+		}
+		if b.iv.Within(c) {
+			inside(b)
+			return
+		}
+		walk(b.left)
+		walk(b.right)
+	}
+	walk(lv.root)
+	return out
+}
+
+// Space returns the stored size in counters/tuples — the space metric of
+// the paper's figures.
+func (s *Summary) Space() int64 {
+	total := int64(s.shared.Size()) // one shared sketch for virgin levels
+	for _, b := range s.s0.buckets {
+		total += int64(b.sk.Size()) + 1
+	}
+	for i := 1; i <= s.lmax; i++ {
+		total += levelSpace(s.levels[i].root)
+	}
+	return total
+}
+
+func levelSpace(b *bucket) int64 {
+	if b == nil {
+		return 0
+	}
+	var own int64 = 2
+	if b.sk != nil {
+		own += int64(b.sk.Size())
+	}
+	return own + levelSpace(b.left) + levelSpace(b.right)
+}
+
+// Buckets returns the number of stored buckets across all levels.
+func (s *Summary) Buckets() int {
+	n := len(s.s0.buckets)
+	for i := 1; i <= s.lmax; i++ {
+		n += s.levels[i].count
+	}
+	return n
+}
+
+// Watermark returns Y_ℓ for diagnostics; level 0 is the singleton level.
+func (s *Summary) Watermark(level int) uint64 {
+	if level == 0 {
+		return s.s0.y
+	}
+	return s.levels[level].y
+}
+
+// Tuple is one stream element for batched insertion.
+type Tuple struct {
+	X, Y uint64
+	W    int64
+}
+
+// AddBatch inserts a batch of tuples sorted by ascending y, the amortized
+// update path of Lemma 9: sorted arrivals make consecutive insertions hit
+// the same leaf, served by the per-level leaf cache. The batch is sorted
+// in place.
+func (s *Summary) AddBatch(batch []Tuple) error {
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Y < batch[j].Y })
+	for _, t := range batch {
+		w := t.W
+		if w == 0 {
+			w = 1
+		}
+		if err := s.AddWeighted(t.X, t.Y, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heapPushU64 pushes y onto the max-heap h.
+func heapPushU64(h *[]uint64, y uint64) {
+	*h = append(*h, y)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] >= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+// heapPopU64 pops the maximum from h.
+func heapPopU64(h *[]uint64) uint64 {
+	top := (*h)[0]
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	*h = (*h)[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && (*h)[l] > (*h)[big] {
+			big = l
+		}
+		if r < n && (*h)[r] > (*h)[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		(*h)[i], (*h)[big] = (*h)[big], (*h)[i]
+		i = big
+	}
+	return top
+}

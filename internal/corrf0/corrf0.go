@@ -1,0 +1,385 @@
+// Package corrf0 implements the paper's Section 3.2: correlated estimation
+// of the number of distinct elements, |{x | (x,y) ∈ S ∧ y <= c}| with c
+// given at query time.
+//
+// The structure adapts the distinct-sampling algorithm of Gibbons and
+// Tirthapura: levels j = 0..L sample item x into level j when the shared
+// hash of x has at least j leading zeros (probability 2^-j). Where the
+// sliding-window original keeps a FIFO of recent items per level, the
+// correlated version keeps, per level, the α sampled identifiers with the
+// smallest y values — a priority queue on y — and a watermark Y_j recording
+// the smallest y it has ever dropped. A query with cutoff c is served from
+// the shallowest level whose watermark exceeds c (so the level provably
+// retains every sampled identifier with y <= c): the number of retained
+// identifiers with min-y <= c, scaled by 2^j, estimates the distinct count.
+//
+// Per sampled identifier the structure keeps its two smallest occurrence
+// y values. The second one powers the rarity estimator of Section 3.3: an
+// identifier occurs exactly once among tuples with y <= c iff its smallest
+// occurrence is <= c and its second-smallest is > c.
+package corrf0
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// ErrNoLevel is returned when no level can serve the cutoff; with properly
+// sized levels this happens with probability at most delta.
+var ErrNoLevel = errors.New("corrf0: no level can answer the query")
+
+const noWatermark = math.MaxUint64
+
+// Config parameterizes the correlated F0 summary.
+type Config struct {
+	// Eps is the target relative error.
+	Eps float64
+	// Delta is the failure probability.
+	Delta float64
+	// XDomain bounds the item identifiers (m in the paper); the level
+	// count is log2(XDomain)+1, which is why small-domain streams such
+	// as the Ethernet trace need far less space (Figure 6).
+	XDomain uint64
+	// Alpha overrides the per-level sample capacity; 0 derives
+	// ceil(2/Eps²), the constant matching the space the paper reports.
+	Alpha int
+	// Reps is the number of independent repetitions whose median is
+	// reported; 0 derives an odd count from Delta.
+	Reps int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Summary is the correlated distinct-count summary.
+type Summary struct {
+	cfg   Config
+	alpha int
+	reps  []*rep
+	n     uint64
+}
+
+type rep struct {
+	h      *hash.Tab64
+	levels []lvl
+}
+
+type lvl struct {
+	items map[uint64]*entry
+	pq    entryHeap // max-heap on y1
+	y     uint64    // watermark Y_j
+}
+
+type entry struct {
+	x      uint64
+	y1, y2 uint64 // two smallest occurrence y values (y2 == noWatermark if none)
+	idx    int    // heap index
+}
+
+// New builds a Summary.
+func New(cfg Config) (*Summary, error) {
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, errors.New("corrf0: Eps must be in (0,1)")
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, errors.New("corrf0: Delta must be in (0,1)")
+	}
+	if cfg.XDomain < 2 {
+		return nil, errors.New("corrf0: XDomain must be at least 2")
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = int(math.Ceil(2 / (cfg.Eps * cfg.Eps)))
+		if cfg.Alpha < 64 {
+			cfg.Alpha = 64
+		}
+	}
+	if cfg.Reps == 0 {
+		r := int(math.Ceil(math.Log2(1 / cfg.Delta)))
+		if r < 1 {
+			r = 1
+		}
+		if r > 7 {
+			r = 7
+		}
+		if r%2 == 0 {
+			r++
+		}
+		cfg.Reps = r
+	}
+	levels := 1
+	for p := uint64(1); p < cfg.XDomain; p <<= 1 {
+		levels++
+	}
+	rng := hash.New(cfg.Seed)
+	s := &Summary{cfg: cfg, alpha: cfg.Alpha}
+	for i := 0; i < cfg.Reps; i++ {
+		r := &rep{h: hash.NewTab64(rng), levels: make([]lvl, levels)}
+		for j := range r.levels {
+			r.levels[j] = lvl{items: make(map[uint64]*entry), y: noWatermark}
+		}
+		s.reps = append(s.reps, r)
+	}
+	return s, nil
+}
+
+// Config returns the normalized configuration.
+func (s *Summary) Config() Config { return s.cfg }
+
+// Count returns the number of tuples inserted.
+func (s *Summary) Count() uint64 { return s.n }
+
+// Add inserts the tuple (x, y).
+func (s *Summary) Add(x, y uint64) {
+	s.n++
+	for _, r := range s.reps {
+		deepest := r.h.Level(x)
+		if deepest >= len(r.levels) {
+			deepest = len(r.levels) - 1
+		}
+		for j := 0; j <= deepest; j++ {
+			s.addLevel(&r.levels[j], x, y)
+		}
+	}
+}
+
+func (s *Summary) addLevel(l *lvl, x, y uint64) {
+	if e, ok := l.items[x]; ok {
+		switch {
+		case y < e.y1:
+			e.y2 = e.y1
+			e.y1 = y
+			heap.Fix(&l.pq, e.idx)
+		case y < e.y2:
+			e.y2 = y
+		}
+		return
+	}
+	if len(l.items) < s.alpha {
+		e := &entry{x: x, y1: y, y2: noWatermark}
+		l.items[x] = e
+		heap.Push(&l.pq, e)
+		return
+	}
+	// Capacity reached: keep the alpha identifiers with the smallest
+	// min-y. Whether the newcomer displaces the current maximum or is
+	// itself rejected, information at or above some y is lost, and the
+	// watermark must record it.
+	top := l.pq[0]
+	if y >= top.y1 {
+		if y < l.y {
+			l.y = y
+		}
+		return
+	}
+	delete(l.items, top.x)
+	if top.y1 < l.y {
+		l.y = top.y1
+	}
+	e := &entry{x: x, y1: y, y2: noWatermark}
+	l.items[x] = e
+	l.pq[0] = e
+	e.idx = 0
+	heap.Fix(&l.pq, 0)
+}
+
+// Query estimates the number of distinct x among tuples with y <= c.
+func (s *Summary) Query(c uint64) (float64, error) {
+	ests := make([]float64, 0, len(s.reps))
+	for _, r := range s.reps {
+		if v, ok := r.query(c); ok {
+			ests = append(ests, v)
+		}
+	}
+	if len(ests) == 0 {
+		return 0, ErrNoLevel
+	}
+	return median(ests), nil
+}
+
+func (r *rep) query(c uint64) (float64, bool) {
+	for j := range r.levels {
+		l := &r.levels[j]
+		if l.y <= c {
+			continue
+		}
+		count := 0
+		for _, e := range l.items {
+			if e.y1 <= c {
+				count++
+			}
+		}
+		return float64(count) * math.Ldexp(1, j), true
+	}
+	return 0, false
+}
+
+// Rarity estimates the fraction of distinct identifiers occurring exactly
+// once among tuples with y <= c (Section 3.3).
+func (s *Summary) Rarity(c uint64) (float64, error) {
+	ests := make([]float64, 0, len(s.reps))
+	for _, r := range s.reps {
+		if v, ok := r.rarity(c); ok {
+			ests = append(ests, v)
+		}
+	}
+	if len(ests) == 0 {
+		return 0, ErrNoLevel
+	}
+	return median(ests), nil
+}
+
+func (r *rep) rarity(c uint64) (float64, bool) {
+	for j := range r.levels {
+		l := &r.levels[j]
+		if l.y <= c {
+			continue
+		}
+		ones, denom := 0, 0
+		for _, e := range l.items {
+			if e.y1 <= c {
+				denom++
+				if e.y2 > c {
+					ones++
+				}
+			}
+		}
+		if denom == 0 {
+			return 0, true
+		}
+		return float64(ones) / float64(denom), true
+	}
+	return 0, false
+}
+
+// Merge folds other — a summary built with the *same Config including
+// Seed*, over a different substream — into the receiver, yielding the
+// summary of the union. Distinct sampling is order- and partition-
+// oblivious (the sample is a pure function of which (x, y) pairs were
+// seen), so merging keeps the per-level guarantee: retain the alpha
+// sampled identifiers with the smallest min-y, and a watermark at the
+// smallest y either side has ever dropped. This is the distributed-streams
+// use the Gibbons–Tirthapura structure was designed for.
+func (s *Summary) Merge(other *Summary) error {
+	if other == nil || len(other.reps) != len(s.reps) ||
+		other.alpha != s.alpha || other.cfg.Seed != s.cfg.Seed ||
+		len(other.reps[0].levels) != len(s.reps[0].levels) {
+		return errors.New("corrf0: cannot merge summaries with different configurations")
+	}
+	s.n += other.n
+	for ri, r := range s.reps {
+		or := other.reps[ri]
+		for j := range r.levels {
+			l, ol := &r.levels[j], &or.levels[j]
+			if ol.y < l.y {
+				l.y = ol.y
+			}
+			for _, e := range ol.items {
+				s.mergeEntry(l, e)
+			}
+		}
+	}
+	return nil
+}
+
+// mergeEntry folds a sampled entry into level l, combining the two
+// smallest occurrence values when the identifier is present on both sides.
+func (s *Summary) mergeEntry(l *lvl, e *entry) {
+	if cur, ok := l.items[e.x]; ok {
+		// Merge the two (y1, y2) pairs into the joint two smallest.
+		ys := [4]uint64{cur.y1, cur.y2, e.y1, e.y2}
+		y1, y2 := uint64(noWatermark), uint64(noWatermark)
+		for _, y := range ys {
+			switch {
+			case y < y1:
+				y2 = y1
+				y1 = y
+			case y < y2:
+				y2 = y
+			}
+		}
+		if y1 < cur.y1 {
+			cur.y1 = y1
+			heap.Fix(&l.pq, cur.idx)
+		}
+		cur.y2 = y2
+		return
+	}
+	if len(l.items) < s.alpha {
+		ne := &entry{x: e.x, y1: e.y1, y2: e.y2}
+		l.items[e.x] = ne
+		heap.Push(&l.pq, ne)
+		return
+	}
+	top := l.pq[0]
+	if e.y1 >= top.y1 {
+		if e.y1 < l.y {
+			l.y = e.y1
+		}
+		return
+	}
+	delete(l.items, top.x)
+	if top.y1 < l.y {
+		l.y = top.y1
+	}
+	ne := &entry{x: e.x, y1: e.y1, y2: e.y2}
+	l.items[e.x] = ne
+	l.pq[0] = ne
+	ne.idx = 0
+	heap.Fix(&l.pq, 0)
+}
+
+// Space returns the number of stored sample tuples across all levels and
+// repetitions — the space metric of Figures 6 and 7.
+func (s *Summary) Space() int64 {
+	var total int64
+	for _, r := range s.reps {
+		for j := range r.levels {
+			total += int64(len(r.levels[j].items))
+		}
+	}
+	return total
+}
+
+// Levels returns the number of sampling levels per repetition.
+func (s *Summary) Levels() int { return len(s.reps[0].levels) }
+
+// Watermark returns Y_j of the first repetition, for diagnostics.
+func (s *Summary) Watermark(j int) uint64 { return s.reps[0].levels[j].y }
+
+func median(vs []float64) float64 {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// entryHeap is a max-heap of entries ordered by y1.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int           { return len(h) }
+func (h entryHeap) Less(i, j int) bool { return h[i].y1 > h[j].y1 }
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *entryHeap) Push(v interface{}) {
+	e := v.(*entry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,362 @@
+package corrf0
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+func mustNew(t *testing.T, cfg Config) *Summary {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Eps: 0, Delta: 0.1, XDomain: 100},
+		{Eps: 0.1, Delta: 0, XDomain: 100},
+		{Eps: 0.1, Delta: 0.1, XDomain: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestLevelsTrackDomain(t *testing.T) {
+	small := mustNew(t, Config{Eps: 0.1, Delta: 0.1, XDomain: 2048, Seed: 1})
+	big := mustNew(t, Config{Eps: 0.1, Delta: 0.1, XDomain: 1 << 20, Seed: 1})
+	if small.Levels() >= big.Levels() {
+		t.Fatalf("levels: small domain %d, big domain %d", small.Levels(), big.Levels())
+	}
+	if small.Levels() != 12 {
+		t.Fatalf("levels for domain 2048 = %d, want 12", small.Levels())
+	}
+}
+
+// TestExactWhenSmall: with fewer distinct items than alpha, level 0 is a
+// complete sample and answers are exact.
+func TestExactWhenSmall(t *testing.T) {
+	s := mustNew(t, Config{Eps: 0.2, Delta: 0.1, XDomain: 1 << 16, Reps: 1, Seed: 2})
+	// 20 distinct items, each at two y values.
+	for x := uint64(0); x < 20; x++ {
+		s.Add(x, x*10)
+		s.Add(x, x*10+5)
+	}
+	for _, c := range []uint64{0, 45, 95, 200} {
+		got, err := s.Query(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(c/10 + 1)
+		if c >= 190 {
+			want = 20
+		}
+		if got != want {
+			t.Fatalf("F0(y<=%d) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestAccuracyUniform(t *testing.T) {
+	const n = 500000
+	const xdom = 1 << 20
+	const ymax = 1 << 20
+	const eps = 0.1
+	s := mustNew(t, Config{Eps: eps, Delta: 0.1, XDomain: xdom, Reps: 5, Seed: 3})
+	rng := hash.New(7)
+	type tup struct{ x, y uint64 }
+	tuples := make([]tup, n)
+	for i := range tuples {
+		tuples[i] = tup{rng.Uint64n(xdom), rng.Uint64n(ymax)}
+		s.Add(tuples[i].x, tuples[i].y)
+	}
+	exact := func(c uint64) float64 {
+		seen := map[uint64]struct{}{}
+		for _, tp := range tuples {
+			if tp.y <= c {
+				seen[tp.x] = struct{}{}
+			}
+		}
+		return float64(len(seen))
+	}
+	bad := 0
+	cuts := []uint64{1 << 14, 1 << 16, 1 << 18, 1 << 19, ymax - 1}
+	for _, c := range cuts {
+		got, err := s.Query(c)
+		if err != nil {
+			t.Fatalf("query %d: %v", c, err)
+		}
+		want := exact(c)
+		if rel := math.Abs(got-want) / want; rel > eps {
+			t.Logf("F0(y<=%d) = %v, want %v, rel %v", c, got, want, rel)
+			bad++
+		}
+	}
+	if bad > 1 {
+		t.Fatalf("%d of %d cutoffs exceeded eps", bad, len(cuts))
+	}
+}
+
+// TestAccuracySkewedItems: heavy repetition of few items must not distort
+// distinct counting.
+func TestAccuracySkewedItems(t *testing.T) {
+	const eps = 0.15
+	s := mustNew(t, Config{Eps: eps, Delta: 0.1, XDomain: 1 << 16, Reps: 5, Seed: 4})
+	rng := hash.New(11)
+	// 1000 distinct items; item i appears ~i times, y uniform.
+	distinct := uint64(1000)
+	for x := uint64(0); x < distinct; x++ {
+		reps := int(x%50) + 1
+		for r := 0; r < reps; r++ {
+			s.Add(x, rng.Uint64n(1<<16))
+		}
+	}
+	got, err := s.Query(1<<16 - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-float64(distinct)) / float64(distinct); rel > eps {
+		t.Fatalf("F0 = %v, want %d (rel %v)", got, distinct, rel)
+	}
+}
+
+func TestWatermarkMonotoneAndQueriesRoute(t *testing.T) {
+	s := mustNew(t, Config{Eps: 0.3, Delta: 0.2, XDomain: 1 << 20, Alpha: 64, Reps: 1, Seed: 5})
+	rng := hash.New(13)
+	for i := 0; i < 200000; i++ {
+		s.Add(rng.Uint64n(1<<20), rng.Uint64n(1<<20))
+	}
+	if s.Watermark(0) == noWatermark {
+		t.Fatal("level 0 never evicted with tiny alpha")
+	}
+	// Watermarks should (weakly) increase with level: deeper levels see
+	// fewer items and evict later.
+	for j := 1; j < s.Levels(); j++ {
+		if s.Watermark(j) < s.Watermark(j-1)/1024 {
+			t.Fatalf("watermark dropped sharply: Y_%d=%d, Y_%d=%d",
+				j-1, s.Watermark(j-1), j, s.Watermark(j))
+		}
+	}
+	if _, err := s.Query(1<<20 - 1); err != nil {
+		t.Fatalf("large-c query failed: %v", err)
+	}
+}
+
+func TestRarityExactSmall(t *testing.T) {
+	s := mustNew(t, Config{Eps: 0.2, Delta: 0.1, XDomain: 1 << 16, Reps: 1, Seed: 6})
+	// Items 0..9 appear once at y=10..19; items 10..14 appear twice with
+	// both occurrences at y <= 25.
+	for x := uint64(0); x < 10; x++ {
+		s.Add(x, 10+x)
+	}
+	for x := uint64(10); x < 15; x++ {
+		s.Add(x, 20)
+		s.Add(x, 25)
+	}
+	got, err := s.Rarity(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10.0 / 15.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rarity = %v, want %v", got, want)
+	}
+	// With cutoff 20, the doubles' second occurrence (y=25) is excluded,
+	// so every selected item is rare.
+	got, err = s.Rarity(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.0 {
+		t.Fatalf("rarity(y<=20) = %v, want 1", got)
+	}
+}
+
+func TestRarityLargeStream(t *testing.T) {
+	s := mustNew(t, Config{Eps: 0.1, Delta: 0.1, XDomain: 1 << 20, Reps: 5, Seed: 7})
+	rng := hash.New(17)
+	// 40000 singletons, 10000 doubletons, all y < 2^19.
+	x := uint64(0)
+	for ; x < 40000; x++ {
+		s.Add(x, rng.Uint64n(1<<19))
+	}
+	for ; x < 50000; x++ {
+		s.Add(x, rng.Uint64n(1<<19))
+		s.Add(x, rng.Uint64n(1<<19))
+	}
+	got, err := s.Rarity(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.8) > 0.05 {
+		t.Fatalf("rarity = %v, want ~0.8", got)
+	}
+}
+
+// TestReinsertionAfterEviction: an identifier evicted at a level must be
+// readmitted when it reappears with a smaller y, and queries below the
+// watermark stay correct.
+func TestReinsertionAfterEviction(t *testing.T) {
+	s := mustNew(t, Config{Eps: 0.3, Delta: 0.2, XDomain: 1 << 10, Alpha: 8, Reps: 1, Seed: 8})
+	// Fill level 0 with ys 100..115 (alpha 8 evicts the largest).
+	for x := uint64(0); x < 16; x++ {
+		s.Add(x, 100+x)
+	}
+	// Identifier 15 (possibly evicted) reappears with tiny y.
+	s.Add(15, 1)
+	got, err := s.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("F0(y<=1) = %v, want 1", got)
+	}
+}
+
+func TestSpaceGrowsWithPrecision(t *testing.T) {
+	mk := func(eps float64) int64 {
+		s := mustNew(t, Config{Eps: eps, Delta: 0.1, XDomain: 1 << 20, Reps: 1, Seed: 9})
+		rng := hash.New(19)
+		for i := 0; i < 100000; i++ {
+			s.Add(rng.Uint64n(1<<20), rng.Uint64n(1<<20))
+		}
+		return s.Space()
+	}
+	coarse, fine := mk(0.3), mk(0.05)
+	if fine <= coarse {
+		t.Fatalf("space at eps=0.05 (%d) not larger than at eps=0.3 (%d)", fine, coarse)
+	}
+}
+
+func TestSpaceSmallerForSmallDomain(t *testing.T) {
+	run := func(xdom uint64) int64 {
+		s := mustNew(t, Config{Eps: 0.1, Delta: 0.1, XDomain: xdom, Reps: 1, Seed: 10})
+		rng := hash.New(23)
+		for i := 0; i < 200000; i++ {
+			s.Add(rng.Uint64n(xdom), rng.Uint64n(1<<20))
+		}
+		return s.Space()
+	}
+	eth, uni := run(2048), run(1<<20)
+	if eth*2 >= uni {
+		t.Fatalf("small-domain space %d not well below large-domain %d", eth, uni)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		s := mustNew(t, Config{Eps: 0.1, Delta: 0.1, XDomain: 1 << 16, Seed: 42})
+		rng := hash.New(29)
+		for i := 0; i < 50000; i++ {
+			s.Add(rng.Uint64n(1<<16), rng.Uint64n(1<<16))
+		}
+		v, err := s.Query(1 << 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed gave %v then %v", a, b)
+	}
+}
+
+func TestCountTracksInsertions(t *testing.T) {
+	s := mustNew(t, Config{Eps: 0.2, Delta: 0.1, XDomain: 256, Seed: 11})
+	for i := 0; i < 123; i++ {
+		s.Add(uint64(i), uint64(i))
+	}
+	if s.Count() != 123 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+// TestMergeEqualsWholeStream: a merged pair of summaries over disjoint
+// substreams must behave exactly like one summary over the whole stream
+// (distinct sampling is partition-oblivious).
+func TestMergeEqualsWholeStream(t *testing.T) {
+	cfg := Config{Eps: 0.1, Delta: 0.1, XDomain: 1 << 16, Reps: 3, Seed: 77}
+	whole := mustNew(t, cfg)
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	rng := hash.New(79)
+	for i := 0; i < 100000; i++ {
+		x, y := rng.Uint64n(1<<16), rng.Uint64n(1<<16)
+		whole.Add(x, y)
+		if i%2 == 0 {
+			a.Add(x, y)
+		} else {
+			b.Add(x, y)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != whole.Count() {
+		t.Fatalf("count %d, want %d", a.Count(), whole.Count())
+	}
+	for _, c := range []uint64{1 << 10, 1 << 13, 1 << 15, 1<<16 - 1} {
+		// Merged watermark may be lower than whole-stream (eviction
+		// happened on smaller substreams), so answers can come from
+		// different levels; both must be accurate, not identical.
+		wa, err1 := whole.Query(c)
+		ma, err2 := a.Query(c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("c=%d: %v %v", c, err1, err2)
+		}
+		if math.Abs(wa-ma) > 0.2*wa {
+			t.Fatalf("c=%d: merged %v far from whole %v", c, ma, wa)
+		}
+	}
+	// Rarity must also survive merging.
+	ra, err := a.Rarity(1 << 15)
+	if err != nil || ra < 0 || ra > 1 {
+		t.Fatalf("merged rarity %v err %v", ra, err)
+	}
+}
+
+// TestMergeOverlappingItems: the same identifier on both sides keeps its
+// joint two smallest occurrence values.
+func TestMergeOverlappingItems(t *testing.T) {
+	cfg := Config{Eps: 0.2, Delta: 0.1, XDomain: 1 << 10, Reps: 1, Seed: 81}
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	a.Add(5, 100)
+	a.Add(5, 300)
+	b.Add(5, 200)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Joint smallest two are 100 and 200: exactly one occurrence <= 150.
+	r, err := a.Rarity(150)
+	if err != nil || r != 1 {
+		t.Fatalf("rarity(150) = %v err %v, want 1", r, err)
+	}
+	r, err = a.Rarity(250)
+	if err != nil || r != 0 {
+		t.Fatalf("rarity(250) = %v err %v, want 0 (two occurrences <= 250)", r, err)
+	}
+}
+
+// TestMergeRejectsMismatched: different seeds sample differently and must
+// not merge.
+func TestMergeRejectsMismatched(t *testing.T) {
+	a := mustNew(t, Config{Eps: 0.2, Delta: 0.1, XDomain: 1 << 10, Seed: 1})
+	b := mustNew(t, Config{Eps: 0.2, Delta: 0.1, XDomain: 1 << 10, Seed: 2})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched seeds merged")
+	}
+	c := mustNew(t, Config{Eps: 0.2, Delta: 0.1, XDomain: 1 << 10, Seed: 1, Alpha: 999})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched alpha merged")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("nil merged")
+	}
+}

@@ -1,0 +1,115 @@
+package corrf0
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+)
+
+// Binary serialization. As everywhere in this library, hash functions are
+// regenerated from the configuration seed rather than serialized:
+// UnmarshalBinary must be called on a Summary built by New with the same
+// Config as the source.
+
+const marshalVersion = 1
+
+// ErrBadEncoding reports malformed or configuration-incompatible bytes.
+var ErrBadEncoding = errors.New("corrf0: bad or incompatible encoding")
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	buf := []byte{marshalVersion}
+	buf = binary.AppendUvarint(buf, s.n)
+	buf = binary.AppendUvarint(buf, uint64(len(s.reps)))
+	buf = binary.AppendUvarint(buf, uint64(len(s.reps[0].levels)))
+	for _, r := range s.reps {
+		for j := range r.levels {
+			l := &r.levels[j]
+			buf = binary.AppendUvarint(buf, l.y)
+			buf = binary.AppendUvarint(buf, uint64(len(l.items)))
+			for _, e := range l.items {
+				buf = binary.AppendUvarint(buf, e.x)
+				buf = binary.AppendUvarint(buf, e.y1)
+				buf = binary.AppendUvarint(buf, e.y2)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 || data[0] != marshalVersion {
+		return ErrBadEncoding
+	}
+	data = data[1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, ErrBadEncoding
+		}
+		data = data[n:]
+		return v, nil
+	}
+	n, err := next()
+	if err != nil {
+		return err
+	}
+	reps, err := next()
+	if err != nil {
+		return err
+	}
+	levels, err := next()
+	if err != nil {
+		return err
+	}
+	if int(reps) != len(s.reps) || int(levels) != len(s.reps[0].levels) {
+		return ErrBadEncoding
+	}
+	s.n = n
+	for _, r := range s.reps {
+		for j := range r.levels {
+			y, err := next()
+			if err != nil {
+				return err
+			}
+			cnt, err := next()
+			if err != nil {
+				return err
+			}
+			if int(cnt) > s.alpha {
+				return ErrBadEncoding
+			}
+			l := &r.levels[j]
+			l.y = y
+			l.items = make(map[uint64]*entry, cnt)
+			l.pq = l.pq[:0]
+			for i := uint64(0); i < cnt; i++ {
+				x, err := next()
+				if err != nil {
+					return err
+				}
+				y1, err := next()
+				if err != nil {
+					return err
+				}
+				y2, err := next()
+				if err != nil {
+					return err
+				}
+				if y1 > y2 {
+					return ErrBadEncoding
+				}
+				e := &entry{x: x, y1: y1, y2: y2}
+				l.items[x] = e
+				l.pq = append(l.pq, e)
+				e.idx = len(l.pq) - 1
+			}
+			heap.Init(&l.pq)
+		}
+	}
+	if len(data) != 0 {
+		return ErrBadEncoding
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package corrf0
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// TestPropertyStructureInvariants: after arbitrary streams, every level of
+// every repetition satisfies (a) capacity, (b) y1 <= y2 per entry, (c)
+// max-heap order on y1, (d) heap indices consistent, (e) map and heap
+// agree on membership.
+func TestPropertyStructureInvariants(t *testing.T) {
+	prop := func(seed uint64, alphaRaw uint8) bool {
+		alpha := 4 + int(alphaRaw%60)
+		s, err := New(Config{
+			Eps: 0.2, Delta: 0.2, XDomain: 1 << 12,
+			Alpha: alpha, Reps: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		rng := hash.New(seed ^ 0x77)
+		for i := 0; i < 20000; i++ {
+			s.Add(rng.Uint64n(1<<12), rng.Uint64n(1<<16))
+		}
+		for _, r := range s.reps {
+			for j := range r.levels {
+				l := &r.levels[j]
+				if len(l.items) > alpha {
+					return false
+				}
+				if len(l.items) != len(l.pq) {
+					return false
+				}
+				for i, e := range l.pq {
+					if e.idx != i {
+						return false
+					}
+					if e.y1 > e.y2 {
+						return false
+					}
+					if got, ok := l.items[e.x]; !ok || got != e {
+						return false
+					}
+					// Max-heap order on y1.
+					if left := 2*i + 1; left < len(l.pq) && l.pq[left].y1 > e.y1 {
+						return false
+					}
+					if right := 2*i + 2; right < len(l.pq) && l.pq[right].y1 > e.y1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExactBelowCapacity: streams with fewer distinct identifiers
+// than alpha are answered exactly at every cutoff (level 0 retains
+// everything).
+func TestPropertyExactBelowCapacity(t *testing.T) {
+	prop := func(seed uint64) bool {
+		s, err := New(Config{
+			Eps: 0.3, Delta: 0.2, XDomain: 1 << 10,
+			Alpha: 128, Reps: 1, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		rng := hash.New(seed ^ 0x99)
+		const distinct = 100 // < alpha
+		minY := make(map[uint64]uint64)
+		for i := 0; i < 3000; i++ {
+			x := rng.Uint64n(distinct)
+			y := rng.Uint64n(1 << 14)
+			s.Add(x, y)
+			if old, ok := minY[x]; !ok || y < old {
+				minY[x] = y
+			}
+		}
+		for trial := 0; trial < 5; trial++ {
+			c := rng.Uint64n(1 << 14)
+			want := 0
+			for _, y := range minY {
+				if y <= c {
+					want++
+				}
+			}
+			got, err := s.Query(c)
+			if err != nil || got != float64(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRarityInUnitInterval: rarity is always a valid fraction.
+func TestPropertyRarityInUnitInterval(t *testing.T) {
+	prop := func(seed uint64) bool {
+		s, err := New(Config{
+			Eps: 0.2, Delta: 0.2, XDomain: 1 << 12, Reps: 3, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		rng := hash.New(seed)
+		for i := 0; i < 5000; i++ {
+			s.Add(rng.Uint64n(1<<12), rng.Uint64n(1<<12))
+		}
+		for trial := 0; trial < 5; trial++ {
+			r, err := s.Rarity(rng.Uint64n(1 << 12))
+			if err != nil || r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Package dyadic provides the dyadic-interval arithmetic underlying the
+// per-level bucket trees of the paper's Section 2. The dyadic intervals
+// within [0, ymax] (ymax of the form 2^β - 1) are defined inductively:
+// [0, ymax] is dyadic, and if [a, b] is dyadic with a != b then
+// [a, (a+b-1)/2] and [(a+b+1)/2, b] are dyadic.
+package dyadic
+
+import "math/bits"
+
+// Interval is a closed integer interval [L, R].
+type Interval struct {
+	L, R uint64
+}
+
+// RoundYMax returns the smallest value of the form 2^β - 1 that is >= ymax,
+// the domain the paper assumes without loss of generality.
+func RoundYMax(ymax uint64) uint64 {
+	if ymax == 0 {
+		return 0
+	}
+	b := bits.Len64(ymax)
+	v := (uint64(1) << uint(b)) - 1
+	return v
+}
+
+// Root returns the top dyadic interval [0, ymax]. ymax must be of the form
+// 2^β - 1 (use RoundYMax).
+func Root(ymax uint64) Interval {
+	if ymax != RoundYMax(ymax) {
+		panic("dyadic: ymax must be of the form 2^b - 1")
+	}
+	return Interval{0, ymax}
+}
+
+// Contains reports whether y lies in the interval.
+func (iv Interval) Contains(y uint64) bool { return iv.L <= y && y <= iv.R }
+
+// Within reports whether the interval is fully contained in [0, c]
+// (the B1 membership test of Algorithm 3).
+func (iv Interval) Within(c uint64) bool { return iv.R <= c }
+
+// Intersects reports whether the interval meets [0, c].
+func (iv Interval) Intersects(c uint64) bool { return iv.L <= c }
+
+// Single reports whether the interval is a single point (l == r), which
+// never closes in Algorithm 2.
+func (iv Interval) Single() bool { return iv.L == iv.R }
+
+// Children returns the two dyadic halves. It panics on single-point
+// intervals.
+func (iv Interval) Children() (Interval, Interval) {
+	if iv.Single() {
+		panic("dyadic: single-point interval has no children")
+	}
+	mid := iv.L + (iv.R-iv.L)/2
+	return Interval{iv.L, mid}, Interval{mid + 1, iv.R}
+}
+
+// Width returns the number of integers in the interval.
+func (iv Interval) Width() uint64 { return iv.R - iv.L + 1 }
+
+// Depth returns the interval's depth below the root [0, ymax]: 0 for the
+// root, rising by one per halving.
+func (iv Interval) Depth(ymax uint64) int {
+	return bits.Len64(ymax+1) - bits.Len64(iv.Width())
+}

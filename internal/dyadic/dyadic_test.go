@@ -1,0 +1,120 @@
+package dyadic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundYMax(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 3},
+		{4, 7},
+		{1000000, 1<<20 - 1},
+		{1<<20 - 1, 1<<20 - 1},
+	}
+	for _, c := range cases {
+		if got := RoundYMax(c.in); got != c.want {
+			t.Errorf("RoundYMax(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRootPanicsOnBadYMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Root(6) did not panic")
+		}
+	}()
+	Root(6)
+}
+
+func TestChildrenPartition(t *testing.T) {
+	iv := Root(15)
+	l, r := iv.Children()
+	if l != (Interval{0, 7}) || r != (Interval{8, 15}) {
+		t.Fatalf("children of [0,15] = %v, %v", l, r)
+	}
+	ll, lr := l.Children()
+	if ll != (Interval{0, 3}) || lr != (Interval{4, 7}) {
+		t.Fatalf("children of [0,7] = %v, %v", ll, lr)
+	}
+}
+
+func TestChildrenPanicOnSingle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Children of single point did not panic")
+		}
+	}()
+	Interval{3, 3}.Children()
+}
+
+func TestWithinIntersects(t *testing.T) {
+	iv := Interval{4, 7}
+	if !iv.Within(7) || iv.Within(6) {
+		t.Error("Within boundary wrong")
+	}
+	if !iv.Intersects(4) || iv.Intersects(3) {
+		t.Error("Intersects boundary wrong")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	const ymax = 15
+	if d := Root(ymax).Depth(ymax); d != 0 {
+		t.Errorf("root depth = %d", d)
+	}
+	l, _ := Root(ymax).Children()
+	if d := l.Depth(ymax); d != 1 {
+		t.Errorf("child depth = %d", d)
+	}
+	if d := (Interval{5, 5}).Depth(ymax); d != 4 {
+		t.Errorf("leaf depth = %d", d)
+	}
+}
+
+// TestDyadicDecompositionProperty checks that recursively splitting the root
+// always partitions it: every y has exactly one containing interval per
+// depth.
+func TestDyadicDecompositionProperty(t *testing.T) {
+	const ymax = RoundedMax
+	f := func(yRaw uint64) bool {
+		y := yRaw % (ymax + 1)
+		iv := Root(ymax)
+		for !iv.Single() {
+			l, r := iv.Children()
+			inL, inR := l.Contains(y), r.Contains(y)
+			if inL == inR { // exactly one must contain y
+				return false
+			}
+			if inL {
+				iv = l
+			} else {
+				iv = r
+			}
+		}
+		return iv.L == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+const RoundedMax = 1<<16 - 1
+
+// TestChildrenWidthHalves verifies |child| = |parent|/2 all the way down.
+func TestChildrenWidthHalves(t *testing.T) {
+	iv := Root(1<<20 - 1)
+	want := iv.Width()
+	for !iv.Single() {
+		l, r := iv.Children()
+		if l.Width() != want/2 || r.Width() != want/2 {
+			t.Fatalf("children widths %d,%d, want %d", l.Width(), r.Width(), want/2)
+		}
+		iv = r
+		want /= 2
+	}
+}

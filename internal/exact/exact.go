@@ -1,0 +1,171 @@
+// Package exact is the "linear storage solution" the paper's experiments
+// compare against: it stores every tuple and answers any correlated
+// aggregate exactly. It is the ground truth for every accuracy experiment
+// and the space baseline the sketches are measured against.
+package exact
+
+import (
+	"math"
+	"sort"
+)
+
+// Tuple is one stream element.
+type Tuple struct {
+	X, Y uint64
+	W    int64
+}
+
+// Baseline stores the whole stream.
+type Baseline struct {
+	tuples []Tuple
+	sorted bool
+}
+
+// New returns an empty baseline.
+func New() *Baseline { return &Baseline{} }
+
+// Add inserts (x, y) with weight 1.
+func (b *Baseline) Add(x, y uint64) { b.AddWeighted(x, y, 1) }
+
+// AddWeighted inserts (x, y) with the given (possibly negative) weight.
+func (b *Baseline) AddWeighted(x, y uint64, w int64) {
+	b.tuples = append(b.tuples, Tuple{x, y, w})
+	b.sorted = false
+}
+
+// Space returns the number of stored tuples — linear in the stream, which
+// is the point of the comparison.
+func (b *Baseline) Space() int64 { return int64(len(b.tuples)) }
+
+// Count returns the number of insertions.
+func (b *Baseline) Count() uint64 { return uint64(len(b.tuples)) }
+
+func (b *Baseline) ensureSorted() {
+	if !b.sorted {
+		sort.Slice(b.tuples, func(i, j int) bool { return b.tuples[i].Y < b.tuples[j].Y })
+		b.sorted = true
+	}
+}
+
+// prefix returns the tuples with y <= c.
+func (b *Baseline) prefix(c uint64) []Tuple {
+	b.ensureSorted()
+	hi := sort.Search(len(b.tuples), func(i int) bool { return b.tuples[i].Y > c })
+	return b.tuples[:hi]
+}
+
+// freqs returns the net frequency of each identifier among tuples y <= c.
+func (b *Baseline) freqs(c uint64) map[uint64]int64 {
+	f := make(map[uint64]int64)
+	for _, t := range b.prefix(c) {
+		f[t.X] += t.W
+	}
+	return f
+}
+
+// Count1 returns F1: the total weight of tuples with y <= c.
+func (b *Baseline) Count1(c uint64) float64 {
+	var s int64
+	for _, t := range b.prefix(c) {
+		s += t.W
+	}
+	return float64(s)
+}
+
+// Sum returns the weighted sum of x values of tuples with y <= c.
+func (b *Baseline) Sum(c uint64) float64 {
+	var s float64
+	for _, t := range b.prefix(c) {
+		s += float64(t.W) * float64(t.X)
+	}
+	return s
+}
+
+// F0 returns the number of identifiers with nonzero net frequency among
+// tuples y <= c.
+func (b *Baseline) F0(c uint64) float64 {
+	n := 0
+	for _, f := range b.freqs(c) {
+		if f != 0 {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// Fk returns the k-th frequency moment sum |f_x|^k over y <= c.
+func (b *Baseline) Fk(c uint64, k float64) float64 {
+	var s float64
+	for _, f := range b.freqs(c) {
+		s += math.Pow(math.Abs(float64(f)), k)
+	}
+	return s
+}
+
+// F2 is Fk with k = 2.
+func (b *Baseline) F2(c uint64) float64 { return b.Fk(c, 2) }
+
+// F2Complement returns F2 over tuples with y >= c (the mirrored
+// predicate direction).
+func (b *Baseline) F2Complement(c uint64) float64 {
+	f := make(map[uint64]int64)
+	for _, t := range b.tuples {
+		if t.Y >= c {
+			f[t.X] += t.W
+		}
+	}
+	var s float64
+	for _, v := range f {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// HeavyHitters returns identifiers with f_x^2 >= phi * F2(c), with their
+// selected frequencies, sorted by decreasing frequency.
+func (b *Baseline) HeavyHitters(c uint64, phi float64) map[uint64]int64 {
+	freqs := b.freqs(c)
+	var f2 float64
+	for _, f := range freqs {
+		f2 += float64(f) * float64(f)
+	}
+	out := make(map[uint64]int64)
+	for x, f := range freqs {
+		if float64(f)*float64(f) >= phi*f2 {
+			out[x] = f
+		}
+	}
+	return out
+}
+
+// Rarity returns the fraction of distinct identifiers occurring exactly
+// once among tuples with y <= c.
+func (b *Baseline) Rarity(c uint64) float64 {
+	freqs := b.freqs(c)
+	if len(freqs) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, f := range freqs {
+		if f == 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(freqs))
+}
+
+// QuantileY returns the value at rank phi of the y values (exact).
+func (b *Baseline) QuantileY(phi float64) uint64 {
+	if len(b.tuples) == 0 {
+		return 0
+	}
+	b.ensureSorted()
+	idx := int(phi * float64(len(b.tuples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(b.tuples) {
+		idx = len(b.tuples) - 1
+	}
+	return b.tuples[idx].Y
+}

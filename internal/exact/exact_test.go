@@ -1,0 +1,157 @@
+package exact
+
+import (
+	"math"
+	"testing"
+)
+
+func buildSmall() *Baseline {
+	b := New()
+	// (x, y): x=1 at y 10,20; x=2 at y 10; x=3 at y 30.
+	b.Add(1, 10)
+	b.Add(1, 20)
+	b.Add(2, 10)
+	b.Add(3, 30)
+	return b
+}
+
+func TestCount1(t *testing.T) {
+	b := buildSmall()
+	cases := []struct {
+		c    uint64
+		want float64
+	}{{5, 0}, {10, 2}, {20, 3}, {30, 4}, {100, 4}}
+	for _, cs := range cases {
+		if got := b.Count1(cs.c); got != cs.want {
+			t.Errorf("Count1(%d) = %v, want %v", cs.c, got, cs.want)
+		}
+	}
+}
+
+func TestF0(t *testing.T) {
+	b := buildSmall()
+	cases := []struct {
+		c    uint64
+		want float64
+	}{{5, 0}, {10, 2}, {20, 2}, {30, 3}}
+	for _, cs := range cases {
+		if got := b.F0(cs.c); got != cs.want {
+			t.Errorf("F0(%d) = %v, want %v", cs.c, got, cs.want)
+		}
+	}
+}
+
+func TestF2AndFk(t *testing.T) {
+	b := buildSmall()
+	// y<=20: f = {1:2, 2:1} → F2 = 5, F3 = 9.
+	if got := b.F2(20); got != 5 {
+		t.Errorf("F2(20) = %v, want 5", got)
+	}
+	if got := b.Fk(20, 3); got != 9 {
+		t.Errorf("F3(20) = %v, want 9", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	b := buildSmall()
+	if got := b.Sum(10); got != 3 { // 1 + 2
+		t.Errorf("Sum(10) = %v, want 3", got)
+	}
+	if got := b.Sum(100); got != 7 { // 1+1+2+3
+		t.Errorf("Sum(100) = %v, want 7", got)
+	}
+}
+
+func TestNegativeWeights(t *testing.T) {
+	b := New()
+	b.AddWeighted(1, 10, 1)
+	b.AddWeighted(1, 20, -1)
+	// Net frequency of 1 at c=20 is zero: F0 = 0, F2 = 0.
+	if got := b.F0(20); got != 0 {
+		t.Errorf("F0 after cancel = %v, want 0", got)
+	}
+	if got := b.F2(20); got != 0 {
+		t.Errorf("F2 after cancel = %v, want 0", got)
+	}
+	// Before the deletion takes effect (c=10) frequency is 1.
+	if got := b.F2(10); got != 1 {
+		t.Errorf("F2(10) = %v, want 1", got)
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	b := New()
+	for i := 0; i < 100; i++ {
+		b.Add(7, 50)
+	}
+	for x := uint64(100); x < 110; x++ {
+		b.Add(x, 50)
+	}
+	hh := b.HeavyHitters(100, 0.5)
+	if len(hh) != 1 || hh[7] != 100 {
+		t.Fatalf("heavy hitters = %v, want {7:100}", hh)
+	}
+}
+
+func TestRarity(t *testing.T) {
+	b := New()
+	b.Add(1, 10)
+	b.Add(2, 10)
+	b.Add(2, 20)
+	if got := b.Rarity(10); got != 1.0 {
+		t.Errorf("Rarity(10) = %v, want 1", got)
+	}
+	if got := b.Rarity(20); got != 0.5 {
+		t.Errorf("Rarity(20) = %v, want 0.5", got)
+	}
+	if got := b.Rarity(5); got != 0 {
+		t.Errorf("Rarity(5) = %v, want 0", got)
+	}
+}
+
+func TestQuantileY(t *testing.T) {
+	b := New()
+	for y := uint64(0); y < 101; y++ {
+		b.Add(1, y)
+	}
+	if got := b.QuantileY(0.5); got != 50 {
+		t.Errorf("QuantileY(0.5) = %d, want 50", got)
+	}
+	if got := b.QuantileY(0); got != 0 {
+		t.Errorf("QuantileY(0) = %d, want 0", got)
+	}
+	if got := b.QuantileY(1); got != 100 {
+		t.Errorf("QuantileY(1) = %d, want 100", got)
+	}
+}
+
+func TestInterleavedAddAndQuery(t *testing.T) {
+	// Queries must stay correct when adds and queries interleave
+	// (the sort-on-demand path).
+	b := New()
+	b.Add(1, 100)
+	if b.Count1(100) != 1 {
+		t.Fatal("first query wrong")
+	}
+	b.Add(2, 50)
+	if b.Count1(60) != 1 {
+		t.Fatal("query after re-add wrong")
+	}
+	if b.Count1(100) != 2 {
+		t.Fatal("final query wrong")
+	}
+	if b.Space() != 2 || b.Count() != 2 {
+		t.Fatal("space/count wrong")
+	}
+}
+
+func TestFkFractional(t *testing.T) {
+	b := New()
+	for i := 0; i < 4; i++ {
+		b.Add(1, 10)
+	}
+	// F_{1.5} of {1:4} = 4^1.5 = 8.
+	if got := b.Fk(10, 1.5); math.Abs(got-8) > 1e-12 {
+		t.Errorf("F1.5 = %v, want 8", got)
+	}
+}

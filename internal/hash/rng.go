@@ -1,0 +1,92 @@
+// Package hash provides the seeded pseudo-randomness and universal hash
+// families used by every sketch in this repository.
+//
+// All randomness in the library flows through RNG so that experiments are
+// reproducible bit-for-bit from a single seed. The hash families implemented
+// here are the ones the paper's substrate algorithms call for: 4-universal
+// polynomial hashing over a Mersenne prime (used by the AMS/tug-of-war and
+// CountSketch sign functions, following Thorup–Zhang), and simple tabulation
+// hashing (fast 3-universal hashing used for bucketing and sub-sampling).
+package hash
+
+// SplitMix64 is a tiny, high-quality PRNG used to seed larger generators and
+// to fill hash tables. It is Sebastiano Vigna's splitmix64, which is the
+// recommended seeder for the xoshiro family.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a deterministic xoshiro256** generator. It is not safe for
+// concurrent use; each goroutine should derive its own with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG deterministically derived from seed.
+func New(seed uint64) *RNG {
+	sm := NewSplitMix64(seed)
+	r := &RNG{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// xoshiro must not be seeded with the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a pseudo-random value in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("hash: Uint64n with n == 0")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split returns a new RNG whose stream is independent of (but
+// deterministically derived from) the parent's current state.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}

@@ -1,0 +1,153 @@
+package hash
+
+import "math/bits"
+
+// mersenne61 is the Mersenne prime 2^61 - 1, the classical modulus for
+// Carter–Wegman polynomial hashing on 64-bit words.
+const mersenne61 = (uint64(1) << 61) - 1
+
+// mulmod61 computes a*b mod 2^61-1 without overflow using a 128-bit
+// intermediate product.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo, and 2^61 ≡ 1 (mod p).
+	res := (hi << 3) | (lo >> 61)
+	res += lo & mersenne61
+	if res >= mersenne61 {
+		res -= mersenne61
+	}
+	return res
+}
+
+// addmod61 computes a+b mod 2^61-1 for a, b < 2^61-1.
+func addmod61(a, b uint64) uint64 {
+	s := a + b
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// fold61 reduces an arbitrary 64-bit value into [0, 2^61-1).
+func fold61(x uint64) uint64 {
+	r := (x >> 61) + (x & mersenne61)
+	if r >= mersenne61 {
+		r -= mersenne61
+	}
+	return r
+}
+
+// FourWise is a 4-universal (4-wise independent) hash function
+// h(x) = a3*x^3 + a2*x^2 + a1*x + a0 mod 2^61-1. Four-wise independence is
+// what the AMS second-moment analysis requires of the sign function, and it
+// is the degree used by Thorup–Zhang's tabulation-based scheme.
+type FourWise struct {
+	a [4]uint64
+}
+
+// NewFourWise draws a random degree-3 polynomial from rng.
+func NewFourWise(rng *RNG) *FourWise {
+	f := &FourWise{}
+	for i := range f.a {
+		f.a[i] = rng.Uint64n(mersenne61)
+	}
+	// Force the polynomial to be non-constant so the function cannot
+	// degenerate (probability 2^-61 event, but determinism matters here).
+	if f.a[1]|f.a[2]|f.a[3] == 0 {
+		f.a[1] = 1
+	}
+	return f
+}
+
+// Hash evaluates the polynomial at x (folded into the field first) and
+// returns a value in [0, 2^61-1).
+func (f *FourWise) Hash(x uint64) uint64 {
+	v := fold61(x)
+	h := f.a[3]
+	h = addmod61(mulmod61(h, v), f.a[2])
+	h = addmod61(mulmod61(h, v), f.a[1])
+	h = addmod61(mulmod61(h, v), f.a[0])
+	return h
+}
+
+// Sign maps x to ±1 using the low bit of the 4-wise hash.
+func (f *FourWise) Sign(x uint64) int64 {
+	if f.Hash(x)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Bucket maps x to [0, w). The bias from the modulo is at most w/2^61,
+// negligible for any practical table width.
+func (f *FourWise) Bucket(x uint64, w int) int {
+	return int(f.Hash(x) % uint64(w))
+}
+
+// TwoWise is a 2-universal multiply-shift style hash over the same field:
+// h(x) = a*x + b mod 2^61-1.
+type TwoWise struct {
+	a, b uint64
+}
+
+// NewTwoWise draws a random 2-universal function from rng.
+func NewTwoWise(rng *RNG) *TwoWise {
+	a := rng.Uint64n(mersenne61-1) + 1 // a != 0
+	b := rng.Uint64n(mersenne61)
+	return &TwoWise{a: a, b: b}
+}
+
+// Hash returns a value in [0, 2^61-1).
+func (t *TwoWise) Hash(x uint64) uint64 {
+	return addmod61(mulmod61(t.a, fold61(x)), t.b)
+}
+
+// Bucket maps x to [0, w).
+func (t *TwoWise) Bucket(x uint64, w int) int {
+	return int(t.Hash(x) % uint64(w))
+}
+
+// Tab64 is simple tabulation hashing on the 8 bytes of a 64-bit key:
+// h(x) = T0[x&0xff] ^ T1[(x>>8)&0xff] ^ ... ^ T7[x>>56].
+// Simple tabulation is 3-universal and behaves far better than that in
+// practice (Pătraşcu–Thorup); it is the workhorse we use for sub-sampling
+// decisions (distinct sampling, Indyk–Woodruff levels) because a hash costs
+// eight table lookups and no multiplications.
+type Tab64 struct {
+	t [8][256]uint64
+}
+
+// NewTab64 fills the tables from rng.
+func NewTab64(rng *RNG) *Tab64 {
+	tb := &Tab64{}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 256; j++ {
+			tb.t[i][j] = rng.Uint64()
+		}
+	}
+	return tb
+}
+
+// Hash returns a uniform 64-bit hash of x.
+func (tb *Tab64) Hash(x uint64) uint64 {
+	return tb.t[0][byte(x)] ^
+		tb.t[1][byte(x>>8)] ^
+		tb.t[2][byte(x>>16)] ^
+		tb.t[3][byte(x>>24)] ^
+		tb.t[4][byte(x>>32)] ^
+		tb.t[5][byte(x>>40)] ^
+		tb.t[6][byte(x>>48)] ^
+		tb.t[7][byte(x>>56)]
+}
+
+// Unit returns the hash mapped into [0, 1), used for "h(x) <= 1/2^i"
+// distinct-sampling tests.
+func (tb *Tab64) Unit(x uint64) float64 {
+	return float64(tb.Hash(x)>>11) / (1 << 53)
+}
+
+// Level returns the number of leading zeros of the hash, i.e. the deepest
+// sub-sampling level that x belongs to: Pr[Level(x) >= j] = 2^-j.
+func (tb *Tab64) Level(x uint64) int {
+	return bits.LeadingZeros64(tb.Hash(x) | 1)
+}

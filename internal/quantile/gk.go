@@ -1,0 +1,145 @@
+// Package quantile implements the Greenwald–Khanna ε-approximate quantile
+// summary [21]. The paper's motivating drill-down scenario pairs a
+// whole-stream quantile summary over the y dimension ("find the median
+// flow size") with the correlated-aggregate sketch ("aggregate the flows
+// above the median"); this package supplies the first half.
+package quantile
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// GK is a Greenwald–Khanna summary over uint64 values. A query for
+// quantile φ returns a value whose rank is within εn of φn.
+type GK struct {
+	eps     float64
+	n       uint64
+	tuples  []gkTuple
+	pending []uint64 // buffered inserts, merged in batches
+}
+
+type gkTuple struct {
+	v     uint64
+	g     uint64 // rank(v) - rank(prev) lower-bound gap
+	delta uint64 // uncertainty
+}
+
+// New returns a GK summary with rank error εn.
+func New(eps float64) (*GK, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, errors.New("quantile: eps must be in (0,1)")
+	}
+	return &GK{eps: eps}, nil
+}
+
+// Insert adds v to the summary.
+func (g *GK) Insert(v uint64) {
+	g.pending = append(g.pending, v)
+	if len(g.pending) >= g.batchSize() {
+		g.flush()
+	}
+}
+
+func (g *GK) batchSize() int {
+	b := int(1 / (2 * g.eps))
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+// flush merges pending values into the tuple list and compresses.
+func (g *GK) flush() {
+	if len(g.pending) == 0 {
+		return
+	}
+	sort.Slice(g.pending, func(i, j int) bool { return g.pending[i] < g.pending[j] })
+	for _, v := range g.pending {
+		g.insertOne(v)
+	}
+	g.pending = g.pending[:0]
+	g.compress()
+}
+
+func (g *GK) insertOne(v uint64) {
+	g.n++
+	idx := sort.Search(len(g.tuples), func(i int) bool { return g.tuples[i].v >= v })
+	var delta uint64
+	if idx > 0 && idx < len(g.tuples) {
+		delta = uint64(math.Floor(2 * g.eps * float64(g.n)))
+		if delta > 0 {
+			delta--
+		}
+	}
+	t := gkTuple{v: v, g: 1, delta: delta}
+	g.tuples = append(g.tuples, gkTuple{})
+	copy(g.tuples[idx+1:], g.tuples[idx:])
+	g.tuples[idx] = t
+}
+
+// compress removes tuples whose bands allow merging, keeping the εn rank
+// guarantee.
+func (g *GK) compress() {
+	if len(g.tuples) < 3 {
+		return
+	}
+	thresh := uint64(math.Floor(2 * g.eps * float64(g.n)))
+	out := g.tuples[:0]
+	out = append(out, g.tuples[0])
+	for i := 1; i < len(g.tuples); i++ {
+		t := g.tuples[i]
+		last := &out[len(out)-1]
+		// Never merge into the final tuple's position prematurely;
+		// keep max element intact by skipping merge for the last.
+		if i < len(g.tuples)-1 && len(out) > 1 &&
+			last.g+t.g+t.delta <= thresh {
+			t.g += last.g
+			out[len(out)-1] = t
+		} else {
+			out = append(out, t)
+		}
+	}
+	g.tuples = out
+}
+
+// Count returns the number of inserted values.
+func (g *GK) Count() uint64 { return g.n + uint64(len(g.pending)) }
+
+// Query returns a value whose rank is within εn of phi·n. It returns an
+// error on an empty summary.
+func (g *GK) Query(phi float64) (uint64, error) {
+	g.flush()
+	if g.n == 0 {
+		return 0, errors.New("quantile: empty summary")
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := phi * float64(g.n)
+	bound := target + g.eps*float64(g.n)
+	var rmin uint64
+	for i, t := range g.tuples {
+		rmin += t.g
+		rmax := float64(rmin + t.delta)
+		if rmax >= target && rmax <= bound+1 {
+			return t.v, nil
+		}
+		if float64(rmin) > target && i > 0 {
+			return g.tuples[i-1].v, nil
+		}
+	}
+	return g.tuples[len(g.tuples)-1].v, nil
+}
+
+// Median is Query(0.5).
+func (g *GK) Median() (uint64, error) { return g.Query(0.5) }
+
+// Space returns the number of stored tuples.
+func (g *GK) Space() int {
+	return len(g.tuples) + len(g.pending)
+}

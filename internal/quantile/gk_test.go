@@ -1,0 +1,127 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5, 2} {
+		if _, err := New(eps); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+}
+
+func TestEmptyQueryErrors(t *testing.T) {
+	g, _ := New(0.01)
+	if _, err := g.Query(0.5); err == nil {
+		t.Fatal("query on empty summary did not error")
+	}
+}
+
+func checkRanks(t *testing.T, g *GK, vals []uint64, eps float64) {
+	t.Helper()
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	n := float64(len(vals))
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, err := g.Query(phi)
+		if err != nil {
+			t.Fatalf("query %v: %v", phi, err)
+		}
+		// Rank of got in the sorted data.
+		lo := sort.Search(len(vals), func(i int) bool { return vals[i] >= got })
+		hi := sort.Search(len(vals), func(i int) bool { return vals[i] > got })
+		target := phi * n
+		// Accept if any rank occupied by `got` is within 2εn.
+		if float64(hi) < target-2*eps*n || float64(lo) > target+2*eps*n {
+			t.Errorf("phi=%v: value %d has rank [%d,%d], target %v±%v",
+				phi, got, lo, hi, target, 2*eps*n)
+		}
+	}
+}
+
+func TestUniformRanks(t *testing.T) {
+	const eps = 0.01
+	g, _ := New(eps)
+	rng := hash.New(5)
+	vals := make([]uint64, 100000)
+	for i := range vals {
+		vals[i] = rng.Uint64n(1 << 30)
+		g.Insert(vals[i])
+	}
+	checkRanks(t, g, vals, eps)
+}
+
+func TestSortedInsertRanks(t *testing.T) {
+	const eps = 0.02
+	g, _ := New(eps)
+	vals := make([]uint64, 50000)
+	for i := range vals {
+		vals[i] = uint64(i)
+		g.Insert(vals[i])
+	}
+	checkRanks(t, g, vals, eps)
+}
+
+func TestReverseSortedInsertRanks(t *testing.T) {
+	const eps = 0.02
+	g, _ := New(eps)
+	vals := make([]uint64, 50000)
+	for i := range vals {
+		vals[i] = uint64(len(vals) - i)
+		g.Insert(vals[i])
+	}
+	checkRanks(t, g, vals, eps)
+}
+
+func TestSkewedRanks(t *testing.T) {
+	const eps = 0.02
+	g, _ := New(eps)
+	rng := hash.New(7)
+	vals := make([]uint64, 80000)
+	for i := range vals {
+		// Exponential-ish skew.
+		v := uint64(math.Exp(rng.Float64() * 15))
+		vals[i] = v
+		g.Insert(v)
+	}
+	checkRanks(t, g, vals, eps)
+}
+
+func TestSpaceSublinear(t *testing.T) {
+	g, _ := New(0.01)
+	rng := hash.New(9)
+	for i := 0; i < 200000; i++ {
+		g.Insert(rng.Uint64n(1 << 40))
+	}
+	if _, err := g.Median(); err != nil {
+		t.Fatal(err)
+	}
+	if sp := g.Space(); sp > 20000 {
+		t.Fatalf("GK space %d too large for eps=0.01 over 200k items", sp)
+	}
+	if g.Count() != 200000 {
+		t.Fatalf("count = %d", g.Count())
+	}
+}
+
+func TestDuplicatesHeavyValue(t *testing.T) {
+	g, _ := New(0.02)
+	for i := 0; i < 10000; i++ {
+		g.Insert(500)
+	}
+	for i := 0; i < 100; i++ {
+		g.Insert(uint64(i))
+	}
+	med, err := g.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 500 {
+		t.Fatalf("median = %d, want 500", med)
+	}
+}

@@ -1,0 +1,108 @@
+package sketch
+
+import (
+	"math"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// CountMin is the Cormode–Muthukrishnan Count-Min sketch: d rows of w
+// non-negative counters with 2-universal row hashes; a point query returns
+// the minimum counter, which overestimates the true frequency by at most
+// ||f||_1 * e/w with probability 1 - e^-d. It is used where one-sided
+// frequency estimates for strictly positive streams are preferable to
+// CountSketch's two-sided ones (the correlated sum heavy-hitter extension
+// and several tests).
+type CountMin struct {
+	maker *CountMinMaker
+	rows  [][]int64
+	total int64
+}
+
+// CountMinMaker creates CountMin sketches sharing row hashes.
+type CountMinMaker struct {
+	width, depth int
+	rowH         []*hash.TwoWise
+}
+
+// NewCountMinMaker returns a Maker for d-row, w-wide Count-Min sketches.
+func NewCountMinMaker(width, depth int, rng *hash.RNG) *CountMinMaker {
+	if width < 1 || depth < 1 {
+		panic("sketch: CountMinMaker width and depth must be >= 1")
+	}
+	m := &CountMinMaker{width: width, depth: depth}
+	for i := 0; i < depth; i++ {
+		m.rowH = append(m.rowH, hash.NewTwoWise(rng))
+	}
+	return m
+}
+
+// NewCountMinMakerError sizes the sketch for additive error eps*||f||_1
+// with failure probability gamma: w = ceil(e/eps), d = ceil(ln(1/gamma)).
+func NewCountMinMakerError(eps, gamma float64, rng *hash.RNG) *CountMinMaker {
+	if eps <= 0 || eps >= 1 {
+		panic("sketch: eps must be in (0,1)")
+	}
+	w := int(math.Ceil(math.E / eps))
+	d := int(math.Ceil(math.Log(1 / gamma)))
+	if d < 1 {
+		d = 1
+	}
+	return NewCountMinMaker(w, d, rng)
+}
+
+// Name implements Maker.
+func (m *CountMinMaker) Name() string { return "countmin" }
+
+// New implements Maker.
+func (m *CountMinMaker) New() Sketch {
+	cm := &CountMin{maker: m, rows: make([][]int64, m.depth)}
+	for i := range cm.rows {
+		cm.rows[i] = make([]int64, m.width)
+	}
+	return cm
+}
+
+// Add implements Sketch. Count-Min assumes the strict turnstile model:
+// counters never go negative for valid streams.
+func (c *CountMin) Add(x uint64, w int64) {
+	m := c.maker
+	for i := 0; i < m.depth; i++ {
+		c.rows[i][m.rowH[i].Bucket(x, m.width)] += w
+	}
+	c.total += w
+}
+
+// Estimate implements Sketch: the exact total weight ||f||_1 (F1).
+func (c *CountMin) Estimate() float64 { return float64(c.total) }
+
+// EstimateItem implements ItemEstimator: the min-counter point estimate.
+func (c *CountMin) EstimateItem(x uint64) float64 {
+	m := c.maker
+	min := int64(math.MaxInt64)
+	for i := 0; i < m.depth; i++ {
+		v := c.rows[i][m.rowH[i].Bucket(x, m.width)]
+		if v < min {
+			min = v
+		}
+	}
+	return float64(min)
+}
+
+// Merge implements Sketch by counter-wise addition.
+func (c *CountMin) Merge(other Sketch) error {
+	o, ok := other.(*CountMin)
+	if !ok || o.maker != c.maker {
+		return ErrIncompatible
+	}
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			c.rows[i][j] += o.rows[i][j]
+		}
+	}
+	c.total += o.total
+	return nil
+}
+
+// Size implements Sketch.
+func (c *CountMin) Size() int { return c.maker.width*c.maker.depth + 1 }

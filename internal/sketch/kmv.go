@@ -1,0 +1,179 @@
+package sketch
+
+import (
+	"container/heap"
+	"math"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// KMV is the k-minimum-values distinct counter: keep the k smallest hash
+// values of the identifiers seen; if the k-th smallest, normalized to
+// [0,1), is u, then (k-1)/u estimates the number of distinct identifiers.
+// KMV is order-insensitive and mergeable (union the value sets, keep the k
+// smallest), which makes it the natural whole-stream F0 black box. The
+// correlated F0 structure of Section 3.2 does NOT use this type — it needs
+// y-aware eviction and lives in internal/corrf0 — but whole-stream F0
+// queries, the drill-down example, and several tests do.
+//
+// A KMV instance runs reps independent repetitions (distinct tabulation
+// hashes) and reports the median, converting the constant failure
+// probability of a single repetition into the target δ.
+type KMV struct {
+	maker *KMVMaker
+	reps  []kmvRep
+}
+
+type kmvRep struct {
+	vals maxHeap64 // k smallest hash values, as a max-heap
+	seen map[uint64]struct{}
+}
+
+// KMVMaker creates KMV sketches sharing per-repetition hash functions.
+type KMVMaker struct {
+	k      int
+	hashes []*hash.Tab64
+}
+
+// NewKMVMaker returns a Maker for KMV sketches keeping the k smallest
+// values in each of reps repetitions.
+func NewKMVMaker(k, reps int, rng *hash.RNG) *KMVMaker {
+	if k < 2 || reps < 1 {
+		panic("sketch: KMV needs k >= 2 and reps >= 1")
+	}
+	m := &KMVMaker{k: k}
+	for i := 0; i < reps; i++ {
+		m.hashes = append(m.hashes, hash.NewTab64(rng))
+	}
+	return m
+}
+
+// NewKMVMakerError sizes the sketch for relative error eps with failure
+// probability gamma: k = ceil(24/eps²) per repetition, median over
+// O(log 1/gamma) repetitions.
+func NewKMVMakerError(eps, gamma float64, rng *hash.RNG) *KMVMaker {
+	if eps <= 0 || eps >= 1 {
+		panic("sketch: eps must be in (0,1)")
+	}
+	k := int(math.Ceil(24 / (eps * eps)))
+	r := int(math.Ceil(math.Log2(1 / gamma)))
+	if r < 1 {
+		r = 1
+	}
+	if r > 9 {
+		r = 9
+	}
+	if r%2 == 0 {
+		r++
+	}
+	return NewKMVMaker(k, r, rng)
+}
+
+// Name implements Maker.
+func (m *KMVMaker) Name() string { return "f0/kmv" }
+
+// New implements Maker.
+func (m *KMVMaker) New() Sketch {
+	k := &KMV{maker: m, reps: make([]kmvRep, len(m.hashes))}
+	for i := range k.reps {
+		k.reps[i].seen = make(map[uint64]struct{})
+	}
+	return k
+}
+
+// Add implements Sketch. Weights are ignored except for the sign check:
+// distinct counting is insertion-only.
+func (s *KMV) Add(x uint64, w int64) {
+	if w <= 0 {
+		return
+	}
+	k := s.maker.k
+	for i := range s.reps {
+		h := s.maker.hashes[i].Hash(x)
+		r := &s.reps[i]
+		if _, ok := r.seen[h]; ok {
+			continue
+		}
+		switch {
+		case len(r.vals) < k:
+			r.seen[h] = struct{}{}
+			heap.Push(&r.vals, h)
+		case h < r.vals[0]:
+			delete(r.seen, r.vals[0])
+			r.seen[h] = struct{}{}
+			r.vals[0] = h
+			heap.Fix(&r.vals, 0)
+		}
+	}
+}
+
+// Estimate implements Sketch: the median over repetitions of the KMV
+// estimator.
+func (s *KMV) Estimate() float64 {
+	ests := make([]float64, len(s.reps))
+	for i := range s.reps {
+		ests[i] = s.reps[i].estimate(s.maker.k)
+	}
+	return median(ests)
+}
+
+func (r *kmvRep) estimate(k int) float64 {
+	if len(r.vals) < k {
+		// Fewer than k distinct values: the sample is the full set.
+		return float64(len(r.vals))
+	}
+	u := (float64(r.vals[0]) + 1) / math.Pow(2, 64)
+	return float64(k-1) / u
+}
+
+// Merge implements Sketch: union the value sets, keep the k smallest.
+func (s *KMV) Merge(other Sketch) error {
+	o, ok := other.(*KMV)
+	if !ok || o.maker != s.maker {
+		return ErrIncompatible
+	}
+	k := s.maker.k
+	for i := range s.reps {
+		r := &s.reps[i]
+		for _, h := range o.reps[i].vals {
+			if _, dup := r.seen[h]; dup {
+				continue
+			}
+			switch {
+			case len(r.vals) < k:
+				r.seen[h] = struct{}{}
+				heap.Push(&r.vals, h)
+			case h < r.vals[0]:
+				delete(r.seen, r.vals[0])
+				r.seen[h] = struct{}{}
+				r.vals[0] = h
+				heap.Fix(&r.vals, 0)
+			}
+		}
+	}
+	return nil
+}
+
+// Size implements Sketch.
+func (s *KMV) Size() int {
+	n := 0
+	for i := range s.reps {
+		n += len(s.reps[i].vals)
+	}
+	return n
+}
+
+// maxHeap64 is a max-heap of uint64 values.
+type maxHeap64 []uint64
+
+func (h maxHeap64) Len() int            { return len(h) }
+func (h maxHeap64) Less(i, j int) bool  { return h[i] > h[j] }
+func (h maxHeap64) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap64) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *maxHeap64) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,114 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+func TestL1InsertOnlyAccuracy(t *testing.T) {
+	m := NewL1Maker(512, hash.New(61))
+	s := m.New()
+	// 1000 items, total weight 5000: F1 = 5000.
+	rng := hash.New(3)
+	var want float64
+	for i := 0; i < 1000; i++ {
+		w := int64(rng.Uint64n(9)) + 1
+		s.Add(rng.Uint64n(100000), w)
+		want += float64(w)
+	}
+	got := s.Estimate()
+	if rel := math.Abs(got-want) / want; rel > 0.15 {
+		t.Fatalf("L1 = %v, want %v (rel %v)", got, want, rel)
+	}
+}
+
+func TestL1Turnstile(t *testing.T) {
+	m := NewL1Maker(512, hash.New(67))
+	s := m.New()
+	// Insert items then delete some: F1 of the net weights.
+	for x := uint64(0); x < 500; x++ {
+		s.Add(x, 4)
+	}
+	for x := uint64(0); x < 250; x++ {
+		s.Add(x, -3) // net 1 for half, net 4 for the rest
+	}
+	want := 250.0*1 + 250.0*4
+	got := s.Estimate()
+	if rel := math.Abs(got-want) / want; rel > 0.15 {
+		t.Fatalf("turnstile L1 = %v, want %v (rel %v)", got, want, rel)
+	}
+}
+
+func TestL1FullCancellation(t *testing.T) {
+	m := NewL1Maker(64, hash.New(71))
+	s := m.New()
+	for x := uint64(0); x < 100; x++ {
+		s.Add(x, 7)
+		s.Add(x, -7)
+	}
+	if got := s.Estimate(); math.Abs(got) > 1e-6 {
+		t.Fatalf("cancelled L1 = %v, want ~0", got)
+	}
+}
+
+func TestL1MergeEqualsWhole(t *testing.T) {
+	m := NewL1Maker(128, hash.New(73))
+	whole, a, b := m.New(), m.New(), m.New()
+	rng := hash.New(5)
+	for i := 0; i < 5000; i++ {
+		x, w := rng.Uint64n(1000), int64(rng.Uint64n(5))-2
+		if w == 0 {
+			w = 1
+		}
+		whole.Add(x, w)
+		if i%2 == 0 {
+			a.Add(x, w)
+		} else {
+			b.Add(x, w)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Estimate()-whole.Estimate()) > 1e-9*math.Abs(whole.Estimate()) {
+		t.Fatalf("merged %v != whole %v", a.Estimate(), whole.Estimate())
+	}
+}
+
+func TestL1MergeIncompatible(t *testing.T) {
+	rng := hash.New(79)
+	a := NewL1Maker(64, rng).New()
+	b := NewL1Maker(64, rng).New()
+	if err := a.Merge(b); err != ErrIncompatible {
+		t.Fatalf("err = %v, want ErrIncompatible", err)
+	}
+	c := NewCountMaker().New()
+	if err := a.Merge(c); err != ErrIncompatible {
+		t.Fatalf("cross-type err = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestL1MakerErrorSizing(t *testing.T) {
+	fine := NewL1MakerError(0.05, 0.1, hash.New(83))
+	coarse := NewL1MakerError(0.3, 0.1, hash.New(83))
+	if fine.K() <= coarse.K() {
+		t.Fatalf("k at eps=0.05 (%d) not above k at eps=0.3 (%d)", fine.K(), coarse.K())
+	}
+	if sz := fine.New().Size(); sz != fine.K() {
+		t.Fatalf("size %d != k %d", sz, fine.K())
+	}
+}
+
+func TestL1CauchyDeterministic(t *testing.T) {
+	m1 := NewL1Maker(64, hash.New(89))
+	m2 := NewL1Maker(64, hash.New(89))
+	for j := 0; j < 10; j++ {
+		for x := uint64(0); x < 100; x++ {
+			if m1.cauchy(j, x) != m2.cauchy(j, x) {
+				t.Fatal("cauchy variates not deterministic in the seed")
+			}
+		}
+	}
+}

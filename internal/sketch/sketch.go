@@ -1,0 +1,99 @@
+// Package sketch implements the mergeable whole-stream summaries that the
+// paper's general reduction (Section 2) uses as black boxes: exact counters
+// for SUM/COUNT, the AMS/CountSketch linear sketch for F2 (with the fast
+// Thorup–Zhang row layout), Count-Min, a KMV distinct counter for F0, and an
+// Indyk–Woodruff-style level-set estimator for Fk, k > 2.
+//
+// Every sketch is created by a Maker. All sketches from one Maker share hash
+// seeds, which is what makes them composable: for disjoint substreams R1 and
+// R2, Merge(sk(R1), sk(R2)) is distributed identically to sk(R1 ∪ R2)
+// (Condition V(b) of the paper). Merging sketches from different Makers is
+// an error.
+package sketch
+
+import "errors"
+
+// ErrIncompatible is returned by Merge when the two sketches were not
+// created by the same Maker (and therefore do not share hash functions).
+var ErrIncompatible = errors.New("sketch: cannot merge sketches from different makers")
+
+// Sketch summarizes a weighted multiset of item identifiers.
+//
+// Estimate must be cheap (amortized O(rows) or better), because the core
+// data structure of Section 2 consults it on every insertion to decide when
+// a bucket crosses its 2^(ℓ+1) closing threshold.
+type Sketch interface {
+	// Add inserts w copies of item x. Sketches used with the insert-only
+	// algorithms of Sections 2–3 receive only w > 0; turnstile sketches
+	// (Section 4) also receive negative w.
+	Add(x uint64, w int64)
+
+	// Estimate returns the sketch's estimate of its aggregate over
+	// everything added so far.
+	Estimate() float64
+
+	// Merge folds other into the receiver. The two sketches must come
+	// from the same Maker.
+	Merge(other Sketch) error
+
+	// Size returns the number of stored counters/tuples, the space
+	// metric reported in the paper's experiments.
+	Size() int
+}
+
+// Maker creates sketches that share hash seeds and are therefore mergeable
+// with one another.
+type Maker interface {
+	New() Sketch
+	Name() string
+}
+
+// ItemEstimator is implemented by sketches that can estimate the frequency
+// of an individual item (CountSketch, Count-Min). The correlated heavy
+// hitters structure of Section 3.3 depends on it.
+type ItemEstimator interface {
+	// EstimateItem returns the estimated (signed) frequency of x.
+	EstimateItem(x uint64) float64
+}
+
+// CandidateTracker is implemented by sketches that track a candidate set of
+// potentially-heavy items alongside their frequency estimates.
+type CandidateTracker interface {
+	// Candidates returns the tracked item identifiers, unordered.
+	Candidates() []uint64
+}
+
+// CheapEstimator is an optional fast path: sketches whose full Estimate is
+// expensive (the Fk level-set estimator) expose a constant-time running
+// approximation good enough for bucket-closing decisions.
+type CheapEstimator interface {
+	CheapEstimate() float64
+}
+
+// CheapEstimate returns s.CheapEstimate() when available and s.Estimate()
+// otherwise.
+func CheapEstimate(s Sketch) float64 {
+	if c, ok := s.(CheapEstimator); ok {
+		return c.CheapEstimate()
+	}
+	return s.Estimate()
+}
+
+// median returns the median of vs, averaging the two middle elements for
+// even lengths. It reorders vs.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	// Insertion sort: row counts are tiny (< 16).
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}

@@ -1,0 +1,473 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// exactMoment computes sum over items of count^k.
+func exactMoment(freq map[uint64]int64, k float64) float64 {
+	s := 0.0
+	for _, c := range freq {
+		s += math.Pow(float64(c), k)
+	}
+	return s
+}
+
+// zipfStream generates n items from {0..m-1} with Zipf(alpha) frequencies.
+func zipfStream(n, m int, alpha float64, seed uint64) []uint64 {
+	rng := hash.New(seed)
+	cdf := make([]float64, m)
+	tot := 0.0
+	for i := 0; i < m; i++ {
+		tot += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = tot
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		u := rng.Float64() * tot
+		lo, hi := 0, m-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = uint64(lo)
+	}
+	return out
+}
+
+func TestCountCounter(t *testing.T) {
+	m := NewCountMaker()
+	s := m.New()
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i), 2)
+	}
+	if got := s.Estimate(); got != 200 {
+		t.Fatalf("count = %v, want 200", got)
+	}
+	if s.Size() != 1 {
+		t.Fatalf("counter size = %d, want 1", s.Size())
+	}
+}
+
+func TestSumCounter(t *testing.T) {
+	m := NewSumMaker()
+	s := m.New()
+	want := int64(0)
+	for i := int64(1); i <= 100; i++ {
+		s.Add(uint64(i), 3)
+		want += 3 * i
+	}
+	if got := s.Estimate(); got != float64(want) {
+		t.Fatalf("sum = %v, want %d", got, want)
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	m := NewCountMaker()
+	a, b := m.New(), m.New()
+	a.Add(1, 5)
+	b.Add(2, 7)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != 12 {
+		t.Fatalf("merged count = %v, want 12", a.Estimate())
+	}
+}
+
+func TestCounterMergeIncompatible(t *testing.T) {
+	a := NewCountMaker().New()
+	b := NewCountMaker().New() // counters carry no randomness: compatible
+	b.Add(1, 4)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge of two COUNT counters failed: %v", err)
+	}
+	if a.Estimate() != 4 {
+		t.Fatalf("merged count = %v, want 4", a.Estimate())
+	}
+	c := NewSumMaker().New()
+	if err := a.Merge(c); err != ErrIncompatible {
+		t.Fatalf("merge COUNT with SUM: err = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestCountSketchF2Uniform(t *testing.T) {
+	m := NewF2Maker(512, 5, hash.New(101))
+	s := m.New()
+	freq := map[uint64]int64{}
+	rng := hash.New(7)
+	for i := 0; i < 200000; i++ {
+		x := rng.Uint64n(5000)
+		s.Add(x, 1)
+		freq[x]++
+	}
+	exact := exactMoment(freq, 2)
+	got := s.Estimate()
+	if rel := math.Abs(got-exact) / exact; rel > 0.12 {
+		t.Fatalf("F2 estimate %v vs exact %v, rel err %v", got, exact, rel)
+	}
+}
+
+func TestCountSketchF2Zipf(t *testing.T) {
+	m := NewF2Maker(512, 5, hash.New(103))
+	s := m.New()
+	freq := map[uint64]int64{}
+	for _, x := range zipfStream(200000, 5000, 1.2, 11) {
+		s.Add(x, 1)
+		freq[x]++
+	}
+	exact := exactMoment(freq, 2)
+	got := s.Estimate()
+	if rel := math.Abs(got-exact) / exact; rel > 0.12 {
+		t.Fatalf("F2 estimate %v vs exact %v, rel err %v", got, exact, rel)
+	}
+}
+
+func TestCountSketchIncrementalEstimateMatchesRecompute(t *testing.T) {
+	m := NewF2Maker(64, 3, hash.New(107))
+	s := m.New().(*CountSketch)
+	rng := hash.New(9)
+	for i := 0; i < 5000; i++ {
+		s.Add(rng.Uint64n(200), int64(rng.Uint64n(3))+1)
+	}
+	for i, row := range s.rows {
+		var f2 float64
+		for _, c := range row {
+			f2 += float64(c) * float64(c)
+		}
+		if math.Abs(f2-s.rowF2[i]) > 1e-6*math.Abs(f2) {
+			t.Fatalf("row %d incremental F2 %v, recomputed %v", i, s.rowF2[i], f2)
+		}
+	}
+}
+
+func TestCountSketchNegativeWeights(t *testing.T) {
+	m := NewF2Maker(256, 5, hash.New(109))
+	s := m.New()
+	// Insert then delete everything: net frequency zero, F2 must be ~0.
+	rng := hash.New(13)
+	xs := make([]uint64, 3000)
+	for i := range xs {
+		xs[i] = rng.Uint64n(500)
+		s.Add(xs[i], 1)
+	}
+	for _, x := range xs {
+		s.Add(x, -1)
+	}
+	if got := s.Estimate(); got != 0 {
+		t.Fatalf("F2 of cancelled stream = %v, want 0", got)
+	}
+}
+
+func TestCountSketchMergeEqualsWhole(t *testing.T) {
+	m := NewF2Maker(128, 5, hash.New(113))
+	whole := m.New()
+	a, b := m.New(), m.New()
+	rng := hash.New(17)
+	for i := 0; i < 20000; i++ {
+		x := rng.Uint64n(1000)
+		whole.Add(x, 1)
+		if i%2 == 0 {
+			a.Add(x, 1)
+		} else {
+			b.Add(x, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Linear sketches with shared seeds: merge must equal the whole
+	// sketch exactly, not just approximately.
+	if a.Estimate() != whole.Estimate() {
+		t.Fatalf("merged estimate %v != whole-stream estimate %v", a.Estimate(), whole.Estimate())
+	}
+}
+
+func TestCountSketchMergeIncompatible(t *testing.T) {
+	rng := hash.New(127)
+	a := NewF2Maker(64, 3, rng).New()
+	b := NewF2Maker(64, 3, rng).New()
+	if err := a.Merge(b); err != ErrIncompatible {
+		t.Fatalf("err = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestCountSketchEstimateItem(t *testing.T) {
+	m := NewF2Maker(1024, 5, hash.New(131))
+	s := m.New().(*CountSketch)
+	// One heavy item among background noise.
+	for i := 0; i < 5000; i++ {
+		s.Add(42, 1)
+	}
+	rng := hash.New(19)
+	for i := 0; i < 20000; i++ {
+		s.Add(1000+rng.Uint64n(2000), 1)
+	}
+	got := s.EstimateItem(42)
+	if math.Abs(got-5000) > 500 {
+		t.Fatalf("EstimateItem(42) = %v, want ~5000", got)
+	}
+}
+
+func TestCountMinOverestimates(t *testing.T) {
+	m := NewCountMinMaker(256, 4, hash.New(137))
+	s := m.New().(*CountMin)
+	freq := map[uint64]int64{}
+	rng := hash.New(23)
+	for i := 0; i < 50000; i++ {
+		x := rng.Uint64n(2000)
+		s.Add(x, 1)
+		freq[x]++
+	}
+	for x, f := range freq {
+		if est := s.EstimateItem(x); est < float64(f) {
+			t.Fatalf("count-min underestimated item %d: %v < %d", x, est, f)
+		}
+	}
+	if s.Estimate() != 50000 {
+		t.Fatalf("count-min total = %v, want 50000", s.Estimate())
+	}
+}
+
+func TestCountMinAdditiveError(t *testing.T) {
+	m := NewCountMinMakerError(0.01, 0.01, hash.New(139))
+	s := m.New().(*CountMin)
+	freq := map[uint64]int64{}
+	rng := hash.New(29)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := rng.Uint64n(5000)
+		s.Add(x, 1)
+		freq[x]++
+	}
+	bad := 0
+	for x, f := range freq {
+		if s.EstimateItem(x)-float64(f) > 0.02*n {
+			bad++
+		}
+	}
+	if bad > len(freq)/50 {
+		t.Fatalf("%d of %d items exceeded the additive error bound", bad, len(freq))
+	}
+}
+
+func TestCountMinMerge(t *testing.T) {
+	m := NewCountMinMaker(128, 4, hash.New(149))
+	a, b := m.New(), m.New()
+	a.Add(7, 10)
+	b.Add(7, 5)
+	b.Add(9, 3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.(*CountMin).EstimateItem(7); got < 15 {
+		t.Fatalf("merged estimate for 7 = %v, want >= 15", got)
+	}
+	if a.Estimate() != 18 {
+		t.Fatalf("merged total = %v, want 18", a.Estimate())
+	}
+}
+
+func TestKMVExactWhenSmall(t *testing.T) {
+	m := NewKMVMaker(1024, 3, hash.New(151))
+	s := m.New()
+	for x := uint64(0); x < 500; x++ {
+		s.Add(x, 1)
+		s.Add(x, 1) // duplicates must not count
+	}
+	if got := s.Estimate(); got != 500 {
+		t.Fatalf("KMV small-set estimate = %v, want exactly 500", got)
+	}
+}
+
+func TestKMVAccuracy(t *testing.T) {
+	m := NewKMVMakerError(0.05, 0.05, hash.New(157))
+	s := m.New()
+	const distinct = 200000
+	for x := uint64(0); x < distinct; x++ {
+		s.Add(x, 1)
+	}
+	got := s.Estimate()
+	if rel := math.Abs(got-distinct) / distinct; rel > 0.05 {
+		t.Fatalf("KMV estimate %v vs %d, rel err %v", got, distinct, rel)
+	}
+}
+
+func TestKMVIgnoresNonPositiveWeights(t *testing.T) {
+	m := NewKMVMaker(64, 1, hash.New(163))
+	s := m.New()
+	s.Add(1, 0)
+	s.Add(2, -1)
+	if s.Size() != 0 {
+		t.Fatalf("KMV stored %d values from non-positive weights", s.Size())
+	}
+}
+
+func TestKMVMergeEqualsWhole(t *testing.T) {
+	m := NewKMVMakerError(0.1, 0.1, hash.New(167))
+	whole, a, b := m.New(), m.New(), m.New()
+	for x := uint64(0); x < 50000; x++ {
+		whole.Add(x, 1)
+		if x%2 == 0 {
+			a.Add(x, 1)
+		} else {
+			b.Add(x, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != whole.Estimate() {
+		t.Fatalf("KMV merge %v != whole %v", a.Estimate(), whole.Estimate())
+	}
+}
+
+func TestKMVMergeOverlapping(t *testing.T) {
+	m := NewKMVMakerError(0.1, 0.1, hash.New(173))
+	a, b := m.New(), m.New()
+	for x := uint64(0); x < 30000; x++ {
+		a.Add(x, 1)
+		b.Add(x+15000, 1) // 50% overlap; union is 45000
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Estimate()
+	if rel := math.Abs(got-45000) / 45000; rel > 0.1 {
+		t.Fatalf("KMV union estimate %v vs 45000, rel err %v", got, rel)
+	}
+}
+
+func TestFkExactOnTinyStream(t *testing.T) {
+	m := NewFkMaker(3, 16, 64, 256, 5, hash.New(179))
+	s := m.New()
+	// 10 items, each 4 times: F3 = 10 * 64 = 640. No eviction happens,
+	// so the level-0 candidate set is complete and counts are exact.
+	for x := uint64(0); x < 10; x++ {
+		for r := 0; r < 4; r++ {
+			s.Add(x, 1)
+		}
+	}
+	got := s.Estimate()
+	if math.Abs(got-640) > 64 {
+		t.Fatalf("F3 = %v, want ~640", got)
+	}
+}
+
+func TestFkZipfAccuracy(t *testing.T) {
+	// Skewed stream: F3 dominated by heavy hitters, which the candidate
+	// tracker must capture.
+	m := NewFkMaker(3, 32, 512, 2048, 5, hash.New(181))
+	s := m.New()
+	freq := map[uint64]int64{}
+	for _, x := range zipfStream(300000, 20000, 1.5, 31) {
+		s.Add(x, 1)
+		freq[x]++
+	}
+	exact := exactMoment(freq, 3)
+	got := s.Estimate()
+	if rel := math.Abs(got-exact) / exact; rel > 0.25 {
+		t.Fatalf("F3 estimate %v vs exact %v, rel err %v", got, exact, rel)
+	}
+}
+
+func TestFkUniformAccuracy(t *testing.T) {
+	// Uniform stream: Fk is all residual, exercising the
+	// Horvitz–Thompson part of the estimator.
+	m := NewFkMaker(3, 32, 1024, 2048, 5, hash.New(191))
+	s := m.New()
+	freq := map[uint64]int64{}
+	rng := hash.New(37)
+	for i := 0; i < 300000; i++ {
+		x := rng.Uint64n(30000)
+		s.Add(x, 1)
+		freq[x]++
+	}
+	exact := exactMoment(freq, 3)
+	got := s.Estimate()
+	if rel := math.Abs(got-exact) / exact; rel > 0.35 {
+		t.Fatalf("F3 estimate %v vs exact %v, rel err %v", got, exact, rel)
+	}
+}
+
+func TestFkMergeEqualsWholeDistribution(t *testing.T) {
+	m := NewFkMaker(3, 32, 256, 1024, 5, hash.New(193))
+	whole, a, b := m.New(), m.New(), m.New()
+	for i, x := range zipfStream(100000, 10000, 1.3, 41) {
+		whole.Add(x, 1)
+		if i%2 == 0 {
+			a.Add(x, 1)
+		} else {
+			b.Add(x, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	w, g := whole.Estimate(), a.Estimate()
+	if rel := math.Abs(g-w) / w; rel > 0.3 {
+		t.Fatalf("merged Fk %v deviates from whole-stream %v by %v", g, w, rel)
+	}
+}
+
+func TestFkCheapEstimateIsCheapAndSane(t *testing.T) {
+	m := NewFkMaker(3, 16, 128, 256, 3, hash.New(197))
+	s := m.New().(*Fk)
+	for x := uint64(0); x < 50; x++ {
+		s.Add(x, 1)
+	}
+	// No eviction: cheap estimate equals the exact F3 = 50.
+	if got := s.CheapEstimate(); got != 50 {
+		t.Fatalf("cheap estimate = %v, want 50", got)
+	}
+}
+
+func TestCheapEstimateHelper(t *testing.T) {
+	c := NewCountMaker().New()
+	c.Add(1, 3)
+	if got := CheapEstimate(c); got != 3 {
+		t.Fatalf("CheapEstimate fallback = %v, want 3", got)
+	}
+	fk := NewFkMaker(3, 8, 64, 64, 3, hash.New(199)).New()
+	fk.Add(1, 1)
+	if got := CheapEstimate(fk); got != 1 {
+		t.Fatalf("CheapEstimate fast path = %v, want 1", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(append([]float64(nil), c.in...)); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSketchSizes(t *testing.T) {
+	rng := hash.New(211)
+	cs := NewF2Maker(64, 3, rng).New()
+	if cs.Size() != 192 {
+		t.Errorf("CountSketch size = %d, want 192", cs.Size())
+	}
+	cm := NewCountMinMaker(64, 3, rng).New()
+	if cm.Size() != 193 {
+		t.Errorf("CountMin size = %d, want 193", cm.Size())
+	}
+}

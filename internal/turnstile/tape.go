@@ -1,0 +1,40 @@
+// Package turnstile implements the paper's Section 4: correlated
+// aggregation when stream items carry positive or negative integer
+// weights.
+//
+// In this model a single pass provably requires linear space (Theorem 6,
+// via a reduction from the GREATER-THAN communication problem), but a
+// logarithmic number of passes suffices (Theorem 7, algorithm MULTIPASS).
+// This package provides the replayable stream abstraction ("tape" — the
+// paper's motivation is data resident on a sequentially-scannable medium),
+// the MULTIPASS algorithm, and an executable form of the GREATER-THAN
+// reduction that demonstrates both sides of the pass/space tradeoff.
+package turnstile
+
+// Record is one weighted stream element (x_i, y_i, z_i).
+type Record struct {
+	X, Y uint64
+	W    int64
+}
+
+// Tape is a replayable weighted stream. MULTIPASS only ever scans it
+// sequentially, matching the storage model the paper assumes.
+type Tape struct {
+	recs []Record
+}
+
+// NewTape wraps recs (not copied) as a tape.
+func NewTape(recs []Record) *Tape { return &Tape{recs: recs} }
+
+// Scan invokes fn for every record in order: one pass.
+func (t *Tape) Scan(fn func(Record)) {
+	for _, r := range t.recs {
+		fn(r)
+	}
+}
+
+// Len returns the stream length.
+func (t *Tape) Len() int { return len(t.recs) }
+
+// Append adds records to the tape.
+func (t *Tape) Append(recs ...Record) { t.recs = append(t.recs, recs...) }

@@ -1,0 +1,348 @@
+package turnstile
+
+import (
+	"testing"
+
+	"github.com/streamagg/correlated/internal/exact"
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+func TestTapeScanOrder(t *testing.T) {
+	tape := NewTape([]Record{{1, 1, 1}, {2, 2, -1}})
+	tape.Append(Record{3, 3, 1})
+	var seen []Record
+	tape.Scan(func(r Record) { seen = append(seen, r) })
+	if len(seen) != 3 || seen[0].X != 1 || seen[2].X != 3 {
+		t.Fatalf("scan order wrong: %+v", seen)
+	}
+	if tape.Len() != 3 {
+		t.Fatalf("len = %d", tape.Len())
+	}
+}
+
+func TestMultipassConfigValidation(t *testing.T) {
+	tape := NewTape([]Record{{1, 1, 1}})
+	for _, cfg := range []MultipassConfig{
+		{Eps: 0, Delta: 0.1, YMax: 7},
+		{Eps: 0.1, Delta: 0, YMax: 7},
+		{Eps: 0.1, Delta: 0.1, YMax: 0},
+	} {
+		if _, err := RunMultipass(tape, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestMultipassInsertOnly compares MULTIPASS answers against exact
+// correlated F2 on an insert-only stream (trivially monotone prefixes).
+func TestMultipassInsertOnly(t *testing.T) {
+	const ymax = 1<<10 - 1
+	const eps = 0.25
+	rng := hash.New(3)
+	tape := &Tape{}
+	base := exact.New()
+	for i := 0; i < 30000; i++ {
+		x, y := rng.Uint64n(300), rng.Uint64n(ymax+1)
+		tape.Append(Record{x, y, 1})
+		base.Add(x, y)
+	}
+	res, err := RunMultipass(tape, MultipassConfig{Eps: eps, Delta: 0.05, YMax: ymax, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 3 {
+		t.Fatalf("suspiciously few passes: %d", res.Passes)
+	}
+	for _, tau := range []uint64{1 << 6, 1 << 8, 1 << 9, ymax} {
+		got := res.Query(tau)
+		want := base.F2(tau)
+		// Theorem 7 gives (1+eps)-approximation; the top threshold can
+		// overshoot by one more (1+eps) factor (see RunMultipass).
+		lo, hi := want/(1+eps)/(1+eps), want*(1+eps)*(1+eps)
+		if got < lo || got > hi {
+			t.Errorf("tau=%d: multipass %v, exact %v (allowed [%v, %v])", tau, got, want, lo, hi)
+		}
+	}
+}
+
+// TestMultipassWithDeletions uses deletions co-located in y with their
+// insertions, keeping prefixes monotone: for each y, 5 items inserted and
+// 2 of them deleted.
+func TestMultipassWithDeletions(t *testing.T) {
+	const ymax = 1<<8 - 1
+	const eps = 0.3
+	rng := hash.New(7)
+	tape := &Tape{}
+	base := exact.New()
+	for y := uint64(0); y <= ymax; y++ {
+		var xs []uint64
+		for k := 0; k < 5; k++ {
+			x := rng.Uint64n(100)
+			xs = append(xs, x)
+			tape.Append(Record{x, y, 1})
+			base.AddWeighted(x, y, 1)
+		}
+		for k := 0; k < 2; k++ {
+			tape.Append(Record{xs[k], y, -1})
+			base.AddWeighted(xs[k], y, -1)
+		}
+	}
+	res, err := RunMultipass(tape, MultipassConfig{Eps: eps, Delta: 0.05, YMax: ymax, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []uint64{50, 128, ymax} {
+		got := res.Query(tau)
+		want := base.F2(tau)
+		lo, hi := want/(1+eps)/(1+eps), want*(1+eps)*(1+eps)
+		if got < lo || got > hi {
+			t.Errorf("tau=%d: multipass %v, exact %v", tau, got, want)
+		}
+	}
+}
+
+func TestMultipassFullyCancelledStream(t *testing.T) {
+	tape := &Tape{}
+	for i := uint64(0); i < 100; i++ {
+		tape.Append(Record{i % 7, i % 64, 1})
+		tape.Append(Record{i % 7, i % 64, -1})
+	}
+	res, err := RunMultipass(tape, MultipassConfig{Eps: 0.2, Delta: 0.1, YMax: 63, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Query(63); got != 0 {
+		t.Fatalf("query on cancelled stream = %v, want 0", got)
+	}
+	if fp := res.FirstPositive(); fp <= 63 {
+		t.Fatalf("FirstPositive = %d, want > ymax", fp)
+	}
+}
+
+func TestMultipassPassCountLogarithmic(t *testing.T) {
+	rng := hash.New(17)
+	tape := &Tape{}
+	for i := 0; i < 5000; i++ {
+		tape.Append(Record{rng.Uint64n(50), rng.Uint64n(1 << 14), 1})
+	}
+	res, err := RunMultipass(tape, MultipassConfig{Eps: 0.3, Delta: 0.1, YMax: 1<<14 - 1, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beta = 14, passes = 1 + (beta-1) + 1 = 15.
+	if res.Passes != 15 {
+		t.Fatalf("passes = %d, want 15", res.Passes)
+	}
+	if res.Space <= 0 || res.Space > int64(tape.Len())*100 {
+		t.Fatalf("space = %d implausible", res.Space)
+	}
+}
+
+func randomBits(n int, rng *hash.RNG) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Uint64()&1 == 1
+	}
+	return out
+}
+
+func TestCompareBits(t *testing.T) {
+	a := []bool{true, false, true}
+	b := []bool{true, false, false}
+	if CompareBits(a, b) != 1 || CompareBits(b, a) != -1 || CompareBits(a, a) != 0 {
+		t.Fatal("CompareBits wrong")
+	}
+}
+
+func TestGreaterThanRandomInstances(t *testing.T) {
+	rng := hash.New(23)
+	const bits = 64
+	for trial := 0; trial < 25; trial++ {
+		a := randomBits(bits, rng)
+		b := randomBits(bits, rng)
+		res, err := SolveGreaterThan(a, b, 0.3, 0.05, 1000+uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := CompareBits(a, b); res.Comparison != want {
+			t.Fatalf("trial %d: comparison %d, want %d (firstdiff %d)",
+				trial, res.Comparison, want, res.FirstDiff)
+		}
+	}
+}
+
+func TestGreaterThanEqualInputs(t *testing.T) {
+	rng := hash.New(29)
+	a := randomBits(128, rng)
+	b := append([]bool(nil), a...)
+	res, err := SolveGreaterThan(a, b, 0.3, 0.05, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comparison != 0 {
+		t.Fatalf("equal inputs compared as %d", res.Comparison)
+	}
+}
+
+func TestGreaterThanFindsExactFirstDiff(t *testing.T) {
+	// Identical prefixes, single difference at a known deep position.
+	const bits = 256
+	a := make([]bool, bits)
+	b := make([]bool, bits)
+	for i := range a {
+		a[i] = i%3 == 0
+		b[i] = a[i]
+	}
+	b[201] = !b[201]
+	res, err := SolveGreaterThan(a, b, 0.3, 0.05, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstDiff != 201 {
+		t.Fatalf("first diff = %d, want 201", res.FirstDiff)
+	}
+	want := CompareBits(a, b)
+	if res.Comparison != want {
+		t.Fatalf("comparison %d, want %d", res.Comparison, want)
+	}
+}
+
+func TestGreaterThanValidation(t *testing.T) {
+	if _, err := SolveGreaterThan([]bool{true}, []bool{true, false}, 0.3, 0.1, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := SolveGreaterThan(nil, nil, 0.3, 0.1, 1); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+}
+
+// TestSinglePassDegradesMultipassDoesNot is the executable content of the
+// Section 4 pass/space tradeoff: on instances whose first difference sits
+// deep in a block, the single-pass strawman with budget << bits is wrong
+// about the comparison roughly half the time, while MULTIPASS is always
+// right with polylog space.
+func TestSinglePassDegradesMultipassDoesNot(t *testing.T) {
+	rng := hash.New(41)
+	const bits = 256
+	const trials = 40
+	spWrong, mpWrong := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		// Shared random prefix, difference at a random position d,
+		// random suffixes: the single-pass block summary cannot tell
+		// where in the block d falls.
+		a := randomBits(bits, rng)
+		b := append([]bool(nil), a...)
+		d := 32 + int(rng.Uint64n(bits-64))
+		b[d] = !b[d]
+		for i := d + 1; i < bits; i++ {
+			b[i] = rng.Uint64()&1 == 1
+		}
+		want := CompareBits(a, b)
+
+		sp := SinglePassGT(a, b, 8, 500+uint64(trial))
+		if sp.Comparison != want {
+			spWrong++
+		}
+		mp, err := SolveGreaterThan(a, b, 0.3, 0.05, 900+uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp.Comparison != want {
+			mpWrong++
+		}
+	}
+	if mpWrong != 0 {
+		t.Fatalf("multipass wrong on %d of %d instances", mpWrong, trials)
+	}
+	if spWrong < trials/5 {
+		t.Fatalf("single-pass strawman wrong only %d of %d — not demonstrating the lower bound", spWrong, trials)
+	}
+}
+
+func TestPaperGTStreamCancellation(t *testing.T) {
+	// a = 10, b = 01: under the paper's m=2 encoding the prefix
+	// aggregate returns to zero at tau=1 even though the strings differ
+	// — the reason the position encoding exists for binary search.
+	a := []bool{true, false}
+	b := []bool{false, true}
+	tape := PaperGTStream(a, b)
+	base := exact.New()
+	tape.Scan(func(r Record) { base.AddWeighted(r.X, r.Y, r.W) })
+	if f := base.F2(0); f != 2 {
+		t.Fatalf("f_0 = %v, want 2", f)
+	}
+	if f := base.F2(1); f != 0 {
+		t.Fatalf("f_1 = %v, want 0 (cancellation)", f)
+	}
+	// The position encoding is monotone on the same instance.
+	tape2 := PositionGTStream(a, b)
+	base2 := exact.New()
+	tape2.Scan(func(r Record) { base2.AddWeighted(r.X, r.Y, r.W) })
+	if f0, f1 := base2.F2(0), base2.F2(1); !(f0 == 2 && f1 == 4) {
+		t.Fatalf("position encoding f_0=%v f_1=%v, want 2 and 4", f0, f1)
+	}
+}
+
+func TestMultipassSpaceSublinearInYMax(t *testing.T) {
+	// Space should grow polylog with ymax, not linearly.
+	run := func(ymax uint64) int64 {
+		rng := hash.New(43)
+		tape := &Tape{}
+		for i := 0; i < 2000; i++ {
+			tape.Append(Record{rng.Uint64n(100), rng.Uint64n(ymax + 1), 1})
+		}
+		res, err := RunMultipass(tape, MultipassConfig{Eps: 0.3, Delta: 0.1, YMax: ymax, Seed: 47})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Space
+	}
+	small, big := run(1<<8-1), run(1<<16-1)
+	if big > small*8 {
+		t.Fatalf("space grew from %d to %d over a 256x ymax increase", small, big)
+	}
+}
+
+// TestMultipassF1 runs MULTIPASS with the Cauchy L1 estimator: correlated
+// first moment of net weights on a turnstile stream.
+func TestMultipassF1(t *testing.T) {
+	const ymax = 1<<8 - 1
+	const eps = 0.3
+	rng := hash.New(53)
+	tape := &Tape{}
+	base := exact.New()
+	for y := uint64(0); y <= ymax; y++ {
+		for k := 0; k < 4; k++ {
+			x := rng.Uint64n(200)
+			tape.Append(Record{x, y, 2})
+			base.AddWeighted(x, y, 2)
+		}
+		// Co-located deletion keeps prefixes monotone.
+		x := rng.Uint64n(200)
+		tape.Append(Record{x, y, -1})
+		base.AddWeighted(x, y, -1)
+	}
+	res, err := RunMultipass(tape, MultipassConfig{
+		Eps: eps, Delta: 0.05, YMax: ymax, F: MultipassF1, Seed: 59,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []uint64{63, 127, ymax} {
+		got := res.Query(tau)
+		want := base.Fk(tau, 1)
+		lo, hi := want/(1+eps)/(1+eps), want*(1+eps)*(1+eps)
+		if got < lo || got > hi {
+			t.Errorf("tau=%d: F1 multipass %v, exact %v (allowed [%v, %v])", tau, got, want, lo, hi)
+		}
+	}
+}
+
+// TestMultipassUnknownF rejects invalid aggregate selectors.
+func TestMultipassUnknownF(t *testing.T) {
+	tape := NewTape([]Record{{1, 1, 1}})
+	_, err := RunMultipass(tape, MultipassConfig{Eps: 0.2, Delta: 0.1, YMax: 7, F: MultipassF(99)})
+	if err == nil {
+		t.Fatal("unknown F accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Package window reduces sliding-window aggregation over asynchronous
+// (out-of-order) streams to correlated aggregation, the correspondence the
+// paper's Section 1.1 inherits from Xu–Tirthapura–Busch: an element with
+// timestamp t is stored at y = horizon − t, so "aggregate the items with
+// t >= T − W" — a sliding window of width W queried at time T — becomes
+// the correlated predicate y <= horizon − (T − W). Because the reduction
+// is timestamp-order oblivious, late arrivals need no special handling.
+package window
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/streamagg/correlated/internal/core"
+	"github.com/streamagg/correlated/internal/corrf0"
+)
+
+// Window answers sliding-window aggregate queries over an asynchronous
+// stream, backed by a correlated-aggregate summary.
+type Window struct {
+	sum     *core.Summary
+	horizon uint64
+}
+
+// New builds a sliding-window summary for agg over timestamps in
+// [0, horizon]. cfg.YMax is overridden by horizon.
+func New(agg core.Aggregate, cfg core.Config, horizon uint64) (*Window, error) {
+	if horizon == 0 {
+		return nil, errors.New("window: horizon must be positive")
+	}
+	cfg.YMax = horizon
+	s, err := core.NewSummary(agg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{sum: s, horizon: horizon}, nil
+}
+
+// Add records item x observed with timestamp ts (arrival order free).
+func (w *Window) Add(x, ts uint64) error {
+	if ts > w.horizon {
+		return fmt.Errorf("window: timestamp %d exceeds horizon %d", ts, w.horizon)
+	}
+	return w.sum.Add(x, w.horizon-ts)
+}
+
+// Query estimates the aggregate over items with timestamps in
+// [now−width+1, now] — the width most recent time units as of now.
+//
+// As in the asynchronous sliding-window literature, queries are anchored
+// at the present: now must be at least every observed timestamp
+// (asynchrony means items arrive late, never from the future). Items with
+// timestamps above now are not excluded by the reduction.
+func (w *Window) Query(now, width uint64) (float64, error) {
+	if now > w.horizon {
+		return 0, fmt.Errorf("window: now %d exceeds horizon %d", now, w.horizon)
+	}
+	if width == 0 {
+		return 0, errors.New("window: width must be positive")
+	}
+	var start uint64
+	if width <= now {
+		start = now - width + 1
+	}
+	return w.sum.Query(w.horizon - start)
+}
+
+// Space reports the summary's stored counters/tuples.
+func (w *Window) Space() int64 { return w.sum.Space() }
+
+// F0Window answers sliding-window distinct-count queries over an
+// asynchronous stream, backed by the correlated F0 structure.
+type F0Window struct {
+	sum     *corrf0.Summary
+	horizon uint64
+}
+
+// NewF0 builds a distinct-count sliding-window summary.
+func NewF0(cfg corrf0.Config, horizon uint64) (*F0Window, error) {
+	if horizon == 0 {
+		return nil, errors.New("window: horizon must be positive")
+	}
+	s, err := corrf0.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &F0Window{sum: s, horizon: horizon}, nil
+}
+
+// Add records item x observed with timestamp ts.
+func (w *F0Window) Add(x, ts uint64) error {
+	if ts > w.horizon {
+		return fmt.Errorf("window: timestamp %d exceeds horizon %d", ts, w.horizon)
+	}
+	w.sum.Add(x, w.horizon-ts)
+	return nil
+}
+
+// Query estimates the number of distinct items in the window
+// [now−width+1, now].
+func (w *F0Window) Query(now, width uint64) (float64, error) {
+	if now > w.horizon {
+		return 0, fmt.Errorf("window: now %d exceeds horizon %d", now, w.horizon)
+	}
+	if width == 0 {
+		return 0, errors.New("window: width must be positive")
+	}
+	var start uint64
+	if width <= now {
+		start = now - width + 1
+	}
+	return w.sum.Query(w.horizon - start)
+}
+
+// Space reports stored sample tuples.
+func (w *F0Window) Space() int64 { return w.sum.Space() }

@@ -1,0 +1,131 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/core"
+	"github.com/streamagg/correlated/internal/corrf0"
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+func TestWindowValidation(t *testing.T) {
+	cfg := core.Config{Eps: 0.2, Delta: 0.1, Seed: 1}
+	if _, err := New(core.CountAggregate(), cfg, 0); err == nil {
+		t.Fatal("horizon 0 accepted")
+	}
+	w, err := New(core.CountAggregate(), cfg, 1023)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(1, 5000); err == nil {
+		t.Fatal("timestamp beyond horizon accepted")
+	}
+	if _, err := w.Query(5000, 10); err == nil {
+		t.Fatal("query beyond horizon accepted")
+	}
+	if _, err := w.Query(100, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+// TestCountWindowOutOfOrder checks window counts with shuffled arrival
+// order against a direct computation.
+func TestCountWindowOutOfOrder(t *testing.T) {
+	const horizon = 1<<12 - 1
+	w, err := New(core.CountAggregate(), core.Config{
+		Eps: 0.1, Delta: 0.1, MaxStreamLen: 100000, Seed: 2,
+	}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.New(3)
+	counts := make([]int64, horizon+1)
+	// Timestamps arrive in random order (asynchronous).
+	for i := 0; i < 100000; i++ {
+		ts := rng.Uint64n(horizon + 1)
+		if err := w.Add(rng.Uint64n(100), ts); err != nil {
+			t.Fatal(err)
+		}
+		counts[ts]++
+	}
+	// Queries are anchored at the present (now >= all timestamps).
+	for _, q := range []struct{ now, width uint64 }{
+		{horizon, 100}, {horizon, 1 << 11}, {horizon, 500}, {horizon, horizon + 1},
+	} {
+		got, err := w.Query(q.now, q.width)
+		if err != nil {
+			t.Fatalf("query %+v: %v", q, err)
+		}
+		var want float64
+		start := uint64(0)
+		if q.width <= q.now {
+			start = q.now - q.width + 1
+		}
+		for ts := start; ts <= q.now; ts++ {
+			want += float64(counts[ts])
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.15 {
+			t.Errorf("window %+v: got %v, want %v (rel %v)", q, got, want, rel)
+		}
+	}
+}
+
+func TestF0WindowDistinct(t *testing.T) {
+	const horizon = 1<<12 - 1
+	w, err := NewF0(corrf0.Config{
+		Eps: 0.1, Delta: 0.1, XDomain: 1 << 16, Reps: 5, Seed: 5,
+	}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.New(7)
+	type ev struct{ x, ts uint64 }
+	var evs []ev
+	for i := 0; i < 80000; i++ {
+		e := ev{rng.Uint64n(1 << 16), rng.Uint64n(horizon + 1)}
+		evs = append(evs, e)
+		if err := w.Add(e.x, e.ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, width := range []uint64{1 << 10, 1 << 12} {
+		got, err := w.Query(horizon, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]struct{}{}
+		start := horizon - width + 1
+		for _, e := range evs {
+			if e.ts >= start {
+				seen[e.x] = struct{}{}
+			}
+		}
+		want := float64(len(seen))
+		if rel := math.Abs(got-want) / want; rel > 0.12 {
+			t.Errorf("width %d: got %v, want %v (rel %v)", width, got, want, rel)
+		}
+	}
+	if w.Space() <= 0 {
+		t.Fatal("space not positive")
+	}
+}
+
+func TestF0WindowValidation(t *testing.T) {
+	if _, err := NewF0(corrf0.Config{Eps: 0.1, Delta: 0.1, XDomain: 16}, 0); err == nil {
+		t.Fatal("horizon 0 accepted")
+	}
+	w, err := NewF0(corrf0.Config{Eps: 0.1, Delta: 0.1, XDomain: 16, Seed: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(1, 101); err == nil {
+		t.Fatal("timestamp beyond horizon accepted")
+	}
+	if _, err := w.Query(101, 5); err == nil {
+		t.Fatal("now beyond horizon accepted")
+	}
+	if _, err := w.Query(50, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package correlated
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/streamagg/correlated/internal/core"
+	"github.com/streamagg/correlated/internal/corrf0"
+)
+
+// Binary serialization for the moment and distinct-count summaries, for
+// checkpoint/restore and for shipping a summary from the ingest node to a
+// query node. The configuration is deliberately NOT part of the encoding:
+// deserialize by constructing a summary with the *same Options* (including
+// Seed — it regenerates the hash functions) and calling UnmarshalBinary on
+// it. Mismatched configurations are detected and rejected where possible.
+
+const apiMarshalVersion = 1
+
+// ErrBadEncoding reports malformed or configuration-incompatible bytes.
+var ErrBadEncoding = errors.New("correlated: bad or incompatible encoding")
+
+type binaryCodec interface {
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary([]byte) error
+}
+
+// codecOrNil converts a possibly-nil concrete summary into a clean nil
+// interface (a typed nil inside an interface would defeat nil checks).
+func codecOrNil(s *core.Summary) binaryCodec {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+func nilF0(s *corrf0.Summary) binaryCodec {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+func (d *dual) marshal() ([]byte, error) {
+	buf := []byte{apiMarshalVersion, byte(d.pred)}
+	for _, side := range []binaryCodec{codecOrNil(d.le), codecOrNil(d.ge)} {
+		if side == nil {
+			buf = binary.AppendUvarint(buf, 0)
+			continue
+		}
+		payload, err := side.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(payload))+1)
+		buf = append(buf, payload...)
+	}
+	return buf, nil
+}
+
+func (d *dual) unmarshal(data []byte) error {
+	if len(data) < 2 || data[0] != apiMarshalVersion {
+		return ErrBadEncoding
+	}
+	if Predicate(data[1]) != d.pred {
+		return ErrBadEncoding
+	}
+	data = data[2:]
+	for _, side := range []binaryCodec{codecOrNil(d.le), codecOrNil(d.ge)} {
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return ErrBadEncoding
+		}
+		data = data[sz:]
+		if n == 0 {
+			if side != nil {
+				return ErrBadEncoding
+			}
+			continue
+		}
+		n-- // length was stored +1 to distinguish "absent"
+		if uint64(len(data)) < n {
+			return ErrBadEncoding
+		}
+		if side == nil {
+			return ErrBadEncoding
+		}
+		if err := side.UnmarshalBinary(data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return ErrBadEncoding
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *F2Summary) MarshalBinary() ([]byte, error) { return s.d.marshal() }
+
+// UnmarshalBinary restores a summary serialized from an identically
+// configured F2Summary.
+func (s *F2Summary) UnmarshalBinary(data []byte) error { return s.d.unmarshal(data) }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *FkSummary) MarshalBinary() ([]byte, error) { return s.d.marshal() }
+
+// UnmarshalBinary restores a summary serialized from an identically
+// configured FkSummary.
+func (s *FkSummary) UnmarshalBinary(data []byte) error { return s.d.unmarshal(data) }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *CountSummary) MarshalBinary() ([]byte, error) { return s.d.marshal() }
+
+// UnmarshalBinary restores a summary serialized from an identically
+// configured CountSummary.
+func (s *CountSummary) UnmarshalBinary(data []byte) error { return s.d.unmarshal(data) }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *SumSummary) MarshalBinary() ([]byte, error) { return s.d.marshal() }
+
+// UnmarshalBinary restores a summary serialized from an identically
+// configured SumSummary.
+func (s *SumSummary) UnmarshalBinary(data []byte) error { return s.d.unmarshal(data) }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *F0Summary) MarshalBinary() ([]byte, error) {
+	buf := []byte{apiMarshalVersion}
+	buf = binary.AppendUvarint(buf, s.n)
+	for _, side := range []binaryCodec{nilF0(s.le), nilF0(s.ge)} {
+		if side == nil {
+			buf = binary.AppendUvarint(buf, 0)
+			continue
+		}
+		payload, err := side.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(payload))+1)
+		buf = append(buf, payload...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a summary serialized from an identically
+// configured F0Summary.
+func (s *F0Summary) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 || data[0] != apiMarshalVersion {
+		return ErrBadEncoding
+	}
+	data = data[1:]
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return ErrBadEncoding
+	}
+	s.n = n
+	data = data[sz:]
+	for _, side := range []binaryCodec{nilF0(s.le), nilF0(s.ge)} {
+		ln, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return ErrBadEncoding
+		}
+		data = data[sz:]
+		if ln == 0 {
+			if side != nil {
+				return ErrBadEncoding
+			}
+			continue
+		}
+		ln--
+		if uint64(len(data)) < ln || side == nil {
+			return ErrBadEncoding
+		}
+		if err := side.UnmarshalBinary(data[:ln]); err != nil {
+			return err
+		}
+		data = data[ln:]
+	}
+	if len(data) != 0 {
+		return ErrBadEncoding
+	}
+	return nil
+}

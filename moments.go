@@ -1,0 +1,145 @@
+package correlated
+
+import "github.com/streamagg/correlated/internal/core"
+
+// F2Summary estimates the correlated second frequency moment:
+// F2{ x : y <= c } = Σ_x f_x², over the substream selected by the cutoff.
+// It instantiates the paper's general reduction (Section 2) with the
+// AMS/CountSketch whole-stream sketch (Section 3.1, Lemma 9).
+type F2Summary struct {
+	d *dual
+}
+
+// NewF2Summary builds an F2 summary.
+func NewF2Summary(o Options) (*F2Summary, error) {
+	d, err := newDual(core.F2Aggregate(), o)
+	if err != nil {
+		return nil, err
+	}
+	return &F2Summary{d: d}, nil
+}
+
+// Add inserts the tuple (x, y).
+func (s *F2Summary) Add(x, y uint64) error { return s.d.add(x, y, 1) }
+
+// AddWeighted inserts w > 0 copies of (x, y).
+func (s *F2Summary) AddWeighted(x, y uint64, w int64) error { return s.d.add(x, y, w) }
+
+// QueryLE estimates F2 over tuples with y <= c.
+func (s *F2Summary) QueryLE(c uint64) (float64, error) { return s.d.queryLE(c) }
+
+// QueryGE estimates F2 over tuples with y >= c.
+func (s *F2Summary) QueryGE(c uint64) (float64, error) { return s.d.queryGE(c) }
+
+// Space reports stored counters/tuples (the paper's space metric).
+func (s *F2Summary) Space() int64 { return s.d.space() }
+
+// Count reports tuples inserted.
+func (s *F2Summary) Count() uint64 { return s.d.count() }
+
+// FkSummary estimates the correlated k-th frequency moment for k >= 2,
+// via the general reduction over an Indyk–Woodruff-style sketch
+// (Section 3.1, Theorem 3).
+type FkSummary struct {
+	d *dual
+	k int
+}
+
+// NewFkSummary builds an Fk summary for moment order k >= 2.
+func NewFkSummary(k int, o Options) (*FkSummary, error) {
+	d, err := newDual(core.FkAggregate(k), o)
+	if err != nil {
+		return nil, err
+	}
+	return &FkSummary{d: d, k: k}, nil
+}
+
+// K returns the moment order.
+func (s *FkSummary) K() int { return s.k }
+
+// Add inserts the tuple (x, y).
+func (s *FkSummary) Add(x, y uint64) error { return s.d.add(x, y, 1) }
+
+// AddWeighted inserts w > 0 copies of (x, y).
+func (s *FkSummary) AddWeighted(x, y uint64, w int64) error { return s.d.add(x, y, w) }
+
+// QueryLE estimates Fk over tuples with y <= c.
+func (s *FkSummary) QueryLE(c uint64) (float64, error) { return s.d.queryLE(c) }
+
+// QueryGE estimates Fk over tuples with y >= c.
+func (s *FkSummary) QueryGE(c uint64) (float64, error) { return s.d.queryGE(c) }
+
+// Space reports stored counters/tuples.
+func (s *FkSummary) Space() int64 { return s.d.space() }
+
+// Count reports tuples inserted.
+func (s *FkSummary) Count() uint64 { return s.d.count() }
+
+// CountSummary estimates the correlated COUNT (how many tuples satisfy the
+// predicate). COUNT is additive, so the reduction runs with exact counter
+// sketches: all error comes from the bucket structure and stays within ε.
+type CountSummary struct {
+	d *dual
+}
+
+// NewCountSummary builds a COUNT summary.
+func NewCountSummary(o Options) (*CountSummary, error) {
+	d, err := newDual(core.CountAggregate(), o)
+	if err != nil {
+		return nil, err
+	}
+	return &CountSummary{d: d}, nil
+}
+
+// Add inserts the tuple (x, y).
+func (s *CountSummary) Add(x, y uint64) error { return s.d.add(x, y, 1) }
+
+// AddWeighted inserts w > 0 copies of (x, y).
+func (s *CountSummary) AddWeighted(x, y uint64, w int64) error { return s.d.add(x, y, w) }
+
+// QueryLE estimates the number of tuples with y <= c.
+func (s *CountSummary) QueryLE(c uint64) (float64, error) { return s.d.queryLE(c) }
+
+// QueryGE estimates the number of tuples with y >= c.
+func (s *CountSummary) QueryGE(c uint64) (float64, error) { return s.d.queryGE(c) }
+
+// Space reports stored counters/tuples.
+func (s *CountSummary) Space() int64 { return s.d.space() }
+
+// Count reports tuples inserted.
+func (s *CountSummary) Count() uint64 { return s.d.count() }
+
+// SumSummary estimates the correlated SUM of the x values of selected
+// tuples — the aggregate of Gehrke et al. and Ananthakrishna et al., here
+// with multiplicative error through the general reduction.
+type SumSummary struct {
+	d *dual
+}
+
+// NewSumSummary builds a SUM summary. Set Options.MaxX to the largest
+// identifier value so the level count can be sized.
+func NewSumSummary(o Options) (*SumSummary, error) {
+	d, err := newDual(core.SumAggregate(), o)
+	if err != nil {
+		return nil, err
+	}
+	return &SumSummary{d: d}, nil
+}
+
+// Add inserts the tuple (x, y); x contributes its value to selected sums.
+func (s *SumSummary) Add(x, y uint64) error { return s.d.add(x, y, 1) }
+
+// AddWeighted inserts w > 0 copies of (x, y).
+func (s *SumSummary) AddWeighted(x, y uint64, w int64) error { return s.d.add(x, y, w) }
+
+// QueryLE estimates Σ{x : y <= c}.
+func (s *SumSummary) QueryLE(c uint64) (float64, error) { return s.d.queryLE(c) }
+
+// QueryGE estimates Σ{x : y >= c}.
+func (s *SumSummary) QueryGE(c uint64) (float64, error) { return s.d.queryGE(c) }
+
+// Space reports stored counters/tuples.
+func (s *SumSummary) Space() int64 { return s.d.space() }
+
+// Count reports tuples inserted.
+func (s *SumSummary) Count() uint64 { return s.d.count() }

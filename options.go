@@ -1,0 +1,148 @@
+package correlated
+
+import (
+	"errors"
+
+	"github.com/streamagg/correlated/internal/core"
+	"github.com/streamagg/correlated/internal/dyadic"
+)
+
+// Predicate selects which query directions a summary supports. Supporting
+// a direction costs one underlying structure; Both doubles space.
+type Predicate int
+
+const (
+	// LE supports queries of the form y <= c (the default).
+	LE Predicate = iota
+	// GE supports queries of the form y >= c, via a mirrored summary.
+	GE
+	// Both supports both directions.
+	Both
+)
+
+// ErrDirection is returned when a query direction was not enabled at
+// construction time.
+var ErrDirection = errors.New("correlated: query direction not enabled; set Options.Predicate")
+
+// ErrNoLevel mirrors the FAIL output of the paper's Algorithm 3: no level
+// of the structure can serve the cutoff. Under the analysis this has
+// probability at most Delta.
+var ErrNoLevel = core.ErrNoLevel
+
+// Options configures a summary.
+type Options struct {
+	// Eps is the target relative error ε ∈ (0, 1).
+	Eps float64
+	// Delta is the failure probability δ ∈ (0, 1).
+	Delta float64
+	// YMax is the largest y value that will be inserted (rounded up
+	// internally to 2^β − 1).
+	YMax uint64
+	// MaxStreamLen bounds the stream length n, sizing the level count.
+	// Zero defaults to 2^32.
+	MaxStreamLen uint64
+	// MaxX bounds identifiers (used by SUM to bound the aggregate, and
+	// by F0 to size its sampling levels). Zero defaults to 2^32.
+	MaxX uint64
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+	// Predicate selects the supported query direction(s).
+	Predicate Predicate
+
+	// Alpha overrides the per-level bucket capacity; 0 derives it from
+	// Eps and YMax (see internal/core.Config).
+	Alpha int
+	// AlphaScale scales the derived capacity; 0 means 1.
+	AlphaScale float64
+	// StrictTheory uses the worst-case proof constants (practical only
+	// for SUM/COUNT).
+	StrictTheory bool
+}
+
+func (o Options) coreConfig() core.Config {
+	return core.Config{
+		Eps: o.Eps, Delta: o.Delta, YMax: o.YMax,
+		MaxStreamLen: o.MaxStreamLen, MaxX: o.MaxX,
+		Alpha: o.Alpha, AlphaScale: o.AlphaScale,
+		StrictTheory: o.StrictTheory, Seed: o.Seed,
+	}
+}
+
+// dual wraps a forward (y <= c) and a mirrored (y >= c) core summary.
+type dual struct {
+	le   *core.Summary
+	ge   *core.Summary
+	ymax uint64 // rounded domain top, shared by both directions
+	pred Predicate
+}
+
+func newDual(agg core.Aggregate, o Options) (*dual, error) {
+	d := &dual{pred: o.Predicate, ymax: dyadic.RoundYMax(o.YMax)}
+	cfg := o.coreConfig()
+	var err error
+	if o.Predicate == LE || o.Predicate == Both {
+		if d.le, err = core.NewSummary(agg, cfg); err != nil {
+			return nil, err
+		}
+	}
+	if o.Predicate == GE || o.Predicate == Both {
+		mirror := cfg
+		mirror.Seed = cfg.Seed ^ 0x6d6972726f72 // "mirror"
+		if d.ge, err = core.NewSummary(agg, mirror); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (d *dual) add(x, y uint64, w int64) error {
+	if y > d.ymax {
+		return errors.New("correlated: y exceeds YMax")
+	}
+	if d.le != nil {
+		if err := d.le.AddWeighted(x, y, w); err != nil {
+			return err
+		}
+	}
+	if d.ge != nil {
+		if err := d.ge.AddWeighted(x, d.ymax-y, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *dual) queryLE(c uint64) (float64, error) {
+	if d.le == nil {
+		return 0, ErrDirection
+	}
+	return d.le.Query(c)
+}
+
+func (d *dual) queryGE(c uint64) (float64, error) {
+	if d.ge == nil {
+		return 0, ErrDirection
+	}
+	if c > d.ymax {
+		return 0, nil // nothing can satisfy y >= c
+	}
+	return d.ge.Query(d.ymax - c)
+}
+
+func (d *dual) space() int64 {
+	var s int64
+	if d.le != nil {
+		s += d.le.Space()
+	}
+	if d.ge != nil {
+		s += d.ge.Space()
+	}
+	return s
+}
+
+func (d *dual) count() uint64 {
+	if d.le != nil {
+		return d.le.Count()
+	}
+	return d.ge.Count()
+}
