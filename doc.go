@@ -34,8 +34,15 @@
 //   - RunMultipass and the GREATER-THAN helpers — the turnstile
 //     (positive and negative weights) results of Section 4.
 //
-// All summaries are deterministic in their Seed option, single-threaded,
-// and built only on the Go standard library.
+// All summaries are deterministic in their Seed option and built only on
+// the Go standard library.
+//
+// # Concurrency
+//
+// Summaries are not safe for concurrent use. Both ingestion and queries
+// mutate internal state (sketch free lists and scratch buffers are pooled
+// per summary for allocation-free steady-state operation), so all access —
+// including read-only queries — must be serialized by the caller.
 //
 // # Quick example
 //

@@ -1,0 +1,3 @@
+module github.com/streamagg/correlated
+
+go 1.22

@@ -47,6 +47,12 @@ type Config struct {
 
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
 	Seed uint64
+
+	// NoSlotFastPath disables the hash-once slot fan-out even when the
+	// aggregate's sketches support it, forcing every sketch update through
+	// plain Add. The two paths produce bit-identical summaries; this knob
+	// exists for equivalence tests and A/B diagnostics.
+	NoSlotFastPath bool
 }
 
 // ErrNoLevel is returned by Query when no level can serve the cutoff

@@ -16,7 +16,9 @@ import (
 // aggregate and Config (including Seed) as the source — the seeds
 // deterministically regenerate the sketching functions.
 
-const coreMarshalVersion = 1
+// Version 2: the embedded sketch payloads changed hash-to-bucket mapping
+// (see sketch.marshalVersion).
+const coreMarshalVersion = 2
 
 // ErrBadEncoding reports malformed or configuration-incompatible bytes.
 var ErrBadEncoding = errors.New("core: bad or incompatible encoding")
@@ -134,6 +136,7 @@ func (s *Summary) readNode(data []byte, iv dyadic.Interval) (*bucket, []byte, er
 		if b.sk, data, err = s.readSketch(data); err != nil {
 			return nil, nil, err
 		}
+		b.sa = s.slotAdderOf(b.sk)
 	}
 	if !iv.Single() {
 		lc, rc := iv.Children()
@@ -178,10 +181,12 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 	}
 	s.n = vals[0]
 	s.virginFrom = int(vals[3])
+	s.sharedBudget = 0 // force a fresh materialization check
 	var err error
 	if s.shared, data, err = s.readSketch(data); err != nil {
 		return err
 	}
+	s.sharedSA = s.slotAdderOf(s.shared)
 	// Singleton level.
 	y0, n := binary.Uvarint(data)
 	if n <= 0 {
@@ -204,7 +209,7 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 		if sk, data, err = s.readSketch(data); err != nil {
 			return err
 		}
-		s.s0.buckets[y] = &bucket{iv: dyadic.Interval{L: y, R: y}, sk: sk}
+		s.s0.buckets[y] = &bucket{iv: dyadic.Interval{L: y, R: y}, sk: sk, sa: s.slotAdderOf(sk)}
 		heapPushU64(&s.s0.ys, y)
 	}
 	// Bucket-tree levels.
@@ -222,6 +227,7 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 		}
 		data = data[n:]
 		lv.y = yv
+		s.wm[i] = yv
 		lv.count = int(cv)
 		if lv.root, data, err = s.readNode(data, root); err != nil {
 			return err

@@ -52,15 +52,43 @@ type Summary struct {
 	// behaviour in any way.
 	shared     sketch.Sketch
 	virginFrom int // smallest level whose root has never closed
+
+	// Hash-once fan-out: when the maker supports precomputed slots, each
+	// arriving tuple is hashed exactly once into slots, and every sketch
+	// it touches — the singleton bucket, one leaf per active level, the
+	// shared virgin sketch — applies the same slots. Without this, a
+	// tuple re-evaluates the maker's d row hashes once per level.
+	slotMaker sketch.SlotMaker // nil when the maker has no slot support
+	slots     sketch.Slots     // current tuple's slots (scratch, reused)
+	slotsOK   bool             // slots describe the tuple being inserted
+	slab      sketch.Slots     // per-batch slot slab (scratch, reused)
+
+	// sharedBudget plays the bucket closeBudget role for the shared
+	// virgin-level sketch against the next virgin level's threshold.
+	sharedBudget int64
+	sharedSA     sketch.SlotAdder // shared's slot face
+
+	// wm mirrors levels[i].y in one flat array, so the per-tuple level
+	// scan reads a few contiguous cache lines instead of chasing a
+	// pointer per level. Kept in sync by discardMax and UnmarshalBinary.
+	wm []uint64
 }
 
 type bucket struct {
 	iv        dyadic.Interval
 	sk        sketch.Sketch
+	sa        sketch.SlotAdder // sk's slot face, cached to skip per-update type asserts
 	closed    bool
 	discarded bool
 	left      *bucket
 	right     *bucket
+
+	// closeBudget is the weight this bucket can still absorb before its
+	// estimate could possibly reach the level's closing threshold
+	// (sketch.ThresholdBudget). While positive, the closing check is
+	// skipped — with decisions bit-identical to checking every insert.
+	// Pure optimization state: not serialized; zero forces a check.
+	closeBudget int64
 }
 
 type level struct {
@@ -115,9 +143,45 @@ func NewSummary(agg Aggregate, cfg Config) (*Summary, error) {
 			thresh: math.Ldexp(1, i+1),
 		}
 	}
+	if sm, ok := s.maker.(sketch.SlotMaker); ok && !cfg.NoSlotFastPath {
+		s.slotMaker = sm
+		s.slots = make(sketch.Slots, 0, sm.SlotWidth())
+	}
 	s.shared = s.maker.New()
+	s.sharedSA = s.slotAdderOf(s.shared)
 	s.virginFrom = 1
+	s.wm = make([]uint64, lmax+1)
+	for i := range s.wm {
+		s.wm[i] = noWatermark
+	}
 	return s, nil
+}
+
+// slotAdderOf returns sk's SlotAdder face when the fast path is active.
+// Sketches from a SlotMaker are contractually SlotAdders.
+func (s *Summary) slotAdderOf(sk sketch.Sketch) sketch.SlotAdder {
+	if s.slotMaker == nil {
+		return nil
+	}
+	return sk.(sketch.SlotAdder)
+}
+
+// attachSketch gives b a fresh (or pooled) sketch with its slot face
+// cached.
+func (s *Summary) attachSketch(b *bucket) {
+	b.sk = s.maker.New()
+	b.sa = s.slotAdderOf(b.sk)
+}
+
+// bucketAdd applies the tuple currently being inserted to b's sketch: via
+// the precomputed slots when the fast path is active, via plain Add
+// otherwise. Both leave the sketch in bit-identical state.
+func (s *Summary) bucketAdd(b *bucket, x uint64, w int64) {
+	if s.slotsOK {
+		b.sa.AddSlots(s.slots, w)
+		return
+	}
+	b.sk.Add(x, w)
 }
 
 // Config returns the (normalized) configuration.
@@ -146,20 +210,53 @@ func (s *Summary) AddWeighted(x, y uint64, w int64) error {
 		return fmt.Errorf("core: weight must be positive, got %d", w)
 	}
 	s.n++
+	if s.slotMaker != nil {
+		// Hash once per tuple; every sketch touched below fans the same
+		// slots out instead of rehashing x per level.
+		s.slots = s.slotMaker.Slots(x, s.slots[:0])
+		s.slotsOK = true
+	}
 	s.insert0(x, y, w)
 	for i := 1; i < s.virginFrom; i++ {
+		// The element's y falls in the level's discarded region: skip.
+		// (The paper's Algorithm 2 phrases this as an early return; since
+		// the watermarks Y_ℓ are in practice non-decreasing in ℓ, skipping
+		// just this level is the conservative reading that keeps every
+		// level consistent regardless of watermark ordering.)
+		if y >= s.wm[i] {
+			continue
+		}
 		s.insertLevel(s.levels[i], x, y, w, i)
 	}
 	if s.virginFrom <= s.lmax {
 		// All virgin levels share one whole-stream sketch.
-		s.shared.Add(x, w)
-		for s.virginFrom <= s.lmax &&
-			sketch.CheapEstimate(s.shared) >= s.levels[s.virginFrom].thresh {
-			s.materialize(s.levels[s.virginFrom])
-			s.virginFrom++
+		if s.slotsOK {
+			s.sharedSA.AddSlots(s.slots, w)
+		} else {
+			s.shared.Add(x, w)
 		}
+		s.checkVirgin(w)
 	}
+	s.slotsOK = false
 	return nil
+}
+
+// checkVirgin materializes virgin levels whose closing threshold the
+// shared sketch has crossed after w more weight landed on it. The shared
+// budget skips the estimate while crossing is provably impossible.
+func (s *Summary) checkVirgin(w int64) {
+	s.sharedBudget -= w
+	if s.sharedBudget > 0 {
+		return
+	}
+	for s.virginFrom <= s.lmax &&
+		sketch.CheapEstimate(s.shared) >= s.levels[s.virginFrom].thresh {
+		s.materialize(s.levels[s.virginFrom])
+		s.virginFrom++
+	}
+	if s.virginFrom <= s.lmax {
+		s.sharedBudget = sketch.ThresholdBudget(s.shared, s.levels[s.virginFrom].thresh)
+	}
 }
 
 // materialize gives a virgin level its own copy of the shared sketch and
@@ -170,6 +267,7 @@ func (s *Summary) materialize(lv *level) {
 	// Same-maker merges cannot fail.
 	_ = cp.Merge(s.shared)
 	lv.root.sk = cp
+	lv.root.sa = s.slotAdderOf(cp)
 	if !lv.root.iv.Single() {
 		lv.root.closed = true
 	}
@@ -185,13 +283,25 @@ func (s *Summary) insert0(x, y uint64, w int64) {
 	}
 	b := z.buckets[y]
 	if b == nil {
-		b = &bucket{iv: dyadic.Interval{L: y, R: y}, sk: s.maker.New()}
+		b = &bucket{iv: dyadic.Interval{L: y, R: y}}
+		s.attachSketch(b)
 		z.buckets[y] = b
 		heapPushU64(&z.ys, y)
 	}
-	b.sk.Add(x, w)
+	s.bucketAdd(b, x, w)
+	s.evict0()
+}
+
+// evict0 trims the singleton level back to capacity, recycling the evicted
+// buckets' sketches.
+func (s *Summary) evict0() {
+	z := &s.s0
 	for len(z.buckets) > s.alpha {
 		top := heapPopU64(&z.ys)
+		if b := z.buckets[top]; b != nil {
+			sketch.Recycle(s.maker, b.sk)
+			b.sk, b.sa = nil, nil
+		}
 		delete(z.buckets, top)
 		if top < z.y {
 			z.y = top
@@ -200,24 +310,58 @@ func (s *Summary) insert0(x, y uint64, w int64) {
 }
 
 // insertLevel inserts (x, y, w) into level lv (Algorithm 2 lines 7–21).
+// The caller has already established y < Y_ℓ (the watermark check runs
+// against the flat wm array).
 func (s *Summary) insertLevel(lv *level, x, y uint64, w int64, i int) {
-	// The element's y falls in the level's discarded region: skip. (The
-	// paper's Algorithm 2 phrases this as an early return; since the
-	// watermarks Y_ℓ are in practice non-decreasing in ℓ, skipping just
-	// this level is the conservative reading that keeps every level
-	// consistent regardless of watermark ordering.)
-	if y >= lv.y {
-		return
-	}
 	// Fast path: the previous insertion's leaf (Lemma 9 batching).
-	if b := s.cache[i]; b != nil && !b.discarded && b.left == nil && b.right == nil &&
-		b.iv.Contains(y) && (!b.closed || b.iv.Single()) {
-		b.sk.Add(x, w)
-		if !b.closed && !b.iv.Single() && sketch.CheapEstimate(b.sk) >= lv.thresh {
-			b.closed = true
-		}
+	if b := s.cache[i]; cacheServes(b, y) {
+		s.bucketAdd(b, x, w)
+		s.maybeClose(lv, b, w)
 		return
 	}
+	b := s.leafFor(lv, y)
+	if b == nil {
+		return
+	}
+	s.bucketAdd(b, x, w)
+	s.maybeClose(lv, b, w)
+	s.cache[i] = b
+	// Check for overflow: evict largest-l buckets until within capacity.
+	for lv.count > s.alpha {
+		s.discardMax(lv)
+	}
+}
+
+// maybeClose re-checks b's closing threshold after w more weight landed in
+// it. The budget skips the estimate while the sketch proves the threshold
+// is out of reach, leaving closing decisions bit-identical to checking
+// after every single update.
+func (s *Summary) maybeClose(lv *level, b *bucket, w int64) {
+	if b.closed || b.iv.Single() {
+		return
+	}
+	b.closeBudget -= w
+	if b.closeBudget > 0 {
+		return
+	}
+	if sketch.CheapEstimate(b.sk) >= lv.thresh {
+		b.closed = true
+		return
+	}
+	b.closeBudget = sketch.ThresholdBudget(b.sk, lv.thresh)
+}
+
+// cacheServes reports whether the cached leaf b can absorb an insertion at
+// y without a descent from the root.
+func cacheServes(b *bucket, y uint64) bool {
+	return b != nil && !b.discarded && b.left == nil && b.right == nil &&
+		b.iv.Contains(y) && (!b.closed || b.iv.Single())
+}
+
+// leafFor descends level lv toward y, splitting closed leaves on the way
+// (Algorithm 2's lazy split), and returns the open-or-singleton leaf that
+// receives insertions at y — or nil when y falls in the discarded region.
+func (s *Summary) leafFor(lv *level, y uint64) *bucket {
 	b := lv.root
 	for {
 		if b.left != nil || b.right != nil {
@@ -228,12 +372,12 @@ func (s *Summary) insertLevel(lv *level, x, y uint64, w int64, i int) {
 			lc, _ := b.iv.Children()
 			if y <= lc.R {
 				if b.left == nil {
-					return
+					return nil
 				}
 				b = b.left
 			} else {
 				if b.right == nil {
-					return
+					return nil
 				}
 				b = b.right
 			}
@@ -243,21 +387,14 @@ func (s *Summary) insertLevel(lv *level, x, y uint64, w int64, i int) {
 			// Closed leaf: split into the two dyadic children and
 			// continue into the one containing y.
 			lc, rc := b.iv.Children()
-			b.left = &bucket{iv: lc, sk: s.maker.New()}
-			b.right = &bucket{iv: rc, sk: s.maker.New()}
+			b.left = &bucket{iv: lc}
+			b.right = &bucket{iv: rc}
+			s.attachSketch(b.left)
+			s.attachSketch(b.right)
 			lv.count += 2
 			continue
 		}
-		b.sk.Add(x, w)
-		if !b.closed && !b.iv.Single() && sketch.CheapEstimate(b.sk) >= lv.thresh {
-			b.closed = true
-		}
-		s.cache[i] = b
-		break
-	}
-	// Check for overflow: evict largest-l buckets until within capacity.
-	for lv.count > s.alpha {
-		s.discardMax(lv)
+		return b
 	}
 }
 
@@ -285,10 +422,22 @@ func (s *Summary) discardMax(lv *level) {
 		parent.left = nil
 	}
 	b.discarded = true
+	// The discarded bucket may linger in the leaf cache (guarded by its
+	// discarded flag), but its counters are dead — recycle them.
+	sketch.Recycle(s.maker, b.sk)
+	b.sk, b.sa = nil, nil
 	lv.count--
 	if b.iv.L < lv.y {
 		lv.y = b.iv.L
+		s.wm[lv.idx] = lv.y
 	}
+}
+
+// RecycleSketch returns a sketch obtained from QuerySketch to the maker's
+// pool once the caller is done with it. The caller must drop every
+// reference to the sketch.
+func (s *Summary) RecycleSketch(sk sketch.Sketch) {
+	sketch.Recycle(s.maker, sk)
 }
 
 // Query estimates AGG{x | (x, y) in stream, y <= c} (Algorithm 3). It
@@ -300,13 +449,17 @@ func (s *Summary) Query(c uint64) (float64, error) {
 }
 
 // QueryWithLevel is Query plus the level that served the answer
-// (level 0 means the singleton level S0).
+// (level 0 means the singleton level S0). The composed sketch is recycled
+// back to the maker's pool once estimated, so steady-state queries do not
+// grow the heap; callers that need the sketch itself use QuerySketch.
 func (s *Summary) QueryWithLevel(c uint64) (float64, int, error) {
 	sk, lvl, err := s.QuerySketch(c)
 	if err != nil {
 		return 0, lvl, err
 	}
-	return sk.Estimate(), lvl, nil
+	est := sk.Estimate()
+	sketch.Recycle(s.maker, sk)
+	return est, lvl, nil
 }
 
 // QuerySketch returns the composed sketch of the buckets serving cutoff c
@@ -426,22 +579,125 @@ type Tuple struct {
 	W    int64
 }
 
-// AddBatch inserts a batch of tuples sorted by ascending y, the amortized
-// update path of Lemma 9: sorted arrivals make consecutive insertions hit
-// the same leaf, served by the per-level leaf cache. The batch is sorted
-// in place.
+// AddBatch inserts a batch of tuples, the amortized update path of
+// Lemma 9. The batch is sorted by y in place (zero weights normalize to
+// 1), then processed one equal-y group at a time: each tuple is hashed
+// once, each group descends to its leaf once per level, and the whole
+// group's slot updates land before thresholds are re-checked. Relative to
+// tuple-at-a-time Add this defers bucket closing to group boundaries —
+// exactly the batched threshold checking Lemma 9's amortization describes
+// — so the resulting tree can differ from sequential insertion while
+// carrying the same guarantees. The batch is rejected up front (summary
+// untouched) if any tuple is invalid.
 func (s *Summary) AddBatch(batch []Tuple) error {
-	sort.Slice(batch, func(i, j int) bool { return batch[i].Y < batch[j].Y })
-	for _, t := range batch {
-		w := t.W
-		if w == 0 {
-			w = 1
+	for i := range batch {
+		if batch[i].Y > s.cfg.YMax {
+			return fmt.Errorf("core: y = %d exceeds YMax = %d", batch[i].Y, s.cfg.YMax)
 		}
-		if err := s.AddWeighted(t.X, t.Y, w); err != nil {
-			return err
+		if batch[i].W == 0 {
+			batch[i].W = 1
+		}
+		if batch[i].W < 0 {
+			return fmt.Errorf("core: weight must be positive, got %d", batch[i].W)
 		}
 	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Y < batch[j].Y })
+	for start := 0; start < len(batch); {
+		end := start + 1
+		for end < len(batch) && batch[end].Y == batch[start].Y {
+			end++
+		}
+		s.addGroup(batch[start:end])
+		start = end
+	}
 	return nil
+}
+
+// addGroup inserts one equal-y run of a sorted batch. Mirrors AddWeighted,
+// amortizing per-tuple work across the group: hashing happens once per
+// tuple into a reused slab, leaf routing once per level per group.
+func (s *Summary) addGroup(group []Tuple) {
+	y := group[0].Y
+	s.n += uint64(len(group))
+	stride := 0
+	if s.slotMaker != nil {
+		stride = s.slotMaker.SlotWidth()
+		s.slab = s.slab[:0]
+		for i := range group {
+			s.slab = s.slotMaker.Slots(group[i].X, s.slab)
+		}
+	}
+	// groupAdd applies tuple gi of the group to the sketch behind (sk, sa).
+	groupAdd := func(sk sketch.Sketch, sa sketch.SlotAdder, gi int) {
+		if stride > 0 {
+			sa.AddSlots(s.slab[gi*stride:(gi+1)*stride], group[gi].W)
+			return
+		}
+		sk.Add(group[gi].X, group[gi].W)
+	}
+
+	// Singleton level: the group shares one bucket; the watermark check
+	// and eviction happen once. (Evicting after the whole group lands is
+	// state-identical to per-tuple eviction: the group grows the level by
+	// at most one bucket, and whichever bucket the heap would have popped
+	// mid-group is the same one popped here.)
+	z := &s.s0
+	if y < z.y {
+		b := z.buckets[y]
+		if b == nil {
+			b = &bucket{iv: dyadic.Interval{L: y, R: y}}
+			s.attachSketch(b)
+			z.buckets[y] = b
+			heapPushU64(&z.ys, y)
+		}
+		for gi := range group {
+			groupAdd(b.sk, b.sa, gi)
+		}
+		s.evict0()
+	}
+
+	// Materialized levels: route to the leaf once, apply the group, then
+	// re-check the closing threshold. The summed weight only feeds budget
+	// decrements, so saturate instead of wrapping: a saturated budget
+	// decrement simply forces the (conservative) threshold check.
+	var groupW int64
+	for gi := range group {
+		if groupW += group[gi].W; groupW < 0 {
+			groupW = math.MaxInt64
+			break
+		}
+	}
+	for i := 1; i < s.virginFrom; i++ {
+		if y >= s.wm[i] {
+			continue
+		}
+		lv := s.levels[i]
+		b := s.cache[i]
+		if !cacheServes(b, y) {
+			if b = s.leafFor(lv, y); b == nil {
+				continue
+			}
+		}
+		for gi := range group {
+			groupAdd(b.sk, b.sa, gi)
+		}
+		s.maybeClose(lv, b, groupW)
+		s.cache[i] = b
+		for lv.count > s.alpha {
+			s.discardMax(lv)
+		}
+	}
+
+	// Virgin levels: the shared whole-stream sketch absorbs the group,
+	// then any level whose threshold it crossed materializes. A level
+	// materialized here copies the shared sketch *including* this group,
+	// which is why it must not also have gone through the loop above.
+	if s.virginFrom <= s.lmax {
+		for gi := range group {
+			groupAdd(s.shared, s.sharedSA, gi)
+		}
+		s.checkVirgin(groupW)
+	}
 }
 
 // heapPushU64 pushes y onto the max-heap h.

@@ -59,6 +59,8 @@ type Summary struct {
 	alpha int
 	reps  []*rep
 	n     uint64
+
+	estScratch []float64 // reused by Query/Rarity across calls
 }
 
 type rep struct {
@@ -177,21 +179,22 @@ func (s *Summary) addLevel(l *lvl, x, y uint64) {
 	if top.y1 < l.y {
 		l.y = top.y1
 	}
-	e := &entry{x: x, y1: y, y2: noWatermark}
-	l.items[x] = e
-	l.pq[0] = e
-	e.idx = 0
+	// Reuse the evicted entry in place (it already sits at the heap root)
+	// instead of handing it to the GC and allocating a fresh one.
+	top.x, top.y1, top.y2 = x, y, noWatermark
+	l.items[x] = top
 	heap.Fix(&l.pq, 0)
 }
 
 // Query estimates the number of distinct x among tuples with y <= c.
 func (s *Summary) Query(c uint64) (float64, error) {
-	ests := make([]float64, 0, len(s.reps))
+	ests := s.estScratch[:0]
 	for _, r := range s.reps {
 		if v, ok := r.query(c); ok {
 			ests = append(ests, v)
 		}
 	}
+	s.estScratch = ests[:0]
 	if len(ests) == 0 {
 		return 0, ErrNoLevel
 	}
@@ -218,12 +221,13 @@ func (r *rep) query(c uint64) (float64, bool) {
 // Rarity estimates the fraction of distinct identifiers occurring exactly
 // once among tuples with y <= c (Section 3.3).
 func (s *Summary) Rarity(c uint64) (float64, error) {
-	ests := make([]float64, 0, len(s.reps))
+	ests := s.estScratch[:0]
 	for _, r := range s.reps {
 		if v, ok := r.rarity(c); ok {
 			ests = append(ests, v)
 		}
 	}
+	s.estScratch = ests[:0]
 	if len(ests) == 0 {
 		return 0, ErrNoLevel
 	}
@@ -323,10 +327,9 @@ func (s *Summary) mergeEntry(l *lvl, e *entry) {
 	if top.y1 < l.y {
 		l.y = top.y1
 	}
-	ne := &entry{x: e.x, y1: e.y1, y2: e.y2}
-	l.items[e.x] = ne
-	l.pq[0] = ne
-	ne.idx = 0
+	// Reuse the evicted entry in place, as addLevel does.
+	top.x, top.y1, top.y2 = e.x, e.y1, e.y2
+	l.items[e.x] = top
 	heap.Fix(&l.pq, 0)
 }
 

@@ -37,6 +37,16 @@ func fold61(x uint64) uint64 {
 	return r
 }
 
+// Reduce61 maps a hash value h ∈ [0, 2^61-1) into [0, n) by Lemire's
+// multiply-shift reduction: floor(h' · n / 2^64) with h' = h << 3 spreading
+// the 61 significant bits across the full word. Unlike `h % n` it compiles
+// to one multiplication and no division, and the bias is the same
+// negligible n/2^61 the modulo had.
+func Reduce61(h, n uint64) uint64 {
+	hi, _ := bits.Mul64(h<<3, n)
+	return hi
+}
+
 // FourWise is a 4-universal (4-wise independent) hash function
 // h(x) = a3*x^3 + a2*x^2 + a1*x + a0 mod 2^61-1. Four-wise independence is
 // what the AMS second-moment analysis requires of the sign function, and it
@@ -78,10 +88,10 @@ func (f *FourWise) Sign(x uint64) int64 {
 	return -1
 }
 
-// Bucket maps x to [0, w). The bias from the modulo is at most w/2^61,
+// Bucket maps x to [0, w) via Reduce61; the bias is at most w/2^61,
 // negligible for any practical table width.
 func (f *FourWise) Bucket(x uint64, w int) int {
-	return int(f.Hash(x) % uint64(w))
+	return int(Reduce61(f.Hash(x), uint64(w)))
 }
 
 // TwoWise is a 2-universal multiply-shift style hash over the same field:
@@ -104,7 +114,7 @@ func (t *TwoWise) Hash(x uint64) uint64 {
 
 // Bucket maps x to [0, w).
 func (t *TwoWise) Bucket(x uint64, w int) int {
-	return int(t.Hash(x) % uint64(w))
+	return int(Reduce61(t.Hash(x), uint64(w)))
 }
 
 // Tab64 is simple tabulation hashing on the 8 bytes of a 64-bit key:

@@ -108,6 +108,7 @@ func (s *Summary) Query(c uint64, phi float64) ([]Item, error) {
 		}
 		return out[i].X < out[j].X
 	})
+	s.cs.RecycleSketch(merged)
 	return out, nil
 }
 
@@ -115,16 +116,43 @@ func (s *Summary) Query(c uint64, phi float64) ([]Item, error) {
 type hhMaker struct {
 	inner *sketch.F2Maker
 	cap   int
+	pool  []*hhSketch
 }
 
 func (m *hhMaker) Name() string { return "f2-heavy-hitters" }
 
 func (m *hhMaker) New() sketch.Sketch {
+	if n := len(m.pool); n > 0 {
+		h := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		return h
+	}
 	return &hhSketch{
 		maker: m,
 		cs:    m.inner.New().(*sketch.CountSketch),
 		cand:  make(map[uint64]int64),
 	}
+}
+
+// Slots implements sketch.SlotMaker: the inner CountSketch slots plus the
+// raw identifier (the candidate set needs x itself).
+func (m *hhMaker) Slots(x uint64, scratch sketch.Slots) sketch.Slots {
+	scratch = m.inner.Slots(x, scratch)
+	return append(scratch, x)
+}
+
+// SlotWidth implements sketch.SlotMaker.
+func (m *hhMaker) SlotWidth() int { return m.inner.SlotWidth() + 1 }
+
+// Recycle implements sketch.Recycler.
+func (m *hhMaker) Recycle(sk sketch.Sketch) {
+	h, ok := sk.(*hhSketch)
+	if !ok || h.maker != m || len(m.pool) >= 256 {
+		return
+	}
+	h.Reset()
+	m.pool = append(m.pool, h)
 }
 
 // hhSketch carries the candidate set alongside the linear sketch. The
@@ -139,6 +167,17 @@ type hhSketch struct {
 
 func (h *hhSketch) Add(x uint64, w int64) {
 	h.cs.Add(x, w)
+	h.track(x, w)
+}
+
+// AddSlots implements sketch.SlotAdder: the leading words are the inner
+// CountSketch slots, the trailing word is x itself.
+func (h *hhSketch) AddSlots(slots sketch.Slots, w int64) {
+	h.cs.AddSlots(slots[:len(slots)-1], w)
+	h.track(slots[len(slots)-1], w)
+}
+
+func (h *hhSketch) track(x uint64, w int64) {
 	if _, ok := h.cand[x]; ok {
 		h.cand[x] += w
 		return
@@ -147,6 +186,12 @@ func (h *hhSketch) Add(x uint64, w int64) {
 		h.prune()
 	}
 	h.cand[x] = w
+}
+
+// Reset implements sketch.Resetter.
+func (h *hhSketch) Reset() {
+	h.cs.Reset()
+	clear(h.cand)
 }
 
 // prune keeps the cap heaviest candidates by point estimate.

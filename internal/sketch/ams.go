@@ -21,8 +21,14 @@ import (
 // estimator that MULTIPASS (Section 4.2) probes.
 type CountSketch struct {
 	maker *F2Maker
-	rows  [][]int64 // d x w counters
+	data  []int64   // d*w counters, row-major (flat for locality)
 	rowF2 []float64 // incrementally maintained sum of squares per row
+}
+
+// row returns row i as a slice view over the flat counter array.
+func (c *CountSketch) row(i int) []int64 {
+	w := c.maker.width
+	return c.data[i*w : (i+1)*w : (i+1)*w]
 }
 
 // F2Maker creates CountSketch instances sharing one set of row hashes.
@@ -33,6 +39,9 @@ type CountSketch struct {
 type F2Maker struct {
 	width, depth int
 	rowH         []*hash.FourWise
+
+	pool       []*CountSketch // free list of reset sketches
+	medScratch []float64      // reused by Estimate/EstimateItem
 }
 
 // NewF2Maker returns a Maker for CountSketch/AMS sketches with d rows of w
@@ -42,18 +51,40 @@ func NewF2Maker(width, depth int, rng *hash.RNG) *F2Maker {
 	if width < 1 || depth < 1 {
 		panic("sketch: F2Maker width and depth must be >= 1")
 	}
-	m := &F2Maker{width: width, depth: depth}
+	m := &F2Maker{width: width, depth: depth, medScratch: make([]float64, depth)}
 	for i := 0; i < depth; i++ {
 		m.rowH = append(m.rowH, hash.NewFourWise(rng))
 	}
 	return m
 }
 
-// rowSlot returns the counter index and sign for x in row i.
-func (m *F2Maker) rowSlot(i int, x uint64) (int, int64) {
-	v := m.rowH[i].Hash(x) % uint64(2*m.width)
-	sign := int64(v&1)*2 - 1
-	return int(v >> 1), sign
+// rowSlot returns the packed slot word for x in row i: a value in [0, 2w)
+// whose low bit is the sign and whose remaining bits pick the counter. The
+// reduction is Lemire multiply-shift rather than a modulo, which keeps one
+// integer division out of the innermost ingest loop.
+func (m *F2Maker) rowSlot(i int, x uint64) uint64 {
+	return hash.Reduce61(m.rowH[i].Hash(x), uint64(2*m.width))
+}
+
+// Slots implements SlotMaker: one packed (counter, sign) word per row.
+func (m *F2Maker) Slots(x uint64, scratch Slots) Slots {
+	for i := 0; i < m.depth; i++ {
+		scratch = append(scratch, m.rowSlot(i, x))
+	}
+	return scratch
+}
+
+// SlotWidth implements SlotMaker.
+func (m *F2Maker) SlotWidth() int { return m.depth }
+
+// Recycle implements Recycler.
+func (m *F2Maker) Recycle(sk Sketch) {
+	cs, ok := sk.(*CountSketch)
+	if !ok || cs.maker != m || len(m.pool) >= maxPool {
+		return
+	}
+	cs.Reset()
+	m.pool = append(m.pool, cs)
 }
 
 // NewF2MakerError returns a Maker sized for relative error upsilon with
@@ -83,17 +114,21 @@ func NewF2MakerError(upsilon, gamma float64, rng *hash.RNG) *F2Maker {
 // Name implements Maker.
 func (m *F2Maker) Name() string { return "f2/countsketch" }
 
-// New implements Maker.
+// New implements Maker. It reuses a pooled sketch when one is available;
+// fresh sketches keep every row in one flat backing array (two allocations
+// per sketch instead of depth+1, and contiguous for the cache).
 func (m *F2Maker) New() Sketch {
-	cs := &CountSketch{
+	if n := len(m.pool); n > 0 {
+		cs := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		return cs
+	}
+	return &CountSketch{
 		maker: m,
-		rows:  make([][]int64, m.depth),
+		data:  make([]int64, m.depth*m.width),
 		rowF2: make([]float64, m.depth),
 	}
-	for i := range cs.rows {
-		cs.rows[i] = make([]int64, m.width)
-	}
-	return cs
 }
 
 // Width returns the number of counters per row.
@@ -106,47 +141,121 @@ func (m *F2Maker) Depth() int { return m.depth }
 // per-row sum of squares current in O(d) time, so Estimate stays O(d).
 func (c *CountSketch) Add(x uint64, w int64) {
 	m := c.maker
+	w2 := float64(w) * float64(w)
 	for i := 0; i < m.depth; i++ {
-		b, s := m.rowSlot(i, x)
-		old := c.rows[i][b]
-		delta := s * w
-		c.rows[i][b] = old + delta
-		// (old+delta)^2 - old^2 = 2*old*delta + delta^2
-		c.rowF2[i] += float64(2*old*delta) + float64(delta)*float64(delta)
+		c.applySlot(i, m.rowSlot(i, x), w, w2)
+	}
+}
+
+// AddSlots implements SlotAdder; the state change is bit-identical to
+// Add(x, w) for the x the slots were computed from. This is the innermost
+// loop of the core structure's ingest path, so locals are hoisted out of
+// the per-row body.
+func (c *CountSketch) AddSlots(slots Slots, w int64) {
+	w2 := float64(w) * float64(w)
+	data, rowF2 := c.data, c.rowF2
+	width := c.maker.width
+	base := 0
+	for i, v := range slots {
+		idx := base + int(v>>1)
+		old := data[idx]
+		delta := (int64(v&1)*2 - 1) * w
+		data[idx] = old + delta
+		rowF2[i] += float64(2*old*delta) + w2
+		base += width
+	}
+}
+
+// applySlot adds sign·w to row i's counter, both encoded in the packed
+// slot word v ∈ [0, 2·width); w2 is the caller-hoisted w².
+func (c *CountSketch) applySlot(i int, v uint64, w int64, w2 float64) {
+	idx := i*c.maker.width + int(v>>1)
+	old := c.data[idx]
+	delta := (int64(v&1)*2 - 1) * w
+	c.data[idx] = old + delta
+	// (old+delta)^2 - old^2 = 2*old*delta + delta^2, and delta^2 = w^2.
+	c.rowF2[i] += float64(2*old*delta) + w2
+}
+
+// Reset implements Resetter.
+func (c *CountSketch) Reset() {
+	for i := range c.data {
+		c.data[i] = 0
+	}
+	for i := range c.rowF2 {
+		c.rowF2[i] = 0
 	}
 }
 
 // Estimate implements Sketch: the median over rows of the sum of squared
-// counters, which is the AMS estimator of F2.
+// counters, which is the AMS estimator of F2. The core structure consults
+// it on bucket-closing checks, so the common small depths are branch-free
+// special cases and nothing ever allocates.
 func (c *CountSketch) Estimate() float64 {
-	ests := make([]float64, len(c.rowF2))
-	copy(ests, c.rowF2)
+	r := c.rowF2
+	switch len(r) {
+	case 1:
+		return r[0]
+	case 2:
+		return (r[0] + r[1]) / 2
+	case 3:
+		return r[0] + r[1] + r[2] - math.Max(r[0], math.Max(r[1], r[2])) -
+			math.Min(r[0], math.Min(r[1], r[2]))
+	case 4:
+		lo := math.Min(math.Min(r[0], r[1]), math.Min(r[2], r[3]))
+		hi := math.Max(math.Max(r[0], r[1]), math.Max(r[2], r[3]))
+		return (r[0] + r[1] + r[2] + r[3] - lo - hi) / 2
+	}
+	ests := c.maker.medScratch[:len(r)]
+	copy(ests, r)
 	return median(ests)
+}
+
+// ThresholdBudget implements BudgetEstimator. A weight-w update moves one
+// counter per row by ±w, so a row's L2 norm grows by at most w and its sum
+// of squares stays below (sqrt(rowF2)+W)² after W total weight. The median
+// over rows is bounded by the max row, giving a safe check-free budget of
+// sqrt(thresh) − sqrt(max rowF2).
+func (c *CountSketch) ThresholdBudget(thresh float64) int64 {
+	maxRow := 0.0
+	for _, v := range c.rowF2 {
+		if v > maxRow {
+			maxRow = v
+		}
+	}
+	if maxRow >= thresh {
+		return 0
+	}
+	return int64(math.Sqrt(thresh) - math.Sqrt(maxRow))
 }
 
 // EstimateItem implements ItemEstimator: the median over rows of
 // sign * counter, the CountSketch point estimate of x's net frequency.
 func (c *CountSketch) EstimateItem(x uint64) float64 {
 	m := c.maker
-	ests := make([]float64, m.depth)
+	ests := m.medScratch[:m.depth]
 	for i := 0; i < m.depth; i++ {
-		b, s := m.rowSlot(i, x)
-		ests[i] = float64(s * c.rows[i][b])
+		v := m.rowSlot(i, x)
+		sign := int64(v&1)*2 - 1
+		ests[i] = float64(sign * c.data[i*m.width+int(v>>1)])
 	}
 	return median(ests)
 }
 
-// Merge implements Sketch by counter-wise addition.
+// Merge implements Sketch by counter-wise addition. The merged rowF2 is
+// recomputed exactly from the counters, which also clears any float drift
+// the incremental maintenance accumulated.
 func (c *CountSketch) Merge(other Sketch) error {
 	o, ok := other.(*CountSketch)
 	if !ok || o.maker != c.maker {
 		return ErrIncompatible
 	}
-	for i := range c.rows {
+	w := c.maker.width
+	for i := range c.rowF2 {
 		var f2 float64
-		for j := range c.rows[i] {
-			c.rows[i][j] += o.rows[i][j]
-			f2 += float64(c.rows[i][j]) * float64(c.rows[i][j])
+		for j := i * w; j < (i+1)*w; j++ {
+			c.data[j] += o.data[j]
+			f2 += float64(c.data[j]) * float64(c.data[j])
 		}
 		c.rowF2[i] = f2
 	}

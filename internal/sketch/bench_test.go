@@ -1,0 +1,65 @@
+package sketch
+
+import (
+	"testing"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// Microbenchmarks for the CountSketch hot path: plain Add (hashes per
+// row), the hash-once Slots/AddSlots split the core ingest path uses, and
+// the closing-check Estimate. All must be allocation-free.
+
+func benchF2Maker() *F2Maker {
+	return NewF2Maker(50, 4, hash.New(1))
+}
+
+func BenchmarkCountSketchAdd(b *testing.B) {
+	m := benchF2Maker()
+	cs := m.New().(*CountSketch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Add(uint64(i), 1)
+	}
+}
+
+// BenchmarkCountSketchAddSlots measures the fan-out side alone: slots are
+// precomputed once, as they are when one tuple updates many sketches.
+func BenchmarkCountSketchAddSlots(b *testing.B) {
+	m := benchF2Maker()
+	cs := m.New().(*CountSketch)
+	slots := m.Slots(12345, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.AddSlots(slots, 1)
+	}
+}
+
+// BenchmarkCountSketchSlots measures the hash-once side alone.
+func BenchmarkCountSketchSlots(b *testing.B) {
+	m := benchF2Maker()
+	scratch := make(Slots, 0, m.SlotWidth())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = m.Slots(uint64(i), scratch[:0])
+	}
+	_ = scratch
+}
+
+func BenchmarkCountSketchEstimate(b *testing.B) {
+	m := benchF2Maker()
+	cs := m.New().(*CountSketch)
+	for i := 0; i < 10_000; i++ {
+		cs.Add(uint64(i%100), 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = cs.Estimate()
+	}
+	_ = v
+}

@@ -8,7 +8,9 @@ package sketch
 // et al. that the paper cites as prior work.
 
 // CountMaker makes exact COUNT (F1) counters.
-type CountMaker struct{}
+type CountMaker struct {
+	pool []*counter
+}
 
 // NewCountMaker returns a Maker for exact F1/COUNT counters.
 func NewCountMaker() *CountMaker { return &CountMaker{} }
@@ -17,10 +19,40 @@ func NewCountMaker() *CountMaker { return &CountMaker{} }
 func (m *CountMaker) Name() string { return "count" }
 
 // New implements Maker.
-func (m *CountMaker) New() Sketch { return &counter{} }
+func (m *CountMaker) New() Sketch {
+	if n := len(m.pool); n > 0 {
+		c := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		return c
+	}
+	return &counter{}
+}
+
+// Slots implements SlotMaker. Exact counters have no hash functions; the
+// "slot" is the item itself, so the fan-out path is exercisable (and
+// testable) uniformly across every aggregate.
+func (m *CountMaker) Slots(x uint64, scratch Slots) Slots {
+	return append(scratch, x)
+}
+
+// SlotWidth implements SlotMaker.
+func (m *CountMaker) SlotWidth() int { return 1 }
+
+// Recycle implements Recycler.
+func (m *CountMaker) Recycle(sk Sketch) {
+	c, ok := sk.(*counter)
+	if !ok || c.sum || len(m.pool) >= maxPool {
+		return
+	}
+	c.Reset()
+	m.pool = append(m.pool, c)
+}
 
 // SumMaker makes exact SUM counters: Add(x, w) contributes w*x.
-type SumMaker struct{}
+type SumMaker struct {
+	pool []*counter
+}
 
 // NewSumMaker returns a Maker for exact SUM counters.
 func NewSumMaker() *SumMaker { return &SumMaker{} }
@@ -29,7 +61,33 @@ func NewSumMaker() *SumMaker { return &SumMaker{} }
 func (m *SumMaker) Name() string { return "sum" }
 
 // New implements Maker.
-func (m *SumMaker) New() Sketch { return &counter{sum: true} }
+func (m *SumMaker) New() Sketch {
+	if n := len(m.pool); n > 0 {
+		c := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		return c
+	}
+	return &counter{sum: true}
+}
+
+// Slots implements SlotMaker.
+func (m *SumMaker) Slots(x uint64, scratch Slots) Slots {
+	return append(scratch, x)
+}
+
+// SlotWidth implements SlotMaker.
+func (m *SumMaker) SlotWidth() int { return 1 }
+
+// Recycle implements Recycler.
+func (m *SumMaker) Recycle(sk Sketch) {
+	c, ok := sk.(*counter)
+	if !ok || !c.sum || len(m.pool) >= maxPool {
+		return
+	}
+	c.Reset()
+	m.pool = append(m.pool, c)
+}
 
 type counter struct {
 	sum   bool
@@ -42,6 +100,28 @@ func (c *counter) Add(x uint64, w int64) {
 	} else {
 		c.total += w
 	}
+}
+
+// AddSlots implements SlotAdder.
+func (c *counter) AddSlots(slots Slots, w int64) {
+	c.Add(slots[0], w)
+}
+
+// Reset implements Resetter.
+func (c *counter) Reset() { c.total = 0 }
+
+// ThresholdBudget implements BudgetEstimator. A COUNT estimate grows by
+// exactly the added weight, so the budget is the exact distance to the
+// threshold; SUM grows by w·x with unbounded x, so it offers no bound.
+func (c *counter) ThresholdBudget(thresh float64) int64 {
+	if c.sum {
+		return 0
+	}
+	b := int64(thresh - float64(c.total))
+	if b < 0 {
+		return 0
+	}
+	return b
 }
 
 func (c *counter) Estimate() float64 { return float64(c.total) }

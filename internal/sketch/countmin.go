@@ -23,6 +23,8 @@ type CountMin struct {
 type CountMinMaker struct {
 	width, depth int
 	rowH         []*hash.TwoWise
+
+	pool []*CountMin // free list of reset sketches
 }
 
 // NewCountMinMaker returns a Maker for d-row, w-wide Count-Min sketches.
@@ -54,13 +56,41 @@ func NewCountMinMakerError(eps, gamma float64, rng *hash.RNG) *CountMinMaker {
 // Name implements Maker.
 func (m *CountMinMaker) Name() string { return "countmin" }
 
-// New implements Maker.
+// New implements Maker, drawing from the free list when possible.
 func (m *CountMinMaker) New() Sketch {
+	if n := len(m.pool); n > 0 {
+		cm := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		return cm
+	}
 	cm := &CountMin{maker: m, rows: make([][]int64, m.depth)}
+	backing := make([]int64, m.depth*m.width)
 	for i := range cm.rows {
-		cm.rows[i] = make([]int64, m.width)
+		cm.rows[i] = backing[i*m.width : (i+1)*m.width : (i+1)*m.width]
 	}
 	return cm
+}
+
+// Slots implements SlotMaker: one counter index per row.
+func (m *CountMinMaker) Slots(x uint64, scratch Slots) Slots {
+	for i := 0; i < m.depth; i++ {
+		scratch = append(scratch, uint64(m.rowH[i].Bucket(x, m.width)))
+	}
+	return scratch
+}
+
+// SlotWidth implements SlotMaker.
+func (m *CountMinMaker) SlotWidth() int { return m.depth }
+
+// Recycle implements Recycler.
+func (m *CountMinMaker) Recycle(sk Sketch) {
+	cm, ok := sk.(*CountMin)
+	if !ok || cm.maker != m || len(m.pool) >= maxPool {
+		return
+	}
+	cm.Reset()
+	m.pool = append(m.pool, cm)
 }
 
 // Add implements Sketch. Count-Min assumes the strict turnstile model:
@@ -71,6 +101,25 @@ func (c *CountMin) Add(x uint64, w int64) {
 		c.rows[i][m.rowH[i].Bucket(x, m.width)] += w
 	}
 	c.total += w
+}
+
+// AddSlots implements SlotAdder.
+func (c *CountMin) AddSlots(slots Slots, w int64) {
+	for i, b := range slots {
+		c.rows[i][b] += w
+	}
+	c.total += w
+}
+
+// Reset implements Resetter.
+func (c *CountMin) Reset() {
+	for i := range c.rows {
+		row := c.rows[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	c.total = 0
 }
 
 // Estimate implements Sketch: the exact total weight ||f||_1 (F1).

@@ -27,6 +27,9 @@ type L1 struct {
 type L1Maker struct {
 	k int
 	h *hash.Tab64
+
+	pool       []*L1     // free list of reset sketches
+	medScratch []float64 // reused by Estimate
 }
 
 // NewL1Maker returns a Maker with k counters; the estimator's standard
@@ -57,9 +60,38 @@ func NewL1MakerError(upsilon, gamma float64, rng *hash.RNG) *L1Maker {
 // Name implements Maker.
 func (m *L1Maker) Name() string { return "f1/cauchy" }
 
-// New implements Maker.
+// New implements Maker, drawing from the free list when possible.
 func (m *L1Maker) New() Sketch {
+	if n := len(m.pool); n > 0 {
+		s := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		return s
+	}
 	return &L1{maker: m, cnt: make([]float64, m.k)}
+}
+
+// Slots implements SlotMaker: the k Cauchy variates of x, as float64 bits.
+// Generating a variate costs a tabulation hash plus a tangent, so the
+// hash-once fan-out saves far more here than for the integer sketches.
+func (m *L1Maker) Slots(x uint64, scratch Slots) Slots {
+	for j := 0; j < m.k; j++ {
+		scratch = append(scratch, math.Float64bits(m.cauchy(j, x)))
+	}
+	return scratch
+}
+
+// SlotWidth implements SlotMaker.
+func (m *L1Maker) SlotWidth() int { return m.k }
+
+// Recycle implements Recycler.
+func (m *L1Maker) Recycle(sk Sketch) {
+	s, ok := sk.(*L1)
+	if !ok || s.maker != m || len(m.pool) >= maxPool {
+		return
+	}
+	s.Reset()
+	m.pool = append(m.pool, s)
 }
 
 // K returns the counter count.
@@ -83,9 +115,29 @@ func (s *L1) Add(x uint64, w int64) {
 	}
 }
 
-// Estimate implements Sketch: the median of absolute counter values.
+// AddSlots implements SlotAdder.
+func (s *L1) AddSlots(slots Slots, w int64) {
+	wf := float64(w)
+	for j, bits := range slots {
+		s.cnt[j] += wf * math.Float64frombits(bits)
+	}
+}
+
+// Reset implements Resetter.
+func (s *L1) Reset() {
+	for j := range s.cnt {
+		s.cnt[j] = 0
+	}
+}
+
+// Estimate implements Sketch: the median of absolute counter values,
+// computed on a maker-owned scratch buffer.
 func (s *L1) Estimate() float64 {
-	abs := make([]float64, len(s.cnt))
+	m := s.maker
+	if cap(m.medScratch) < len(s.cnt) {
+		m.medScratch = make([]float64, len(s.cnt))
+	}
+	abs := m.medScratch[:len(s.cnt)]
 	for i, v := range s.cnt {
 		abs[i] = math.Abs(v)
 	}

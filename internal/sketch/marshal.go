@@ -17,7 +17,10 @@ import (
 // The format is versioned, little-endian, varint-based:
 // [1 version] [payload...].
 
-const marshalVersion = 1
+// Version 2: bucket/sign placement switched from modulo to Lemire
+// multiply-shift reduction, so counters serialized by version 1 would
+// decode into incompatible slot mappings.
+const marshalVersion = 2
 
 // ErrBadEncoding reports malformed or incompatible serialized bytes.
 var ErrBadEncoding = errors.New("sketch: bad or incompatible encoding")
@@ -107,10 +110,8 @@ func (c *CountSketch) MarshalBinary() ([]byte, error) {
 	buf := appendHeader(nil, kindCountSketch)
 	buf = appendU64(buf, uint64(c.maker.depth))
 	buf = appendU64(buf, uint64(c.maker.width))
-	for _, row := range c.rows {
-		for _, v := range row {
-			buf = appendI64(buf, v)
-		}
+	for _, v := range c.data {
+		buf = appendI64(buf, v)
 	}
 	return buf, nil
 }
@@ -133,14 +134,14 @@ func (c *CountSketch) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: geometry %dx%d vs %dx%d",
 			ErrBadEncoding, d, w, c.maker.depth, c.maker.width)
 	}
-	for i := range c.rows {
+	for i := 0; i < c.maker.depth; i++ {
 		var f2 float64
-		for j := range c.rows[i] {
+		for j := i * c.maker.width; j < (i+1)*c.maker.width; j++ {
 			var v int64
 			if v, rest, err = readI64(rest); err != nil {
 				return err
 			}
-			c.rows[i][j] = v
+			c.data[j] = v
 			f2 += float64(v) * float64(v)
 		}
 		c.rowF2[i] = f2

@@ -68,11 +68,9 @@ func TestPropertyCountSketchAddThenDeleteIsIdentity(t *testing.T) {
 		for _, x := range xs {
 			s.Add(x, -1)
 		}
-		for _, row := range s.rows {
-			for _, c := range row {
-				if c != 0 {
-					return false
-				}
+		for _, c := range s.data {
+			if c != 0 {
+				return false
 			}
 		}
 		return s.Estimate() == 0

@@ -48,6 +48,66 @@ type Maker interface {
 	Name() string
 }
 
+// Slots is the precomputed per-row update plan for one item: everything a
+// sketch needs to apply the item without re-evaluating hash functions. The
+// word layout is private to each Maker/Sketch pair — slots produced by one
+// Maker are only meaningful to sketches created by that same Maker.
+type Slots []uint64
+
+// SlotMaker is a Maker whose sketches all share hash functions, so the
+// (bucket, sign) work for an item can be computed once and applied to any
+// number of sibling sketches. This is what makes the core structure's
+// ingest path hash-once: one tuple is hashed once per arrival, not once per
+// live level. Every sketch returned by a SlotMaker's New must implement
+// SlotAdder.
+type SlotMaker interface {
+	Maker
+
+	// Slots appends x's update slots to scratch and returns the extended
+	// slice. Callers reuse scratch across calls (pass scratch[:0] for a
+	// single item, or keep appending to build a batch slab).
+	Slots(x uint64, scratch Slots) Slots
+
+	// SlotWidth returns the fixed number of slot words emitted per item.
+	SlotWidth() int
+}
+
+// SlotAdder applies a precomputed update plan. AddSlots(m.Slots(x, nil), w)
+// must leave the sketch in a state bit-identical to Add(x, w).
+type SlotAdder interface {
+	AddSlots(slots Slots, w int64)
+}
+
+// Resetter is implemented by sketches that can be cleared back to their
+// freshly-created (empty) state for reuse.
+type Resetter interface {
+	Reset()
+}
+
+// Recycler is implemented by makers that keep a free list of reset
+// sketches: New draws from the pool when possible, and Recycle returns a
+// sketch to it. Recycling a sketch transfers ownership back to the maker —
+// the caller must drop every reference to it.
+type Recycler interface {
+	Recycle(Sketch)
+}
+
+// Recycle returns sk to m's pool when m supports pooling; otherwise it is
+// a no-op and the sketch is left for the garbage collector.
+func Recycle(m Maker, sk Sketch) {
+	if sk == nil {
+		return
+	}
+	if r, ok := m.(Recycler); ok {
+		r.Recycle(sk)
+	}
+}
+
+// maxPool bounds each maker's free list; beyond this, recycled sketches
+// are simply dropped. Query composition and bucket eviction churn a
+// handful of sketches at a time, so a small pool captures all the reuse.
+const maxPool = 256
+
 // ItemEstimator is implemented by sketches that can estimate the frequency
 // of an individual item (CountSketch, Count-Min). The correlated heavy
 // hitters structure of Section 3.3 depends on it.
@@ -77,6 +137,28 @@ func CheapEstimate(s Sketch) float64 {
 		return c.CheapEstimate()
 	}
 	return s.Estimate()
+}
+
+// BudgetEstimator is implemented by sketches that can bound how much more
+// weight they can absorb before their (cheap) estimate could possibly
+// reach a threshold. The core structure uses the budget to skip its
+// per-insertion bucket-closing checks: while the returned weight has not
+// yet been added, the estimate provably stays below thresh, so the
+// decisions are bit-identical to checking after every update.
+type BudgetEstimator interface {
+	// ThresholdBudget returns a weight W >= 0 such that the estimate
+	// stays strictly below thresh until at least W more total weight has
+	// been added. 0 means "no guarantee — re-check after every update".
+	ThresholdBudget(thresh float64) int64
+}
+
+// ThresholdBudget returns s's check-skipping budget for thresh, or 0 when
+// the sketch offers no bound.
+func ThresholdBudget(s Sketch, thresh float64) int64 {
+	if b, ok := s.(BudgetEstimator); ok {
+		return b.ThresholdBudget(thresh)
+	}
+	return 0
 }
 
 // median returns the median of vs, averaging the two middle elements for

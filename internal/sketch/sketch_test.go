@@ -137,9 +137,9 @@ func TestCountSketchIncrementalEstimateMatchesRecompute(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		s.Add(rng.Uint64n(200), int64(rng.Uint64n(3))+1)
 	}
-	for i, row := range s.rows {
+	for i := 0; i < m.depth; i++ {
 		var f2 float64
-		for _, c := range row {
+		for _, c := range s.row(i) {
 			f2 += float64(c) * float64(c)
 		}
 		if math.Abs(f2-s.rowF2[i]) > 1e-6*math.Abs(f2) {

@@ -25,6 +25,10 @@ func (s *F2Summary) Add(x, y uint64) error { return s.d.add(x, y, 1) }
 // AddWeighted inserts w > 0 copies of (x, y).
 func (s *F2Summary) AddWeighted(x, y uint64, w int64) error { return s.d.add(x, y, w) }
 
+// AddBatch inserts a batch of tuples through the amortized batched path
+// (sorted by y in place, one hash per tuple, leaf routing per group).
+func (s *F2Summary) AddBatch(batch []Tuple) error { return s.d.addBatch(batch) }
+
 // QueryLE estimates F2 over tuples with y <= c.
 func (s *F2Summary) QueryLE(c uint64) (float64, error) { return s.d.queryLE(c) }
 
@@ -63,6 +67,9 @@ func (s *FkSummary) Add(x, y uint64) error { return s.d.add(x, y, 1) }
 // AddWeighted inserts w > 0 copies of (x, y).
 func (s *FkSummary) AddWeighted(x, y uint64, w int64) error { return s.d.add(x, y, w) }
 
+// AddBatch inserts a batch of tuples through the amortized batched path.
+func (s *FkSummary) AddBatch(batch []Tuple) error { return s.d.addBatch(batch) }
+
 // QueryLE estimates Fk over tuples with y <= c.
 func (s *FkSummary) QueryLE(c uint64) (float64, error) { return s.d.queryLE(c) }
 
@@ -96,6 +103,9 @@ func (s *CountSummary) Add(x, y uint64) error { return s.d.add(x, y, 1) }
 
 // AddWeighted inserts w > 0 copies of (x, y).
 func (s *CountSummary) AddWeighted(x, y uint64, w int64) error { return s.d.add(x, y, w) }
+
+// AddBatch inserts a batch of tuples through the amortized batched path.
+func (s *CountSummary) AddBatch(batch []Tuple) error { return s.d.addBatch(batch) }
 
 // QueryLE estimates the number of tuples with y <= c.
 func (s *CountSummary) QueryLE(c uint64) (float64, error) { return s.d.queryLE(c) }
@@ -131,6 +141,9 @@ func (s *SumSummary) Add(x, y uint64) error { return s.d.add(x, y, 1) }
 
 // AddWeighted inserts w > 0 copies of (x, y).
 func (s *SumSummary) AddWeighted(x, y uint64, w int64) error { return s.d.add(x, y, w) }
+
+// AddBatch inserts a batch of tuples through the amortized batched path.
+func (s *SumSummary) AddBatch(batch []Tuple) error { return s.d.addBatch(batch) }
 
 // QueryLE estimates Σ{x : y <= c}.
 func (s *SumSummary) QueryLE(c uint64) (float64, error) { return s.d.queryLE(c) }

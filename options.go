@@ -74,6 +74,8 @@ type dual struct {
 	ge   *core.Summary
 	ymax uint64 // rounded domain top, shared by both directions
 	pred Predicate
+
+	geScratch []Tuple // reused mirrored-batch buffer for addBatch
 }
 
 func newDual(agg core.Aggregate, o Options) (*dual, error) {
@@ -95,6 +97,10 @@ func newDual(agg core.Aggregate, o Options) (*dual, error) {
 	return d, nil
 }
 
+// Tuple is one stream element for batched insertion. A zero W counts as
+// weight 1.
+type Tuple = core.Tuple
+
 func (d *dual) add(x, y uint64, w int64) error {
 	if y > d.ymax {
 		return errors.New("correlated: y exceeds YMax")
@@ -106,6 +112,35 @@ func (d *dual) add(x, y uint64, w int64) error {
 	}
 	if d.ge != nil {
 		if err := d.ge.AddWeighted(x, d.ymax-y, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addBatch feeds a batch through the underlying summaries' amortized
+// batched path. The batch is sorted by y in place; when the GE direction
+// is enabled its mirrored copy lives in a scratch slice owned by d.
+func (d *dual) addBatch(batch []Tuple) error {
+	for i := range batch {
+		if batch[i].Y > d.ymax {
+			return errors.New("correlated: y exceeds YMax")
+		}
+	}
+	if d.le != nil {
+		if err := d.le.AddBatch(batch); err != nil {
+			return err
+		}
+	}
+	if d.ge != nil {
+		if cap(d.geScratch) < len(batch) {
+			d.geScratch = make([]Tuple, len(batch))
+		}
+		mir := d.geScratch[:len(batch)]
+		for i, t := range batch {
+			mir[i] = Tuple{X: t.X, Y: d.ymax - t.Y, W: t.W}
+		}
+		if err := d.ge.AddBatch(mir); err != nil {
 			return err
 		}
 	}

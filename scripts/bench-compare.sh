@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail
+# when any benchmark's ns/op regressed by more than BENCH_MAX_REGRESSION_PCT
+# (default 5). Benchmarks present on only one side are ignored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+
+if [[ ! -f benchmarks/baseline.txt ]]; then
+  echo "No benchmarks/baseline.txt — nothing to compare."
+  exit 0
+fi
+if [[ ! -f benchmarks/latest.txt ]]; then
+  echo "benchmarks/latest.txt not found — run scripts/bench.sh first" >&2
+  exit 1
+fi
+
+awk -v max="$MAX_PCT" '
+  /^Benchmark/ && NF >= 4 {
+    # "BenchmarkName-8  N  123 ns/op ..." — keyed without the GOMAXPROCS suffix.
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") { v = $i; break }
+    if (FILENAME ~ /baseline/) base[name] = v; else latest[name] = v
+  }
+  END {
+    bad = 0
+    for (name in latest) {
+      if (!(name in base) || base[name] + 0 == 0) continue
+      pct = (latest[name] - base[name]) / base[name] * 100
+      printf "%-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", name, base[name], latest[name], pct
+      if (pct > max) { bad = 1 }
+    }
+    if (bad) { printf "FAIL: regression above %s%%\n", max; exit 1 }
+    print "OK: no regression above " max "%"
+  }
+' benchmarks/baseline.txt benchmarks/latest.txt

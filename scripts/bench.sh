@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the regression-tracked benchmark suite and write benchmarks/latest.txt.
+#
+# Workflow (see benchmarks/README.md):
+#   scripts/bench.sh          # generate benchmarks/latest.txt
+#   scripts/bench-update.sh   # promote latest.txt to baseline.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p benchmarks
+
+# Fixed iteration counts keep runs comparable across invocations: the
+# summaries' per-tuple cost depends on the stream position, so adaptive
+# benchtime would measure different regimes on different machines.
+BENCH_COUNT="${BENCH_COUNT:-1}"
+
+{
+  go test -run '^$' -bench 'BenchmarkCoreAdd$|BenchmarkCoreAddBatch$|BenchmarkCoreQuery$' \
+    -benchmem -count="$BENCH_COUNT" ./internal/core/
+  go test -run '^$' -bench 'BenchmarkCountSketch' -benchmem -count="$BENCH_COUNT" ./internal/sketch/
+  go test -run '^$' -bench 'BenchmarkTableB_UpdateThroughput' -benchmem -benchtime=200000x \
+    -count="$BENCH_COUNT" .
+} | tee benchmarks/latest.txt
+
+echo
+echo "Wrote benchmarks/latest.txt — review, then run scripts/bench-update.sh to promote as baseline."
