@@ -14,6 +14,8 @@
 //	corrbench -table accuracy-f2
 //	corrbench -table accuracy-f0
 //	corrbench -table throughput
+//	corrbench -table throughput -shards 4   # sharded-engine ingest
+//	corrbench -table sharded-scaling        # tuples/sec at P = 1, 2, 4, 8
 //	corrbench -table greater-than
 //	corrbench -table multipass
 //	corrbench -all              # everything, at the default sizes
@@ -26,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	correlated "github.com/streamagg/correlated"
@@ -33,6 +36,7 @@ import (
 	"github.com/streamagg/correlated/internal/gen"
 	"github.com/streamagg/correlated/internal/hash"
 	"github.com/streamagg/correlated/internal/turnstile"
+	"github.com/streamagg/correlated/shard"
 )
 
 const (
@@ -41,7 +45,10 @@ const (
 	xdomF0    = 1_000_001 // F0 datasets: x in [0, 1000000]
 )
 
-var seed = flag.Uint64("seed", 1, "random seed for generators and sketches")
+var (
+	seed   = flag.Uint64("seed", 1, "random seed for generators and sketches")
+	shards = flag.Int("shards", 1, "shard the F2 throughput run across N worker goroutines")
+)
 
 func main() {
 	var (
@@ -104,6 +111,8 @@ func runTable(table string, n int) {
 		multipassTable(orDefault(n, 200_000))
 	case "multipass-f1":
 		multipassF1Table(orDefault(n, 100_000))
+	case "sharded-scaling":
+		shardedScaling(orDefault(n, 2_000_000))
 	default:
 		fmt.Fprintf(os.Stderr, "corrbench: unknown table %q\n", table)
 		os.Exit(2)
@@ -128,11 +137,15 @@ func f2Datasets(n int) map[string]func() gen.Stream {
 
 var f2Order = []string{"uniform", "zipf1", "zipf2"}
 
-func newF2(eps float64, n int) *correlated.F2Summary {
-	s, err := correlated.NewF2Summary(correlated.Options{
+func f2Options(eps float64, n int) correlated.Options {
+	return correlated.Options{
 		Eps: eps, Delta: 0.1, YMax: ymaxPaper,
 		MaxStreamLen: uint64(n), MaxX: xdomF2, Seed: *seed,
-	})
+	}
+}
+
+func newF2(eps float64, n int) *correlated.F2Summary {
+	s, err := correlated.NewF2Summary(f2Options(eps, n))
 	die(err)
 	return s
 }
@@ -303,16 +316,31 @@ func accuracyF0(n int) {
 }
 
 // throughput reports per-record processing rates (Section 5.1 prose).
+// With -shards > 1 the F2 rows run through the sharded ingest engine
+// instead of a single summary.
 func throughput(n int) {
-	fmt.Printf("# Table B (Sec 5.1 prose): update throughput; n=%d, eps=0.2\n", n)
+	fmt.Printf("# Table B (Sec 5.1 prose): update throughput; n=%d, eps=0.2, shards=%d\n", n, *shards)
 	fmt.Println("summary\tdataset\tadds_per_sec")
 	for _, name := range f2Order {
-		s := newF2(0.2, n)
 		st := f2Datasets(n)[name]()
-		start := time.Now()
-		feed(st, func(x, y uint64) { die(s.Add(x, y)) })
-		el := time.Since(start).Seconds()
-		fmt.Printf("F2\t%s\t%.0f\n", name, float64(n)/el)
+		label := "F2"
+		var el float64
+		if *shards > 1 {
+			label = fmt.Sprintf("F2/sharded%d", *shards)
+			eng, err := shard.NewF2(f2Options(0.2, n), *shards)
+			die(err)
+			start := time.Now()
+			feed(st, func(x, y uint64) { die(eng.Add(x, y)) })
+			die(eng.Flush())
+			el = time.Since(start).Seconds()
+			die(eng.Close())
+		} else {
+			s := newF2(0.2, n)
+			start := time.Now()
+			feed(st, func(x, y uint64) { die(s.Add(x, y)) })
+			el = time.Since(start).Seconds()
+		}
+		fmt.Printf("%s\t%s\t%.0f\n", label, name, float64(n)/el)
 	}
 	for _, name := range f0Order {
 		xdom := uint64(xdomF0)
@@ -444,6 +472,28 @@ func multipassF1Table(n int) {
 		}
 		allowed := (1+eps)*(1+eps) - 1
 		fmt.Printf("%.2f\t%.4f\t%.4f\t%d\t%d\n", eps, maxRel, allowed, res.Passes, res.Space)
+	}
+}
+
+// shardedScaling sweeps the sharded F2 engine over P = 1, 2, 4, 8 on the
+// uniform dataset and reports ingest throughput plus a query sanity
+// check. Scaling past P=1 requires at least P+1 free cores.
+func shardedScaling(n int) {
+	fmt.Printf("# Sharded ingest scaling: F2, uniform dataset, eps=0.2, n=%d, GOMAXPROCS=%d\n",
+		n, runtime.GOMAXPROCS(0))
+	fmt.Println("shards\tadds_per_sec\tquery_le_half")
+	for _, p := range []int{1, 2, 4, 8} {
+		eng, err := shard.NewF2(f2Options(0.2, n), p)
+		die(err)
+		st := gen.Uniform(n, xdomF2, ymaxPaper+1, *seed)
+		start := time.Now()
+		feed(st, func(x, y uint64) { die(eng.Add(x, y)) })
+		die(eng.Flush())
+		el := time.Since(start).Seconds()
+		est, err := eng.QueryLE(ymaxPaper / 2)
+		die(err)
+		die(eng.Close())
+		fmt.Printf("%d\t%.0f\t%.3g\n", p, float64(n)/el, est)
 	}
 }
 

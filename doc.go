@@ -34,15 +34,61 @@
 //   - RunMultipass and the GREATER-THAN helpers — the turnstile
 //     (positive and negative weights) results of Section 4.
 //
-// All summaries are deterministic in their Seed option and built only on
-// the Go standard library.
+// # Paper-to-package map
+//
+// The implementation follows the paper's structure closely:
+//
+//	§2 general reduction      internal/core     level/bucket trees, Algorithms 1–3,
+//	                                            hash-once ingest, AddBatch, Merge
+//	§3.1 F2 and Fk sketches   internal/sketch   CountSketch/AMS (Thorup–Zhang layout),
+//	                                            Indyk–Woodruff level sets, pooling,
+//	                                            the SlotMaker/SlotAdder fast path
+//	§3.2 distinct counts      internal/corrf0   distinct sampling with y-priority
+//	                                            eviction and per-level watermarks
+//	§3.3 heavy hitters        internal/heavy    candidate tracking over the §2 sketch
+//	§1.1 sliding windows      internal/window   timestamp-as-y reduction
+//	§4 turnstile/multipass    internal/turnstile  MULTIPASS, GREATER-THAN bounds
+//	distributed model         shard             P worker-owned summaries, channel-fed
+//	                                            ingest, merge-then-query coordinator
+//	support                   internal/dyadic, internal/hash, internal/quantile,
+//	                          internal/gen, internal/exact — interval arithmetic,
+//	                          seeded universal hashing, GK quantiles, generators,
+//	                          brute-force references
+//
+// # Accuracy guarantees
+//
+// Options.Eps and Options.Delta carry the paper's (ε, δ) contract: each
+// query's estimate is within a (1 ± ε) factor of the true aggregate over
+// the selected substream with probability at least 1 − δ (per query), with
+// space polylogarithmic in the stream length. The constants follow the
+// paper's own experimental configuration rather than the worst-case proofs
+// (set Options.StrictTheory for the proof constants where feasible —
+// practical only for SUM/COUNT). A query can also fail explicitly with
+// ErrNoLevel — the FAIL output of Algorithm 3 — with probability at most δ.
+//
+// # Mergeability and distribution
+//
+// Summaries built from identical Options (Seed included: it regenerates
+// the hash functions) are mergeable — the paper's distributed model, where
+// each site summarizes its local substream and a coordinator combines site
+// summaries to answer queries over the union. Merge folds a live summary
+// into another; MergeMarshaled folds the serialized wire form directly,
+// without materializing an intermediate summary. Incompatible summaries
+// are rejected with an *IncompatibleError (matching ErrIncompatible)
+// naming the differing option. Merging k site summaries keeps every
+// structural guarantee but scales the bucket-straddling error term
+// (Lemma 4) by up to k; use Eps/k at the sites when a strict ε must
+// survive a k-way merge. The shard subpackage builds a parallel ingest
+// engine on exactly this merge layer.
 //
 // # Concurrency
 //
 // Summaries are not safe for concurrent use. Both ingestion and queries
 // mutate internal state (sketch free lists and scratch buffers are pooled
 // per summary for allocation-free steady-state operation), so all access —
-// including read-only queries — must be serialized by the caller.
+// including read-only queries — must be serialized by the caller. For
+// multi-core ingest, use the shard subpackage, which owns one summary per
+// worker goroutine and merges at query time.
 //
 // # Quick example
 //
@@ -53,4 +99,7 @@
 //		_ = s.Add(t.X, t.Y)
 //	}
 //	est, _ := s.QueryLE(cutoff) // F2 of {x : y <= cutoff}
+//
+// All summaries are deterministic in their Seed option and built only on
+// the Go standard library.
 package correlated

@@ -3,6 +3,7 @@ package correlated
 import (
 	"errors"
 
+	"github.com/streamagg/correlated/internal/compat"
 	"github.com/streamagg/correlated/internal/corrf0"
 	"github.com/streamagg/correlated/internal/dyadic"
 )
@@ -107,10 +108,24 @@ func (s *F0Summary) RarityGE(c uint64) (float64, error) {
 
 // Merge folds other — an F0Summary built with identical Options over a
 // different substream — into the receiver, producing the summary of the
-// combined stream (the distributed-streams use case).
+// combined stream (the distributed-streams use case). Distinct sampling
+// is order- and partition-oblivious, so merged queries carry the same
+// (Eps, Delta) guarantee as single-summary ingestion of the union. A
+// summary built from different Options is rejected with an
+// *IncompatibleError (matching ErrIncompatible) naming the differing
+// field, before any state changes.
 func (s *F0Summary) Merge(other *F0Summary) error {
-	if other == nil || (s.le == nil) != (other.le == nil) || (s.ge == nil) != (other.ge == nil) {
-		return errors.New("correlated: cannot merge F0 summaries with different predicates")
+	if other == nil {
+		return errors.New("correlated: cannot merge a nil summary")
+	}
+	if other == s {
+		return errors.New("correlated: cannot merge a summary into itself")
+	}
+	if (s.le == nil) != (other.le == nil) || (s.ge == nil) != (other.ge == nil) {
+		return compat.Mismatch("predicate", s.predicateName(), other.predicateName())
+	}
+	if s.ymax != other.ymax {
+		return compat.Mismatch("ymax", s.ymax, other.ymax)
 	}
 	if s.le != nil {
 		if err := s.le.Merge(other.le); err != nil {
@@ -124,6 +139,42 @@ func (s *F0Summary) Merge(other *F0Summary) error {
 	}
 	s.n += other.n
 	return nil
+}
+
+// predicateName reports which query directions the summary supports, for
+// incompatibility errors.
+func (s *F0Summary) predicateName() string {
+	switch {
+	case s.le != nil && s.ge != nil:
+		return "Both"
+	case s.ge != nil:
+		return "GE"
+	default:
+		return "LE"
+	}
+}
+
+// MergeMarshaled folds a summary serialized with MarshalBinary — the wire
+// form a site ships to the coordinator — into the receiver. The bytes
+// must come from an F0Summary built with identical Options. The receiver
+// is untouched on error.
+func (s *F0Summary) MergeMarshaled(data []byte) error {
+	tmp := &F0Summary{ymax: s.ymax}
+	var err error
+	if s.le != nil {
+		if tmp.le, err = corrf0.New(s.le.Config()); err != nil {
+			return err
+		}
+	}
+	if s.ge != nil {
+		if tmp.ge, err = corrf0.New(s.ge.Config()); err != nil {
+			return err
+		}
+	}
+	if err := tmp.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	return s.Merge(tmp)
 }
 
 // Space reports stored sample tuples.

@@ -1,0 +1,43 @@
+// Package compat defines the shared incompatibility error reported when
+// two summaries cannot be merged. Summaries are mergeable only when they
+// were built from identical configurations — the hash functions behind
+// every sketch are derived deterministically from the seed, so any
+// difference in seed, accuracy target, or domain bound silently breaks the
+// linearity that merging relies on. Every Merge entry point in the repo
+// therefore validates its inputs field by field and reports the first
+// mismatch through this package, so callers can both test with
+// errors.Is(err, ErrIncompatible) and read exactly which field diverged.
+package compat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIncompatible is the sentinel wrapped by every merge-incompatibility
+// error. Match it with errors.Is.
+var ErrIncompatible = errors.New("summaries are incompatible")
+
+// Error reports a single configuration field that prevents a merge.
+// It unwraps to ErrIncompatible.
+type Error struct {
+	// Field names the mismatched configuration field, e.g. "eps",
+	// "delta", "ymax", "seed".
+	Field string
+	// Want is the receiver's value, Got the other summary's.
+	Want, Got string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("cannot merge: %s mismatch (have %s, other has %s): %v",
+		e.Field, e.Want, e.Got, ErrIncompatible)
+}
+
+// Unwrap makes errors.Is(err, ErrIncompatible) true.
+func (e *Error) Unwrap() error { return ErrIncompatible }
+
+// Mismatch builds the incompatibility error for one field.
+func Mismatch(field string, want, got any) error {
+	return &Error{Field: field, Want: fmt.Sprint(want), Got: fmt.Sprint(got)}
+}

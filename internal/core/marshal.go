@@ -4,6 +4,7 @@ import (
 	"encoding"
 	"encoding/binary"
 	"errors"
+	"math"
 
 	"github.com/streamagg/correlated/internal/dyadic"
 	"github.com/streamagg/correlated/internal/sketch"
@@ -11,14 +12,19 @@ import (
 
 // Binary serialization of the correlated-aggregate summary, for
 // checkpointing a stream processor or shipping a summary to a query node.
-// Hash functions and configuration are NOT serialized: UnmarshalBinary
-// must be called on a Summary freshly created by NewSummary with the same
-// aggregate and Config (including Seed) as the source — the seeds
-// deterministically regenerate the sketching functions.
+// Hash functions are NOT serialized: UnmarshalBinary must be called on a
+// Summary freshly created by NewSummary with the same aggregate and
+// Config (including Seed) as the source — the seeds deterministically
+// regenerate the sketching functions. The configuration fields that
+// determine compatibility (eps, delta, ymax, seed, strict-theory, plus
+// the derived alpha and level count) ARE carried in the image and
+// validated on decode, so a mismatched restore or merge fails with a
+// typed error instead of silently combining incompatible hash functions.
 
-// Version 2: the embedded sketch payloads changed hash-to-bucket mapping
-// (see sketch.marshalVersion).
-const coreMarshalVersion = 2
+// Version 3: a config-compatibility block follows the version byte.
+// (Version 2 changed the embedded sketch payloads' hash-to-bucket
+// mapping; see sketch.marshalVersion.)
+const coreMarshalVersion = 3
 
 // ErrBadEncoding reports malformed or configuration-incompatible bytes.
 var ErrBadEncoding = errors.New("core: bad or incompatible encoding")
@@ -32,6 +38,16 @@ type binarySketch interface {
 // aggregate's sketch type does not support serialization.
 func (s *Summary) MarshalBinary() ([]byte, error) {
 	buf := []byte{coreMarshalVersion}
+	// Config-compatibility block, validated by ParseMergeImage.
+	buf = binary.AppendUvarint(buf, math.Float64bits(s.cfg.Eps))
+	buf = binary.AppendUvarint(buf, math.Float64bits(s.cfg.Delta))
+	buf = binary.AppendUvarint(buf, s.cfg.YMax)
+	buf = binary.AppendUvarint(buf, s.cfg.Seed)
+	var strict uint64
+	if s.cfg.StrictTheory {
+		strict = 1
+	}
+	buf = binary.AppendUvarint(buf, strict)
 	buf = binary.AppendUvarint(buf, s.n)
 	buf = binary.AppendUvarint(buf, uint64(s.alpha))
 	buf = binary.AppendUvarint(buf, uint64(s.lmax))
@@ -161,84 +177,16 @@ func (s *Summary) readNode(data []byte, iv dyadic.Interval) (*bucket, []byte, er
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. The receiver must
 // have been created by NewSummary with the same aggregate and Config
-// (including Seed) that produced the bytes.
+// (including Seed) that produced the bytes; the detectable mismatches
+// (alpha, level count) are reported as typed incompatibility errors. The
+// decode walk is shared with ParseMergeImage, and the receiver is left
+// unchanged on error.
 func (s *Summary) UnmarshalBinary(data []byte) error {
-	if len(data) < 1 || data[0] != coreMarshalVersion {
-		return ErrBadEncoding
-	}
-	data = data[1:]
-	var vals [4]uint64
-	for i := range vals {
-		v, n := binary.Uvarint(data)
-		if n <= 0 {
-			return ErrBadEncoding
-		}
-		vals[i] = v
-		data = data[n:]
-	}
-	if int(vals[1]) != s.alpha || int(vals[2]) != s.lmax {
-		return ErrBadEncoding
-	}
-	s.n = vals[0]
-	s.virginFrom = int(vals[3])
-	s.sharedBudget = 0 // force a fresh materialization check
-	var err error
-	if s.shared, data, err = s.readSketch(data); err != nil {
+	img, err := s.ParseMergeImage(data)
+	if err != nil {
 		return err
 	}
-	s.sharedSA = s.slotAdderOf(s.shared)
-	// Singleton level.
-	y0, n := binary.Uvarint(data)
-	if n <= 0 {
-		return ErrBadEncoding
-	}
-	data = data[n:]
-	cnt, n := binary.Uvarint(data)
-	if n <= 0 {
-		return ErrBadEncoding
-	}
-	data = data[n:]
-	s.s0 = levelZero{buckets: make(map[uint64]*bucket, cnt), y: y0}
-	for i := uint64(0); i < cnt; i++ {
-		y, n := binary.Uvarint(data)
-		if n <= 0 {
-			return ErrBadEncoding
-		}
-		data = data[n:]
-		var sk sketch.Sketch
-		if sk, data, err = s.readSketch(data); err != nil {
-			return err
-		}
-		s.s0.buckets[y] = &bucket{iv: dyadic.Interval{L: y, R: y}, sk: sk, sa: s.slotAdderOf(sk)}
-		heapPushU64(&s.s0.ys, y)
-	}
-	// Bucket-tree levels.
-	root := dyadic.Root(s.cfg.YMax)
-	for i := 1; i <= s.lmax; i++ {
-		lv := s.levels[i]
-		yv, n := binary.Uvarint(data)
-		if n <= 0 {
-			return ErrBadEncoding
-		}
-		data = data[n:]
-		cv, n := binary.Uvarint(data)
-		if n <= 0 {
-			return ErrBadEncoding
-		}
-		data = data[n:]
-		lv.y = yv
-		s.wm[i] = yv
-		lv.count = int(cv)
-		if lv.root, data, err = s.readNode(data, root); err != nil {
-			return err
-		}
-		if lv.root == nil {
-			return ErrBadEncoding
-		}
-		s.cache[i] = nil
-	}
-	if len(data) != 0 {
-		return ErrBadEncoding
-	}
+	img.applied = true
+	s.install(img.in)
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"math"
 
+	"github.com/streamagg/correlated/internal/compat"
 	"github.com/streamagg/correlated/internal/hash"
 )
 
@@ -265,11 +266,32 @@ func (r *rep) rarity(c uint64) (float64, bool) {
 // sampled identifiers with the smallest min-y, and a watermark at the
 // smallest y either side has ever dropped. This is the distributed-streams
 // use the Gibbons–Tirthapura structure was designed for.
+//
+// A summary built from a different configuration is rejected with a
+// *compat.Error (wrapping compat.ErrIncompatible) naming the first field
+// that differs, before any state changes.
 func (s *Summary) Merge(other *Summary) error {
-	if other == nil || len(other.reps) != len(s.reps) ||
-		other.alpha != s.alpha || other.cfg.Seed != s.cfg.Seed ||
-		len(other.reps[0].levels) != len(s.reps[0].levels) {
-		return errors.New("corrf0: cannot merge summaries with different configurations")
+	if other == nil {
+		return errors.New("corrf0: cannot merge a nil summary")
+	}
+	if other == s {
+		return errors.New("corrf0: cannot merge a summary into itself")
+	}
+	switch {
+	case s.cfg.Eps != other.cfg.Eps:
+		return compat.Mismatch("eps", s.cfg.Eps, other.cfg.Eps)
+	case s.cfg.Delta != other.cfg.Delta:
+		return compat.Mismatch("delta", s.cfg.Delta, other.cfg.Delta)
+	case s.cfg.XDomain != other.cfg.XDomain:
+		return compat.Mismatch("xdomain", s.cfg.XDomain, other.cfg.XDomain)
+	case s.cfg.Seed != other.cfg.Seed:
+		return compat.Mismatch("seed", s.cfg.Seed, other.cfg.Seed)
+	case s.alpha != other.alpha:
+		return compat.Mismatch("alpha", s.alpha, other.alpha)
+	case len(s.reps) != len(other.reps):
+		return compat.Mismatch("reps", len(s.reps), len(other.reps))
+	case len(s.reps[0].levels) != len(other.reps[0].levels):
+		return compat.Mismatch("levels", len(s.reps[0].levels), len(other.reps[0].levels))
 	}
 	s.n += other.n
 	for ri, r := range s.reps {

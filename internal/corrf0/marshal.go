@@ -4,14 +4,21 @@ import (
 	"container/heap"
 	"encoding/binary"
 	"errors"
+	"math"
+
+	"github.com/streamagg/correlated/internal/compat"
 )
 
 // Binary serialization. As everywhere in this library, hash functions are
 // regenerated from the configuration seed rather than serialized:
 // UnmarshalBinary must be called on a Summary built by New with the same
-// Config as the source.
+// Config as the source. The configuration fields that determine
+// compatibility are carried in the image and validated on decode, so a
+// mismatched restore fails with a typed error instead of silently mixing
+// hash functions.
 
-const marshalVersion = 1
+// Version 2: a config-compatibility block follows the version byte.
+const marshalVersion = 2
 
 // ErrBadEncoding reports malformed or configuration-incompatible bytes.
 var ErrBadEncoding = errors.New("corrf0: bad or incompatible encoding")
@@ -19,6 +26,12 @@ var ErrBadEncoding = errors.New("corrf0: bad or incompatible encoding")
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (s *Summary) MarshalBinary() ([]byte, error) {
 	buf := []byte{marshalVersion}
+	// Config-compatibility block, validated by UnmarshalBinary.
+	buf = binary.AppendUvarint(buf, math.Float64bits(s.cfg.Eps))
+	buf = binary.AppendUvarint(buf, math.Float64bits(s.cfg.Delta))
+	buf = binary.AppendUvarint(buf, s.cfg.XDomain)
+	buf = binary.AppendUvarint(buf, s.cfg.Seed)
+	buf = binary.AppendUvarint(buf, uint64(s.alpha))
 	buf = binary.AppendUvarint(buf, s.n)
 	buf = binary.AppendUvarint(buf, uint64(len(s.reps)))
 	buf = binary.AppendUvarint(buf, uint64(len(s.reps[0].levels)))
@@ -51,6 +64,26 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 		data = data[n:]
 		return v, nil
 	}
+	var cfgVals [5]uint64 // eps bits, delta bits, xdomain, seed, alpha
+	for i := range cfgVals {
+		v, err := next()
+		if err != nil {
+			return err
+		}
+		cfgVals[i] = v
+	}
+	switch {
+	case cfgVals[0] != math.Float64bits(s.cfg.Eps):
+		return compat.Mismatch("eps", s.cfg.Eps, math.Float64frombits(cfgVals[0]))
+	case cfgVals[1] != math.Float64bits(s.cfg.Delta):
+		return compat.Mismatch("delta", s.cfg.Delta, math.Float64frombits(cfgVals[1]))
+	case cfgVals[2] != s.cfg.XDomain:
+		return compat.Mismatch("xdomain", s.cfg.XDomain, cfgVals[2])
+	case cfgVals[3] != s.cfg.Seed:
+		return compat.Mismatch("seed", s.cfg.Seed, cfgVals[3])
+	case cfgVals[4] != uint64(s.alpha):
+		return compat.Mismatch("alpha", s.alpha, cfgVals[4])
+	}
 	n, err := next()
 	if err != nil {
 		return err
@@ -63,8 +96,11 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if int(reps) != len(s.reps) || int(levels) != len(s.reps[0].levels) {
-		return ErrBadEncoding
+	if int(reps) != len(s.reps) {
+		return compat.Mismatch("reps", len(s.reps), reps)
+	}
+	if int(levels) != len(s.reps[0].levels) {
+		return compat.Mismatch("levels", len(s.reps[0].levels), levels)
 	}
 	s.n = n
 	for _, r := range s.reps {

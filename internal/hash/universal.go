@@ -80,6 +80,13 @@ func (f *FourWise) Hash(x uint64) uint64 {
 	return h
 }
 
+// Equal reports whether f and o compute the same function (identical
+// polynomial coefficients). Summaries built from equal seeds draw equal
+// hash functions, which is what makes their sketches mergeable.
+func (f *FourWise) Equal(o *FourWise) bool {
+	return o != nil && f.a == o.a
+}
+
 // Sign maps x to ±1 using the low bit of the 4-wise hash.
 func (f *FourWise) Sign(x uint64) int64 {
 	if f.Hash(x)&1 == 1 {
@@ -105,6 +112,12 @@ func NewTwoWise(rng *RNG) *TwoWise {
 	a := rng.Uint64n(mersenne61-1) + 1 // a != 0
 	b := rng.Uint64n(mersenne61)
 	return &TwoWise{a: a, b: b}
+}
+
+// Equal reports whether t and o compute the same function (identical
+// coefficients), for maker-equivalence checks before sketch merges.
+func (t *TwoWise) Equal(o *TwoWise) bool {
+	return o != nil && t.a == o.a && t.b == o.b
 }
 
 // Hash returns a value in [0, 2^61-1).
@@ -136,6 +149,13 @@ func NewTab64(rng *RNG) *Tab64 {
 		}
 	}
 	return tb
+}
+
+// Equal reports whether tb and o compute the same function (identical
+// tables). Used to validate that sketches from independently constructed
+// but equal-seeded makers may merge.
+func (tb *Tab64) Equal(o *Tab64) bool {
+	return o != nil && tb.t == o.t
 }
 
 // Hash returns a uniform 64-bit hash of x.

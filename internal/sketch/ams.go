@@ -242,12 +242,14 @@ func (c *CountSketch) EstimateItem(x uint64) float64 {
 	return median(ests)
 }
 
-// Merge implements Sketch by counter-wise addition. The merged rowF2 is
+// Merge implements Sketch by counter-wise addition. The other sketch may
+// come from the same maker or from an equivalent one (identical geometry
+// and hash functions — the distributed-merge case). The merged rowF2 is
 // recomputed exactly from the counters, which also clears any float drift
 // the incremental maintenance accumulated.
 func (c *CountSketch) Merge(other Sketch) error {
 	o, ok := other.(*CountSketch)
-	if !ok || o.maker != c.maker {
+	if !ok || !c.maker.equivalent(o.maker) {
 		return ErrIncompatible
 	}
 	w := c.maker.width

@@ -138,10 +138,11 @@ func (c *CountMin) EstimateItem(x uint64) float64 {
 	return float64(min)
 }
 
-// Merge implements Sketch by counter-wise addition.
+// Merge implements Sketch by counter-wise addition. The other sketch may
+// come from the same maker or from an equivalent one.
 func (c *CountMin) Merge(other Sketch) error {
 	o, ok := other.(*CountMin)
-	if !ok || o.maker != c.maker {
+	if !ok || !c.maker.equivalent(o.maker) {
 		return ErrIncompatible
 	}
 	for i := range c.rows {

@@ -270,10 +270,11 @@ func (f *Fk) Candidates() []uint64 {
 	return out
 }
 
-// Merge implements Sketch.
+// Merge implements Sketch. The other sketch may come from the same maker
+// or from an equivalent one (identical hash functions and geometry).
 func (f *Fk) Merge(other Sketch) error {
 	o, ok := other.(*Fk)
-	if !ok || o.maker != f.maker {
+	if !ok || !f.maker.equivalent(o.maker) {
 		return ErrIncompatible
 	}
 	for j := range f.levels {

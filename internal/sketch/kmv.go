@@ -126,10 +126,11 @@ func (r *kmvRep) estimate(k int) float64 {
 	return float64(k-1) / u
 }
 
-// Merge implements Sketch: union the value sets, keep the k smallest.
+// Merge implements Sketch: union the value sets, keep the k smallest. The
+// other sketch may come from the same maker or from an equivalent one.
 func (s *KMV) Merge(other Sketch) error {
 	o, ok := other.(*KMV)
-	if !ok || o.maker != s.maker {
+	if !ok || !s.maker.equivalent(o.maker) {
 		return ErrIncompatible
 	}
 	k := s.maker.k

@@ -149,10 +149,11 @@ func (s *L1) Estimate() float64 {
 	return (abs[k/2-1] + abs[k/2]) / 2
 }
 
-// Merge implements Sketch by counter-wise addition.
+// Merge implements Sketch by counter-wise addition. The other sketch may
+// come from the same maker or from an equivalent one.
 func (s *L1) Merge(other Sketch) error {
 	o, ok := other.(*L1)
-	if !ok || o.maker != s.maker {
+	if !ok || !s.maker.equivalent(o.maker) {
 		return ErrIncompatible
 	}
 	for j := range s.cnt {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 
+	"github.com/streamagg/correlated/internal/compat"
 	"github.com/streamagg/correlated/internal/core"
 	"github.com/streamagg/correlated/internal/corrf0"
 )
@@ -58,40 +59,91 @@ func (d *dual) marshal() ([]byte, error) {
 	return buf, nil
 }
 
-func (d *dual) unmarshal(data []byte) error {
+// frames splits a dual wire image into its per-direction payloads,
+// validating the framing against the receiver's shape (version,
+// predicate, which sides are present). frames[i] is nil for an absent
+// side. Shared by unmarshal (restore) and mergeMarshaled (fold in).
+func (d *dual) frames(data []byte) ([2][]byte, error) {
+	var out [2][]byte
 	if len(data) < 2 || data[0] != apiMarshalVersion {
-		return ErrBadEncoding
+		return out, ErrBadEncoding
 	}
 	if Predicate(data[1]) != d.pred {
-		return ErrBadEncoding
+		return out, compat.Mismatch("predicate", d.pred, Predicate(data[1]))
 	}
 	data = data[2:]
-	for _, side := range []binaryCodec{codecOrNil(d.le), codecOrNil(d.ge)} {
+	for i, side := range []*core.Summary{d.le, d.ge} {
 		n, sz := binary.Uvarint(data)
 		if sz <= 0 {
-			return ErrBadEncoding
+			return out, ErrBadEncoding
 		}
 		data = data[sz:]
 		if n == 0 {
 			if side != nil {
-				return ErrBadEncoding
+				return out, ErrBadEncoding
 			}
 			continue
 		}
 		n-- // length was stored +1 to distinguish "absent"
-		if uint64(len(data)) < n {
-			return ErrBadEncoding
+		if uint64(len(data)) < n || side == nil {
+			return out, ErrBadEncoding
 		}
-		if side == nil {
-			return ErrBadEncoding
-		}
-		if err := side.UnmarshalBinary(data[:n]); err != nil {
-			return err
-		}
+		out[i] = data[:n]
 		data = data[n:]
 	}
 	if len(data) != 0 {
-		return ErrBadEncoding
+		return out, ErrBadEncoding
+	}
+	return out, nil
+}
+
+func (d *dual) unmarshal(data []byte) error {
+	frames, err := d.frames(data)
+	if err != nil {
+		return err
+	}
+	if frames[0] != nil {
+		if err := d.le.UnmarshalBinary(frames[0]); err != nil {
+			return err
+		}
+	}
+	if frames[1] != nil {
+		if err := d.ge.UnmarshalBinary(frames[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeMarshaled folds a summary serialized by dual.marshal into d
+// without materializing a second summary. Both directions are parsed
+// before either is applied, so a malformed or incompatible image leaves d
+// untouched.
+func (d *dual) mergeMarshaled(data []byte) error {
+	frames, err := d.frames(data)
+	if err != nil {
+		return err
+	}
+	var imgs [2]*core.MergeImage
+	if frames[0] != nil {
+		if imgs[0], err = d.le.ParseMergeImage(frames[0]); err != nil {
+			return err
+		}
+	}
+	if frames[1] != nil {
+		if imgs[1], err = d.ge.ParseMergeImage(frames[1]); err != nil {
+			return err
+		}
+	}
+	if imgs[0] != nil {
+		if err := d.le.ApplyMergeImage(imgs[0]); err != nil {
+			return err
+		}
+	}
+	if imgs[1] != nil {
+		if err := d.ge.ApplyMergeImage(imgs[1]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,413 @@
+package correlated
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// mergeOpts keeps the distinct-y count below the singleton capacity so
+// queries are answered exactly from the singleton level — the regime
+// where merged queries are provably bit-identical to whole-stream
+// ingestion.
+func mergeOpts(seed uint64) Options {
+	return Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1<<16 - 1,
+		MaxStreamLen: 1 << 20, MaxX: 1 << 16,
+		Alpha: 256, Seed: seed, Predicate: Both,
+	}
+}
+
+// mergeable abstracts the four moment summaries for the shared property
+// test.
+type mergeable interface {
+	AddWeighted(x, y uint64, w int64) error
+	QueryLE(c uint64) (float64, error)
+	QueryGE(c uint64) (float64, error)
+	Count() uint64
+}
+
+// TestMergeEqualsWholeStream: for every aggregate, a random 2–8 way split
+// of the stream, summarized per part and merged, answers LE and GE
+// queries bit-identically to a single summary over the whole stream
+// (while the singleton level serves; Fk allows last-bit float drift from
+// map-order summation).
+func TestMergeEqualsWholeStream(t *testing.T) {
+	type fixture struct {
+		whole mergeable
+		parts []mergeable
+		merge func() error // folds parts[1:] into parts[0]
+		exact bool
+	}
+	build := map[string]func(o Options, n int) fixture{
+		"F2": func(o Options, n int) fixture {
+			w, _ := NewF2Summary(o)
+			ps := make([]*F2Summary, n)
+			for i := range ps {
+				ps[i], _ = NewF2Summary(o)
+			}
+			fx := fixture{whole: w, exact: true}
+			for _, p := range ps {
+				fx.parts = append(fx.parts, p)
+			}
+			fx.merge = func() error {
+				for _, p := range ps[1:] {
+					if err := ps[0].Merge(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return fx
+		},
+		"F3": func(o Options, n int) fixture {
+			w, _ := NewFkSummary(3, o)
+			ps := make([]*FkSummary, n)
+			for i := range ps {
+				ps[i], _ = NewFkSummary(3, o)
+			}
+			fx := fixture{whole: w, exact: false}
+			for _, p := range ps {
+				fx.parts = append(fx.parts, p)
+			}
+			fx.merge = func() error {
+				for _, p := range ps[1:] {
+					if err := ps[0].Merge(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return fx
+		},
+		"COUNT": func(o Options, n int) fixture {
+			w, _ := NewCountSummary(o)
+			ps := make([]*CountSummary, n)
+			for i := range ps {
+				ps[i], _ = NewCountSummary(o)
+			}
+			fx := fixture{whole: w, exact: true}
+			for _, p := range ps {
+				fx.parts = append(fx.parts, p)
+			}
+			fx.merge = func() error {
+				for _, p := range ps[1:] {
+					if err := ps[0].Merge(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return fx
+		},
+		"SUM": func(o Options, n int) fixture {
+			w, _ := NewSumSummary(o)
+			ps := make([]*SumSummary, n)
+			for i := range ps {
+				ps[i], _ = NewSumSummary(o)
+			}
+			fx := fixture{whole: w, exact: true}
+			for _, p := range ps {
+				fx.parts = append(fx.parts, p)
+			}
+			fx.merge = func() error {
+				for _, p := range ps[1:] {
+					if err := ps[0].Merge(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return fx
+		},
+	}
+	for name, mk := range build {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 2; seed++ {
+				rng := hash.New(seed * 101)
+				parts := 2 + int(rng.Uint64n(7)) // 2..8
+				fx := mk(mergeOpts(seed), parts)
+				const distinctY = 200
+				for i := 0; i < 5000; i++ {
+					x := rng.Uint64n(4000)
+					y := rng.Uint64n(distinctY)
+					w := int64(1 + rng.Uint64n(2))
+					if err := fx.whole.AddWeighted(x, y, w); err != nil {
+						t.Fatal(err)
+					}
+					if err := fx.parts[rng.Uint64n(uint64(parts))].AddWeighted(x, y, w); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := fx.merge(); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+				merged := fx.parts[0]
+				if merged.Count() != fx.whole.Count() {
+					t.Fatalf("count: %d vs %d", merged.Count(), fx.whole.Count())
+				}
+				for _, c := range []uint64{0, 40, 120, distinctY, 1 << 14} {
+					for dir, q := range map[string]func(mergeable, uint64) (float64, error){
+						"LE": func(m mergeable, c uint64) (float64, error) { return m.QueryLE(c) },
+						"GE": func(m mergeable, c uint64) (float64, error) { return m.QueryGE(c) },
+					} {
+						want, err1 := q(fx.whole, c)
+						got, err2 := q(merged, c)
+						if err1 != nil || err2 != nil {
+							t.Fatalf("%s c=%d: %v / %v", dir, c, err1, err2)
+						}
+						if fx.exact {
+							if got != want {
+								t.Fatalf("%s c=%d: merged %v whole %v (bit-identical expected)", dir, c, got, want)
+							}
+						} else if want != 0 && math.Abs(got-want)/math.Abs(want) > 1e-9 {
+							t.Fatalf("%s c=%d: merged %v whole %v", dir, c, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeMarshaledPublic: the wire-merge path on the public type agrees
+// with the live-merge path, across both query directions.
+func TestMergeMarshaledPublic(t *testing.T) {
+	o := mergeOpts(7)
+	o.Alpha = 0 // derived capacity; general regime with evictions
+	a1, _ := NewF2Summary(o)
+	a2, _ := NewF2Summary(o)
+	b, _ := NewF2Summary(o)
+	rng := hash.New(11)
+	for i := 0; i < 30_000; i++ {
+		x, y := rng.Uint64n(1<<13), rng.Uint64n(1<<16)
+		if i%3 == 0 {
+			if err := b.Add(x, y); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := a1.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := a2.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a1.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.MergeMarshaled(wire); err != nil {
+		t.Fatal(err)
+	}
+	for c := uint64(0); c < 1<<16; c += 1 << 11 {
+		le1, e1 := a1.QueryLE(c)
+		le2, e2 := a2.QueryLE(c)
+		if (e1 == nil) != (e2 == nil) || (e1 == nil && le1 != le2) {
+			t.Fatalf("LE c=%d: %v/%v vs %v/%v", c, le1, e1, le2, e2)
+		}
+		ge1, e3 := a1.QueryGE(c)
+		ge2, e4 := a2.QueryGE(c)
+		if (e3 == nil) != (e4 == nil) || (e3 == nil && ge1 != ge2) {
+			t.Fatalf("GE c=%d: %v/%v vs %v/%v", c, ge1, e3, ge2, e4)
+		}
+	}
+	// Corrupt framing must be rejected without mutating the receiver.
+	before, _ := a2.MarshalBinary()
+	if err := a2.MergeMarshaled(wire[:len(wire)/2]); err == nil {
+		t.Fatal("truncated wire image accepted")
+	}
+	after, _ := a2.MarshalBinary()
+	if len(before) != len(after) {
+		t.Fatal("failed merge mutated the receiver")
+	}
+}
+
+// TestMergeTypedErrors: every public Merge path reports incompatibility
+// as *IncompatibleError matching ErrIncompatible, naming the field.
+func TestMergeTypedErrors(t *testing.T) {
+	base := mergeOpts(1)
+	t.Run("predicate", func(t *testing.T) {
+		a, _ := NewF2Summary(base)
+		leOnly := base
+		leOnly.Predicate = LE
+		b, _ := NewF2Summary(leOnly)
+		assertIncompatible(t, a.Merge(b), "predicate")
+	})
+	t.Run("seed", func(t *testing.T) {
+		a, _ := NewCountSummary(base)
+		other := base
+		other.Seed = 999
+		b, _ := NewCountSummary(other)
+		assertIncompatible(t, a.Merge(b), "seed")
+	})
+	t.Run("eps", func(t *testing.T) {
+		a, _ := NewSumSummary(base)
+		other := base
+		other.Eps = 0.3
+		b, _ := NewSumSummary(other)
+		assertIncompatible(t, a.Merge(b), "eps")
+	})
+	t.Run("f0-seed", func(t *testing.T) {
+		a, _ := NewF0Summary(base)
+		other := base
+		other.Seed = 999
+		b, _ := NewF0Summary(other)
+		assertIncompatible(t, a.Merge(b), "seed")
+	})
+	t.Run("f0-predicate", func(t *testing.T) {
+		a, _ := NewF0Summary(base)
+		leOnly := base
+		leOnly.Predicate = LE
+		b, _ := NewF0Summary(leOnly)
+		assertIncompatible(t, a.Merge(b), "predicate")
+	})
+	t.Run("f0-ymax", func(t *testing.T) {
+		a, _ := NewF0Summary(base)
+		other := base
+		other.YMax = 1<<18 - 1
+		b, _ := NewF0Summary(other)
+		assertIncompatible(t, a.Merge(b), "ymax")
+	})
+	// The wire path must catch the same mismatches: the image carries the
+	// source configuration.
+	t.Run("wire-seed", func(t *testing.T) {
+		a, _ := NewF2Summary(base)
+		other := base
+		other.Seed = 999
+		b, _ := NewF2Summary(other)
+		wire, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIncompatible(t, a.MergeMarshaled(wire), "seed")
+	})
+	t.Run("f0-wire-seed", func(t *testing.T) {
+		a, _ := NewF0Summary(base)
+		other := base
+		other.Seed = 999
+		b, _ := NewF0Summary(other)
+		wire, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIncompatible(t, a.MergeMarshaled(wire), "seed")
+	})
+}
+
+func assertIncompatible(t *testing.T, err error, field string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("incompatible merge succeeded")
+	}
+	if !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("error %v does not match ErrIncompatible", err)
+	}
+	var ie *IncompatibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v is not an *IncompatibleError", err)
+	}
+	if ie.Field != field {
+		t.Fatalf("field = %q, want %q", ie.Field, field)
+	}
+}
+
+// TestF0MergeMarshaled: the distinct-count summary's wire merge matches
+// its live merge exactly (distinct sampling merges are
+// partition-oblivious, so this holds in every regime).
+func TestF0MergeMarshaled(t *testing.T) {
+	o := Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1<<14 - 1,
+		MaxX: 1 << 12, Seed: 4, Predicate: Both,
+	}
+	a1, _ := NewF0Summary(o)
+	a2, _ := NewF0Summary(o)
+	b, _ := NewF0Summary(o)
+	rng := hash.New(21)
+	for i := 0; i < 20_000; i++ {
+		x, y := rng.Uint64n(1<<12), rng.Uint64n(1<<14)
+		if i%2 == 0 {
+			if err := b.Add(x, y); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := a1.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := a2.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a1.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.MergeMarshaled(wire); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Count() != a2.Count() {
+		t.Fatalf("count: %d vs %d", a1.Count(), a2.Count())
+	}
+	for c := uint64(0); c < 1<<14; c += 1 << 10 {
+		v1, e1 := a1.QueryLE(c)
+		v2, e2 := a2.QueryLE(c)
+		if (e1 == nil) != (e2 == nil) || (e1 == nil && v1 != v2) {
+			t.Fatalf("c=%d: %v/%v vs %v/%v", c, v1, e1, v2, e2)
+		}
+	}
+}
+
+// TestPublicReset: Reset on a dual summary restores fresh-construction
+// behaviour for both directions.
+func TestPublicReset(t *testing.T) {
+	o := mergeOpts(5)
+	fresh, _ := NewF2Summary(o)
+	reused, _ := NewF2Summary(o)
+	rng := hash.New(31)
+	for i := 0; i < 20_000; i++ {
+		if err := reused.Add(rng.Uint64(), rng.Uint64n(1<<16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reused.Reset()
+	if reused.Count() != 0 {
+		t.Fatalf("count after Reset: %d", reused.Count())
+	}
+	rng2 := hash.New(32)
+	for i := 0; i < 20_000; i++ {
+		x, y := rng2.Uint64n(1<<12), rng2.Uint64n(1<<16)
+		if err := fresh.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := reused.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := uint64(0); c < 1<<16; c += 1 << 12 {
+		for _, dir := range []string{"LE", "GE"} {
+			var want, got float64
+			var e1, e2 error
+			if dir == "LE" {
+				want, e1 = fresh.QueryLE(c)
+				got, e2 = reused.QueryLE(c)
+			} else {
+				want, e1 = fresh.QueryGE(c)
+				got, e2 = reused.QueryGE(c)
+			}
+			if (e1 == nil) != (e2 == nil) || (e1 == nil && got != want) {
+				t.Fatalf("%s c=%d: fresh %v/%v reset %v/%v", dir, c, want, e1, got, e2)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package correlated
 import (
 	"errors"
 
+	"github.com/streamagg/correlated/internal/compat"
 	"github.com/streamagg/correlated/internal/core"
 	"github.com/streamagg/correlated/internal/dyadic"
 )
@@ -28,6 +29,22 @@ var ErrDirection = errors.New("correlated: query direction not enabled; set Opti
 // of the structure can serve the cutoff. Under the analysis this has
 // probability at most Delta.
 var ErrNoLevel = core.ErrNoLevel
+
+// ErrIncompatible is the sentinel wrapped by every Merge incompatibility
+// error. Two summaries merge only when their Options agree on the
+// accuracy targets (Eps, Delta), the domain bound (YMax), the Seed (it
+// regenerates the hash functions, so even a seed difference breaks
+// mergeability), the Predicate, and everything that shapes the derived
+// structure — Alpha/AlphaScale/StrictTheory directly, MaxStreamLen and
+// MaxX through the level count. Match it with errors.Is; inspect the
+// differing field with errors.As on *IncompatibleError.
+var ErrIncompatible = compat.ErrIncompatible
+
+// IncompatibleError is the concrete error returned when a merge is
+// rejected, naming the first configuration field that differs (e.g.
+// "eps", "delta", "ymax", "seed", "predicate"). It unwraps to
+// ErrIncompatible.
+type IncompatibleError = compat.Error
 
 // Options configures a summary.
 type Options struct {
@@ -145,6 +162,43 @@ func (d *dual) addBatch(batch []Tuple) error {
 		}
 	}
 	return nil
+}
+
+// merge folds another dual built from identical Options into d.
+// Mismatches are caught while validating the first direction, before any
+// state changes; the two directions share every configuration field, so a
+// merge that passes the first direction cannot be rejected on the second.
+func (d *dual) merge(o *dual) error {
+	if o == nil {
+		return errors.New("correlated: cannot merge a nil summary")
+	}
+	if o == d {
+		return errors.New("correlated: cannot merge a summary into itself")
+	}
+	if d.pred != o.pred {
+		return compat.Mismatch("predicate", d.pred, o.pred)
+	}
+	if d.le != nil {
+		if err := d.le.Merge(o.le); err != nil {
+			return err
+		}
+	}
+	if d.ge != nil {
+		if err := d.ge.Merge(o.ge); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reset clears both directions back to their freshly constructed state.
+func (d *dual) reset() {
+	if d.le != nil {
+		d.le.Reset()
+	}
+	if d.ge != nil {
+		d.ge.Reset()
+	}
 }
 
 func (d *dual) queryLE(c uint64) (float64, error) {

@@ -20,6 +20,10 @@ BENCH_COUNT="${BENCH_COUNT:-1}"
   go test -run '^$' -bench 'BenchmarkCountSketch' -benchmem -count="$BENCH_COUNT" ./internal/sketch/
   go test -run '^$' -bench 'BenchmarkTableB_UpdateThroughput' -benchmem -benchtime=200000x \
     -count="$BENCH_COUNT" .
+  # Sharded ingest: P=1 is comparable with TableB/F2; P>1 needs that many
+  # free cores to show wall-clock scaling (see benchmarks/README.md).
+  go test -run '^$' -bench 'BenchmarkShardedAdd' -benchmem -benchtime=500000x \
+    -count="$BENCH_COUNT" ./shard/
 } | tee benchmarks/latest.txt
 
 echo

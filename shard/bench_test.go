@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// benchOptions mirrors the paper's Table B setup (eps = 0.2, y in
+// [0, 1e6]) so BenchmarkShardedAdd/P=1 is comparable with the root
+// package's BenchmarkTableB_UpdateThroughput/F2 numbers.
+func benchOptions() correlated.Options {
+	return correlated.Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1_000_000,
+		MaxStreamLen: 1 << 24, MaxX: 500_001, Seed: 1,
+	}
+}
+
+// BenchmarkShardedAdd measures the per-tuple ingest cost of the sharded
+// engine at P = 1, 2, 4, 8. The driver-side path is allocation-free;
+// wall-clock scaling past P=1 requires as many free cores as shards (run
+// with GOMAXPROCS >= P+1; single-core machines see only the batching
+// gain). Fixed-seed uniform tuples, like the Table B uniform dataset.
+func BenchmarkShardedAdd(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			eng, err := NewF2(benchOptions(), p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := hash.New(7)
+			xs := make([]uint64, 1<<16)
+			ys := make([]uint64, 1<<16)
+			for i := range xs {
+				xs[i] = rng.Uint64n(500_001)
+				ys[i] = rng.Uint64n(1_000_001)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := i & (1<<16 - 1)
+				if err := eng.Add(xs[m], ys[m]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Include the final drain so ns/op cannot hide queued work.
+			if err := eng.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedQuery measures the pooled merge-then-query path over
+// populated shards.
+func BenchmarkShardedQuery(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			eng, err := NewF2(benchOptions(), p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := hash.New(7)
+			for i := 0; i < 500_000; i++ {
+				if err := eng.Add(rng.Uint64n(500_001), rng.Uint64n(1_000_001)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryLE(uint64((i%10 + 1) * 100_000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

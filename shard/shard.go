@@ -1,0 +1,417 @@
+// Package shard runs P independent correlated-aggregation summaries on P
+// worker goroutines and answers queries by merging them — the
+// single-process rendition of the paper's distributed model, where the
+// "sites" are shards of one machine's ingest load and the "coordinator"
+// is the query path.
+//
+// The engine is built directly on the mergeable-summary layer: every
+// shard owns a summary created from the same Options (hence the same
+// seeded hash functions), tuples are routed round-robin and handed over
+// in recycled batches, each worker drains its channel through the
+// summaries' amortized AddBatch path, and a query merges all shard
+// summaries into a pooled scratch summary and queries that. Because the
+// summaries merge linearly, the sharded engine inherits the structure's
+// (Eps, Delta) guarantees with the k-site caveat documented on
+// F2Summary.Merge (k = number of shards).
+//
+// # Concurrency contract
+//
+// The exported methods of Sharded are *not* safe for concurrent use: one
+// goroutine drives Add/AddBatch/Flush/Query/Close, and the parallelism
+// lives inside (P workers plus the driver pipeline). This keeps the
+// per-tuple ingest path free of locks and atomics — it is an append to a
+// preallocated buffer plus, every batch-size tuples, one channel
+// handoff. Multiple producers should either partition the stream
+// upstream into one engine each (merging at query time), or serialize on
+// their side.
+//
+// # Error model
+//
+// Ingest is asynchronous: a tuple that fails inside a worker (only
+// possible when it bypassed the engine's own validation) surfaces at the
+// next synchronization point — Flush, a query, Count, Space, or Close —
+// as the first error any worker encountered. Tuples the engine can
+// validate synchronously (y > YMax, non-positive weight) are rejected
+// immediately and never reach a worker.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/dyadic"
+)
+
+// ErrClosed is returned by every method of a Sharded engine after Close.
+var ErrClosed = errors.New("shard: engine is closed")
+
+// Summary is the contract a summary type must satisfy to be sharded: the
+// amortized batch ingest path plus mergeability and pooling. The root
+// package's *F2Summary, *FkSummary, *CountSummary and *SumSummary all
+// satisfy it.
+type Summary[S any] interface {
+	AddBatch(batch []correlated.Tuple) error
+	Merge(other S) error
+	Reset()
+	QueryLE(c uint64) (float64, error)
+	QueryGE(c uint64) (float64, error)
+	Count() uint64
+	Space() int64
+}
+
+// DefaultBatchSize is the per-shard handoff granularity when WithBatchSize
+// is not given: large enough to amortize the channel handoff and the
+// per-group leaf routing inside AddBatch, small enough to keep per-shard
+// buffering (4 in-flight batches) in the L2 cache.
+const DefaultBatchSize = 2048
+
+// spareBuffers is the number of extra batch buffers cycling per worker
+// beyond the one the driver is filling; it bounds in-flight memory and
+// lets the driver run ahead of a briefly busy worker.
+const spareBuffers = 3
+
+// Option configures a Sharded engine.
+type Option func(*config)
+
+type config struct {
+	batchSize int
+	ymax      uint64
+}
+
+// WithBatchSize sets the number of tuples buffered per shard before a
+// handoff to the worker. Larger batches amortize better; smaller ones
+// bound query-time staleness of unflushed tuples. n < 1 is ignored.
+func WithBatchSize(n int) Option {
+	return func(c *config) {
+		if n >= 1 {
+			c.batchSize = n
+		}
+	}
+}
+
+// WithMaxY lets the engine reject y > ymax synchronously in Add instead
+// of asynchronously in the worker (ymax is rounded up to 2^b - 1 as the
+// summaries do). The typed constructors (NewF2, ...) set this from
+// Options.YMax automatically.
+func WithMaxY(ymax uint64) Option {
+	return func(c *config) {
+		if ymax > 0 {
+			c.ymax = dyadic.RoundYMax(ymax)
+		}
+	}
+}
+
+// Sharded fans ingest across P worker-owned summaries and answers queries
+// by pooled merge-then-query. Create one with NewSharded or a typed
+// constructor; always Close it to release the workers.
+type Sharded[S Summary[S]] struct {
+	workers []*worker[S]
+	scratch S // pooled merge-then-query accumulator
+	ack     chan struct{}
+	next    int // round-robin routing cursor
+	ymax    uint64
+	err     error // sticky first worker error
+	closed  bool
+}
+
+// worker is one shard: a goroutine draining batches into its summary.
+type worker[S Summary[S]] struct {
+	sum     S
+	in      chan job
+	free    chan []correlated.Tuple
+	pending []correlated.Tuple // filled by the driver goroutine
+	done    chan struct{}
+	err     error // first AddBatch error; read by the driver after an ack
+}
+
+// job is one channel handoff: a batch to ingest, an ack to signal that
+// everything sent before it has been processed, or both.
+type job struct {
+	batch []correlated.Tuple
+	ack   chan<- struct{}
+}
+
+// NewSharded builds an engine with `shards` workers, each owning a
+// summary from newSummary. Every summary must be built from identical
+// Options — same Seed included — or merges at query time will fail; the
+// typed constructors guarantee this. newSummary is called shards+1 times
+// (one extra for the query scratch summary).
+func NewSharded[S Summary[S]](newSummary func() (S, error), shards int, opts ...Option) (*Sharded[S], error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shards must be >= 1, got %d", shards)
+	}
+	if newSummary == nil {
+		return nil, errors.New("shard: newSummary must not be nil")
+	}
+	cfg := config{batchSize: DefaultBatchSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Sharded[S]{
+		ack:  make(chan struct{}, shards),
+		ymax: cfg.ymax,
+	}
+	var err error
+	if e.scratch, err = newSummary(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < shards; i++ {
+		w := &worker[S]{
+			in:      make(chan job, spareBuffers+1),
+			free:    make(chan []correlated.Tuple, spareBuffers+1),
+			pending: make([]correlated.Tuple, 0, cfg.batchSize),
+			done:    make(chan struct{}),
+		}
+		if w.sum, err = newSummary(); err != nil {
+			e.stop()
+			return nil, err
+		}
+		for j := 0; j < spareBuffers; j++ {
+			w.free <- make([]correlated.Tuple, 0, cfg.batchSize)
+		}
+		e.workers = append(e.workers, w)
+		go w.run()
+	}
+	return e, nil
+}
+
+// run is the worker loop: drain batches through the summary's amortized
+// batch path, recycle buffers, honour ack requests in FIFO order.
+func (w *worker[S]) run() {
+	defer close(w.done)
+	for jb := range w.in {
+		if jb.batch != nil {
+			if err := w.sum.AddBatch(jb.batch); err != nil && w.err == nil {
+				w.err = err
+			}
+			w.free <- jb.batch[:0]
+		}
+		if jb.ack != nil {
+			jb.ack <- struct{}{}
+		}
+	}
+}
+
+// Add inserts the tuple (x, y) with weight 1.
+func (e *Sharded[S]) Add(x, y uint64) error { return e.AddWeighted(x, y, 1) }
+
+// AddWeighted inserts w > 0 copies of (x, y). This is the per-tuple hot
+// path: one bounds check, one append into a preallocated buffer, and —
+// once per batch — a channel handoff to the shard's worker. It performs
+// no allocation and takes no lock.
+func (e *Sharded[S]) AddWeighted(x, y uint64, w int64) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.ymax != 0 && y > e.ymax {
+		return fmt.Errorf("shard: y = %d exceeds YMax = %d", y, e.ymax)
+	}
+	if w <= 0 {
+		return fmt.Errorf("shard: weight must be positive, got %d", w)
+	}
+	e.addRouted(x, y, w)
+	return nil
+}
+
+// addRouted appends an already-validated tuple to the next shard's
+// pending buffer, handing the buffer off when full.
+func (e *Sharded[S]) addRouted(x, y uint64, w int64) {
+	wk := e.workers[e.next]
+	if e.next++; e.next == len(e.workers) {
+		e.next = 0
+	}
+	wk.pending = append(wk.pending, correlated.Tuple{X: x, Y: y, W: w})
+	if len(wk.pending) == cap(wk.pending) {
+		e.handoff(wk)
+	}
+}
+
+// AddBatch inserts a batch of tuples (zero weights count as 1), routed
+// round-robin like Add. The whole batch is validated before any tuple is
+// routed, matching the unsharded AddBatch contract: a rejected batch has
+// ingested nothing and may be corrected and retried. (With the generic
+// constructor and no WithMaxY, y bounds are only checkable inside the
+// workers; such failures surface at the next barrier instead.) The slice
+// is not retained.
+func (e *Sharded[S]) AddBatch(batch []correlated.Tuple) error {
+	if e.closed {
+		return ErrClosed
+	}
+	for i := range batch {
+		if e.ymax != 0 && batch[i].Y > e.ymax {
+			return fmt.Errorf("shard: y = %d exceeds YMax = %d", batch[i].Y, e.ymax)
+		}
+		if batch[i].W < 0 {
+			return fmt.Errorf("shard: weight must be positive, got %d", batch[i].W)
+		}
+	}
+	for _, t := range batch {
+		w := t.W
+		if w == 0 {
+			w = 1
+		}
+		e.addRouted(t.X, t.Y, w)
+	}
+	return nil
+}
+
+// handoff ships wk's pending batch to its worker and takes a recycled
+// buffer; it blocks only when all of the shard's buffers are in flight.
+func (e *Sharded[S]) handoff(wk *worker[S]) {
+	wk.in <- job{batch: wk.pending}
+	wk.pending = <-wk.free
+}
+
+// Flush pushes every buffered tuple to the workers and blocks until all
+// of them have been ingested, then reports the first error any worker
+// has encountered since the engine was created. Queries flush
+// implicitly; call Flush directly to create a durable cut (e.g. before
+// checkpointing the shard summaries).
+func (e *Sharded[S]) Flush() error { return e.barrier() }
+
+// barrier drains all workers and collects their sticky errors.
+func (e *Sharded[S]) barrier() error {
+	if e.closed {
+		return ErrClosed
+	}
+	for _, wk := range e.workers {
+		if len(wk.pending) > 0 {
+			e.handoff(wk)
+		}
+		wk.in <- job{ack: e.ack}
+	}
+	for range e.workers {
+		<-e.ack
+	}
+	// The acks order the workers' error writes before these reads.
+	for _, wk := range e.workers {
+		if wk.err != nil && e.err == nil {
+			e.err = wk.err
+		}
+	}
+	return e.err
+}
+
+// QueryLE estimates AGG{x : y <= c} over everything added so far, by
+// flushing the shards and merging their summaries into the pooled
+// scratch summary (merge-then-query, the coordinator side of the paper's
+// distributed model).
+func (e *Sharded[S]) QueryLE(c uint64) (float64, error) {
+	if err := e.mergeAll(); err != nil {
+		return 0, err
+	}
+	return e.scratch.QueryLE(c)
+}
+
+// QueryGE estimates AGG{x : y >= c}; the Options the summaries were
+// built with must enable the GE predicate.
+func (e *Sharded[S]) QueryGE(c uint64) (float64, error) {
+	if err := e.mergeAll(); err != nil {
+		return 0, err
+	}
+	return e.scratch.QueryGE(c)
+}
+
+// mergeAll drains the workers and rebuilds the scratch summary as the
+// merge of every shard. The scratch is reset, not reallocated, so
+// steady-state queries reuse its sketch pools.
+func (e *Sharded[S]) mergeAll() error {
+	if err := e.barrier(); err != nil {
+		return err
+	}
+	e.scratch.Reset()
+	for _, wk := range e.workers {
+		if err := e.scratch.Merge(wk.sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count reports the number of tuples ingested (flushing first, so the
+// answer is exact at the moment of the call).
+func (e *Sharded[S]) Count() (uint64, error) {
+	if err := e.barrier(); err != nil {
+		return 0, err
+	}
+	var n uint64
+	for _, wk := range e.workers {
+		n += wk.sum.Count()
+	}
+	return n, nil
+}
+
+// Space reports the summed stored counters/tuples across the shard
+// summaries (the query scratch is excluded: it is a transient merge
+// target, not stream state).
+func (e *Sharded[S]) Space() (int64, error) {
+	if err := e.barrier(); err != nil {
+		return 0, err
+	}
+	var sp int64
+	for _, wk := range e.workers {
+		sp += wk.sum.Space()
+	}
+	return sp, nil
+}
+
+// Shards reports the number of workers.
+func (e *Sharded[S]) Shards() int { return len(e.workers) }
+
+// Close flushes, stops the workers, and returns the first ingest error.
+// The engine is unusable afterwards; Close is not idempotent (a second
+// call reports ErrClosed, like every other method).
+func (e *Sharded[S]) Close() error {
+	err := e.barrier()
+	if errors.Is(err, ErrClosed) {
+		return err
+	}
+	e.stop()
+	return err
+}
+
+// stop shuts the worker goroutines down (idempotent, also used on
+// constructor failure).
+func (e *Sharded[S]) stop() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, wk := range e.workers {
+		close(wk.in)
+	}
+	for _, wk := range e.workers {
+		<-wk.done
+	}
+}
+
+// NewF2 builds a sharded correlated-F2 engine: every shard and the query
+// scratch share o (and therefore the seeded hash functions that make the
+// shard summaries mergeable).
+func NewF2(o correlated.Options, shards int, opts ...Option) (*Sharded[*correlated.F2Summary], error) {
+	return NewSharded(func() (*correlated.F2Summary, error) {
+		return correlated.NewF2Summary(o)
+	}, shards, append([]Option{WithMaxY(o.YMax)}, opts...)...)
+}
+
+// NewFk builds a sharded correlated-Fk engine for moment order k >= 2.
+func NewFk(k int, o correlated.Options, shards int, opts ...Option) (*Sharded[*correlated.FkSummary], error) {
+	return NewSharded(func() (*correlated.FkSummary, error) {
+		return correlated.NewFkSummary(k, o)
+	}, shards, append([]Option{WithMaxY(o.YMax)}, opts...)...)
+}
+
+// NewCount builds a sharded correlated-COUNT engine.
+func NewCount(o correlated.Options, shards int, opts ...Option) (*Sharded[*correlated.CountSummary], error) {
+	return NewSharded(func() (*correlated.CountSummary, error) {
+		return correlated.NewCountSummary(o)
+	}, shards, append([]Option{WithMaxY(o.YMax)}, opts...)...)
+}
+
+// NewSum builds a sharded correlated-SUM engine.
+func NewSum(o correlated.Options, shards int, opts ...Option) (*Sharded[*correlated.SumSummary], error) {
+	return NewSharded(func() (*correlated.SumSummary, error) {
+		return correlated.NewSumSummary(o)
+	}, shards, append([]Option{WithMaxY(o.YMax)}, opts...)...)
+}

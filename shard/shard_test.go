@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// TestShardedMatchesSingleSummary: while queries are served by the
+// singleton level (at most alpha distinct y values), the sharded engine's
+// merge-then-query answers are bit-identical to a single summary
+// ingesting the same stream — partitioning plus linear merging is exact
+// in that regime.
+func TestShardedMatchesSingleSummary(t *testing.T) {
+	o := correlated.Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1<<16 - 1,
+		MaxStreamLen: 1 << 20, MaxX: 1 << 16, Alpha: 256, Seed: 5,
+	}
+	single, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewF2(o, 4, WithBatchSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rng := hash.New(42)
+	const distinctY = 200 // < alpha: every query served by the singleton level
+	for i := 0; i < 20_000; i++ {
+		x, y := rng.Uint64n(1<<12), rng.Uint64n(distinctY)
+		if err := single.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := eng.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != single.Count() {
+		t.Fatalf("count: sharded %d single %d", n, single.Count())
+	}
+	for _, c := range []uint64{0, 25, 100, distinctY, 1 << 15} {
+		want, err1 := single.QueryLE(c)
+		got, err2 := eng.QueryLE(c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("c=%d: %v / %v", c, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("c=%d: sharded %v single %v (bit-identical expected)", c, got, want)
+		}
+	}
+}
+
+// TestShardedAccuracyGeneralRegime: with a stream large enough to close
+// buckets and evict on every shard, the merged answer stays within the
+// structure's (slackened by the shard count) error bound of the exact
+// answer.
+func TestShardedAccuracyGeneralRegime(t *testing.T) {
+	o := correlated.Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1<<20 - 1,
+		MaxStreamLen: 1 << 22, MaxX: 1 << 16, Seed: 9,
+	}
+	eng, err := NewCount(o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rng := hash.New(77)
+	type ty struct{ y uint64 }
+	var ys []ty
+	for i := 0; i < 150_000; i++ {
+		x, y := rng.Uint64n(1<<14), rng.Uint64n(1<<20)
+		ys = append(ys, ty{y})
+		if err := eng.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []uint64{1 << 17, 1 << 18, 1 << 19, 1<<20 - 1} {
+		got, err := eng.QueryLE(c)
+		if err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		var want float64
+		for _, e := range ys {
+			if e.y <= c {
+				want++
+			}
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.35 {
+			t.Fatalf("c=%d: sharded %v vs exact %v (rel %.3f)", c, got, want, rel)
+		}
+	}
+}
+
+// TestShardedValidation: synchronous rejection of invalid tuples and the
+// closed-engine contract.
+func TestShardedValidation(t *testing.T) {
+	o := correlated.Options{Eps: 0.2, Delta: 0.1, YMax: 1 << 10, Seed: 1}
+	eng, err := NewSum(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// YMax rounds up to 2^11-1; beyond that must fail immediately.
+	if err := eng.Add(1, 1<<12); err == nil {
+		t.Fatal("y beyond YMax accepted")
+	}
+	if err := eng.AddWeighted(1, 1, 0); err == nil {
+		t.Fatal("non-positive weight accepted")
+	}
+	if err := eng.Add(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Add(1, 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after Close: %v", err)
+	}
+	if _, err := eng.QueryLE(10); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query after Close: %v", err)
+	}
+	if err := eng.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestShardedAddBatchAtomicRejection: a batch containing an invalid
+// tuple is rejected before any of it is ingested, matching the unsharded
+// AddBatch contract (correct and retry is safe).
+func TestShardedAddBatchAtomicRejection(t *testing.T) {
+	o := correlated.Options{Eps: 0.2, Delta: 0.1, YMax: 1 << 10, Seed: 1}
+	eng, err := NewCount(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	batch := []correlated.Tuple{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 1 << 14}}
+	if err := eng.AddBatch(batch); err == nil {
+		t.Fatal("batch with out-of-range y accepted")
+	}
+	n, err := eng.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("rejected batch partially ingested: count=%d", n)
+	}
+	batch[2].Y = 3 // corrected batch retries cleanly
+	if err := eng.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := eng.Count(); n != 3 {
+		t.Fatalf("count after retry: %d", n)
+	}
+}
+
+// TestShardedAsyncErrorSurfaces: a tuple that bypasses engine validation
+// (generic constructor without WithMaxY) fails inside the worker and
+// surfaces at the next barrier.
+func TestShardedAsyncErrorSurfaces(t *testing.T) {
+	o := correlated.Options{Eps: 0.2, Delta: 0.1, YMax: 1 << 10, Seed: 1}
+	eng, err := NewSharded(func() (*correlated.CountSummary, error) {
+		return correlated.NewCountSummary(o)
+	}, 2, WithBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 16; i++ {
+		// y far beyond YMax: the engine cannot know, the worker rejects.
+		if err := eng.Add(uint64(i), 1<<30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Flush(); err == nil {
+		t.Fatal("worker error did not surface at Flush")
+	}
+}
+
+// TestShardedRace is the race-detector workout: a driver goroutine
+// interleaving ingest, flushes and queries with all P workers running.
+func TestShardedRace(t *testing.T) {
+	o := correlated.Options{
+		Eps: 0.25, Delta: 0.1, YMax: 1<<16 - 1,
+		MaxStreamLen: 1 << 20, MaxX: 1 << 12, Seed: 3,
+	}
+	eng, err := NewF2(o, 4, WithBatchSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		rng := hash.New(123)
+		for i := 0; i < 60_000; i++ {
+			if err := eng.Add(rng.Uint64n(1<<12), rng.Uint64n(1<<16)); err != nil {
+				done <- err
+				return
+			}
+			if i%9973 == 0 {
+				if _, err := eng.QueryLE(rng.Uint64n(1 << 16)); err != nil {
+					done <- err
+					return
+				}
+			}
+		}
+		done <- eng.Close()
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedFkAndSum: the generic engine works across summary types.
+func TestShardedFkAndSum(t *testing.T) {
+	o := correlated.Options{
+		Eps: 0.3, Delta: 0.1, YMax: 1<<12 - 1,
+		MaxStreamLen: 1 << 16, MaxX: 1 << 10, Seed: 2,
+	}
+	fk, err := NewFk(3, o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fk.Close()
+	sum, err := NewSum(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sum.Close()
+	rng := hash.New(8)
+	for i := 0; i < 5000; i++ {
+		x, y := rng.Uint64n(1<<10), rng.Uint64n(1<<12)
+		if err := fk.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := sum.AddWeighted(x, y, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := fk.QueryLE(1 << 11); err != nil || v <= 0 {
+		t.Fatalf("fk query: %v %v", v, err)
+	}
+	if v, err := sum.QueryLE(1 << 11); err != nil || v <= 0 {
+		t.Fatalf("sum query: %v %v", v, err)
+	}
+	if sp, err := sum.Space(); err != nil || sp <= 0 {
+		t.Fatalf("space: %v %v", sp, err)
+	}
+}
