@@ -494,3 +494,39 @@ func deltaForReps(reps int) float64 {
 		return 0.04
 	}
 }
+
+// BenchmarkMergeMarshaled measures the site→coordinator hot path: a
+// coordinator folding a site's marshaled summary image straight into
+// its own state (the work behind one corrd /v1/push). Each iteration
+// resets the pooled coordinator and re-merges the same image, so the
+// steady state exercises the recycled-sketch decode path; bytes/op is
+// the image size, making the reported MB/s the sustainable push
+// bandwidth per coordinator core.
+func BenchmarkMergeMarshaled(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("site_n=%d", n), func(b *testing.B) {
+			o := correlated.Options{
+				Eps: 0.15, Delta: 0.1, YMax: benchYMax,
+				MaxStreamLen: uint64(n), MaxX: benchXF2, Seed: 1,
+			}
+			site := buildF2(b, 0.15, "zipf1", n)
+			img, err := site.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			coord, err := correlated.NewF2Summary(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(img)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				coord.Reset()
+				if err := coord.MergeMarshaled(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

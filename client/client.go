@@ -1,0 +1,250 @@
+// Package client is the Go client for the corrd network service
+// (cmd/corrd): batched tuple ingest, site→coordinator summary pushes,
+// and correlated-aggregate queries over plain HTTP with no dependencies
+// beyond the standard library.
+//
+// A Client is safe for concurrent use; it reuses connections through a
+// shared http.Transport and recycles its encode buffers through a pool.
+// Large batches are split into chunks (WithChunkSize) so a single
+// request body stays bounded no matter how much the caller hands over.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/tupleio"
+)
+
+// DefaultChunkSize is the maximum tuples encoded into one ingest
+// request: large enough to amortize the HTTP round trip, small enough
+// to stay far below the server's default body limit.
+const DefaultChunkSize = 16384
+
+// APIError is a non-2xx response from the service, carrying the
+// server's JSON error message.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-provided description
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("corrd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Stats is the /v1/stats response (also what the service renders).
+type Stats struct {
+	Role           string  `json:"role"`
+	Aggregate      string  `json:"aggregate"`
+	Shards         int     `json:"shards"`
+	Count          uint64  `json:"count"`
+	Space          int64   `json:"space"`
+	TuplesIngested uint64  `json:"tuples_ingested"`
+	PushesMerged   uint64  `json:"pushes_merged"`
+	QueriesServed  uint64  `json:"queries_served"`
+	Restored       bool    `json:"restored_from_snapshot"`
+	LastSnapshot   int64   `json:"last_snapshot_unix"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
+// QueryResult is the /v1/query response.
+type QueryResult struct {
+	Op       string  `json:"op"`
+	C        uint64  `json:"c"`
+	Estimate float64 `json:"estimate"`
+}
+
+// ingestResult is the /v1/ingest and /v1/push acknowledgement.
+type ingestResult struct {
+	Tuples uint64 `json:"tuples,omitempty"`
+	Merged bool   `json:"merged,omitempty"`
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// custom transports, httptest clients).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithChunkSize caps tuples per ingest request; n < 1 is ignored.
+func WithChunkSize(n int) Option {
+	return func(c *Client) {
+		if n >= 1 {
+			c.chunk = n
+		}
+	}
+}
+
+// Client talks to one corrd base URL.
+type Client struct {
+	base  string
+	hc    *http.Client
+	chunk int
+	bufs  sync.Pool // *[]byte encode buffers
+}
+
+// New builds a client for a base URL like "http://localhost:7070". The
+// default http.Client has a 30s overall timeout; pass WithHTTPClient to
+// change it.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		hc:    &http.Client{Timeout: 30 * time.Second},
+		chunk: DefaultChunkSize,
+	}
+	c.bufs.New = func() any { b := make([]byte, 0, 64<<10); return &b }
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// AddBatch streams the batch to POST /v1/ingest in chunks of at most
+// the configured chunk size. Chunks already accepted stay ingested when
+// a later chunk fails; the returned error reports how many tuples made
+// it. Zero weights count as 1, like the library's AddBatch.
+func (c *Client) AddBatch(ctx context.Context, batch []correlated.Tuple) error {
+	bp := c.bufs.Get().(*[]byte)
+	defer c.bufs.Put(bp)
+	for off := 0; off < len(batch); off += c.chunk {
+		end := off + c.chunk
+		if end > len(batch) {
+			end = len(batch)
+		}
+		*bp = tupleio.AppendBatch((*bp)[:0], batch[off:end])
+		if err := c.post(ctx, "/v1/ingest", tupleio.ContentType, *bp, nil); err != nil {
+			return fmt.Errorf("after %d of %d tuples: %w", off, len(batch), err)
+		}
+	}
+	return nil
+}
+
+// Push ships a marshaled summary image — a summary's MarshalBinary or a
+// shard engine's MarshalMerged — to POST /v1/push, the paper's
+// site→coordinator path.
+func (c *Client) Push(ctx context.Context, image []byte) error {
+	return c.post(ctx, "/v1/push", "application/octet-stream", image, nil)
+}
+
+// QueryLE estimates AGG{x : y <= cutoff} on the server.
+func (c *Client) QueryLE(ctx context.Context, cutoff uint64) (float64, error) {
+	return c.query(ctx, "le", cutoff)
+}
+
+// QueryGE estimates AGG{x : y >= cutoff} on the server.
+func (c *Client) QueryGE(ctx context.Context, cutoff uint64) (float64, error) {
+	return c.query(ctx, "ge", cutoff)
+}
+
+func (c *Client) query(ctx context.Context, op string, cutoff uint64) (float64, error) {
+	var res QueryResult
+	q := url.Values{"op": {op}, "c": {strconv.FormatUint(cutoff, 10)}}
+	if err := c.get(ctx, "/v1/query?"+q.Encode(), &res); err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
+// Stats fetches the server's /v1/stats.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var s Stats
+	err := c.get(ctx, "/v1/stats", &s)
+	return s, err
+}
+
+// Summary fetches the server's merged summary image (GET /v1/summary) —
+// the same bytes the server would Push as a site, usable with
+// MergeMarshaled or UnmarshalBinary on an identically configured
+// summary.
+func (c *Client) Summary(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/summary", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Healthy checks /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.get(ctx, "/healthz", nil)
+}
+
+func (c *Client) post(ctx context.Context, path, contentType string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError turns a non-2xx response into an *APIError, preferring the
+// server's JSON error body.
+func apiError(resp *http.Response) error {
+	var payload struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err := json.Unmarshal(body, &payload); err != nil || payload.Error == "" {
+		payload.Error = strings.TrimSpace(string(body))
+	}
+	if payload.Error == "" {
+		payload.Error = http.StatusText(resp.StatusCode)
+	}
+	return &APIError{Status: resp.StatusCode, Message: payload.Error}
+}
+
+// IsIncompatible reports whether err is the service rejecting a push or
+// restore because the image was built from different Options (HTTP 409).
+func IsIncompatible(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusConflict
+}

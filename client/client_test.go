@@ -1,0 +1,80 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/tupleio"
+)
+
+// TestAddBatchChunking: a batch larger than the chunk size splits into
+// ceil(n/chunk) requests whose decoded tuples reassemble the original
+// batch in order.
+func TestAddBatchChunking(t *testing.T) {
+	var requests int
+	var got []correlated.Tuple
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/ingest" || r.Header.Get("Content-Type") != tupleio.ContentType {
+			t.Errorf("unexpected request: %s %s %s", r.Method, r.URL.Path, r.Header.Get("Content-Type"))
+		}
+		requests++
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuples, err := tupleio.Decode(nil, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tuples...)
+		json.NewEncoder(w).Encode(map[string]int{"tuples": len(tuples)})
+	}))
+	defer srv.Close()
+
+	batch := make([]correlated.Tuple, 2500)
+	for i := range batch {
+		batch[i] = correlated.Tuple{X: uint64(i), Y: uint64(i * 2), W: 1}
+	}
+	cl := New(srv.URL, WithChunkSize(1000))
+	if err := cl.AddBatch(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if requests != 3 {
+		t.Fatalf("2500 tuples at chunk 1000: %d requests, want 3", requests)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("reassembled %d tuples, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if got[i] != batch[i] {
+			t.Fatalf("tuple %d: got %+v want %+v", i, got[i], batch[i])
+		}
+	}
+}
+
+// TestAPIErrorMapping: non-2xx responses surface the server's JSON
+// error message and status, and 409 is detectable as incompatibility.
+func TestAPIErrorMapping(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		io.WriteString(w, `{"error":"seed mismatch"}`)
+	}))
+	defer srv.Close()
+	err := New(srv.URL).Push(context.Background(), []byte{1})
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if ae.Status != http.StatusConflict || ae.Message != "seed mismatch" {
+		t.Fatalf("APIError: %+v", ae)
+	}
+	if !IsIncompatible(err) {
+		t.Fatal("409 not detected as incompatible")
+	}
+}

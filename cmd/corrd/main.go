@@ -1,0 +1,151 @@
+// Command corrd is the correlated-aggregation network daemon: the
+// paper's site/coordinator model as an HTTP service over the mergeable
+// summaries and the sharded ingest engine.
+//
+// Coordinator (the default role) — ingest tuples, merge site pushes,
+// answer queries:
+//
+//	corrd -addr :7070 -agg f2 -eps 0.15 -delta 0.1 -ymax 1048575 \
+//	      -shards 4 -snapshot /var/lib/corrd/f2.snapshot
+//
+// Site — summarize a local stream and push merged images upstream every
+// -push-interval, resetting after each acknowledged push:
+//
+//	corrd -addr :7071 -push-to http://coordinator:7070 \
+//	      -agg f2 -eps 0.15 -delta 0.1 -ymax 1048575 -seed 42
+//
+// Sites and their coordinator must share every summary flag (-agg, -k,
+// -eps, -delta, -ymax, -maxn, -maxx, -seed, -pred, and the alpha
+// overrides) verbatim: the seed regenerates the hash functions, and
+// mismatched configurations are rejected at push time with HTTP 409.
+//
+// Endpoints: POST /v1/ingest (binary tuple stream or text/csv
+// "x,y[,w]" lines), POST /v1/push (marshaled summary image),
+// GET /v1/query?op=le|ge&c=N, GET /v1/stats, GET /v1/summary,
+// GET /healthz, GET /metrics (Prometheus text).
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: drain HTTP, flush the
+// shards, final push (site role), final snapshot.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/service"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":7070", "listen address")
+		agg    = flag.String("agg", "f2", "aggregate: f2, fk, count, or sum")
+		k      = flag.Int("k", 3, "moment order for -agg fk")
+		eps    = flag.Float64("eps", 0.15, "target relative error ε ∈ (0,1)")
+		delta  = flag.Float64("delta", 0.1, "failure probability δ ∈ (0,1)")
+		ymax   = flag.Uint64("ymax", 1<<20-1, "largest y value")
+		maxn   = flag.Uint64("maxn", 1<<32, "stream length bound")
+		maxx   = flag.Uint64("maxx", 1<<32, "identifier bound (SUM/F0 sizing)")
+		seed   = flag.Uint64("seed", 1, "hash seed; must match across sites and coordinator")
+		pred   = flag.String("pred", "both", "query directions: le, ge, or both")
+		alpha  = flag.Int("alpha", 0, "per-level bucket capacity override (0 = derive)")
+		shards = flag.Int("shards", 1, "parallel ingest shards")
+
+		snapshot     = flag.String("snapshot", "", "snapshot file path (empty = no durability)")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
+
+		pushTo       = flag.String("push-to", "", "coordinator base URL; setting it makes this daemon a site")
+		pushInterval = flag.Duration("push-interval", 5*time.Second, "time between site pushes")
+
+		maxBody = flag.Int64("max-body", 64<<20, "request body cap in bytes")
+	)
+	flag.Parse()
+
+	var predicate correlated.Predicate
+	switch *pred {
+	case "le":
+		predicate = correlated.LE
+	case "ge":
+		predicate = correlated.GE
+	case "both":
+		predicate = correlated.Both
+	default:
+		fmt.Fprintf(os.Stderr, "corrd: bad -pred %q (want le, ge, or both)\n", *pred)
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	svc, err := service.New(service.Config{
+		Aggregate: *agg,
+		K:         *k,
+		Options: correlated.Options{
+			Eps: *eps, Delta: *delta, YMax: *ymax,
+			MaxStreamLen: *maxn, MaxX: *maxx, Seed: *seed,
+			Predicate: predicate, Alpha: *alpha,
+		},
+		Shards:           *shards,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapInterval,
+		PushTo:           *pushTo,
+		PushInterval:     *pushInterval,
+		MaxBodyBytes:     *maxBody,
+		Logger:           logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corrd: %v\n", err)
+		os.Exit(1)
+	}
+	if svc.Restored() {
+		logger.Printf("corrd: restored state from %s", *snapshot)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("corrd: %s role listening on %s (agg=%s shards=%d)",
+			roleOf(*pushTo), *addr, *agg, *shards)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("corrd: shutting down")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "corrd: serve: %v\n", err)
+		svc.Close()
+		os.Exit(1)
+	}
+
+	// Drain in-flight requests, then flush/push/snapshot via Close.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("corrd: http shutdown: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "corrd: close: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Printf("corrd: clean shutdown")
+}
+
+func roleOf(pushTo string) string {
+	if pushTo != "" {
+		return "site"
+	}
+	return "coordinator"
+}

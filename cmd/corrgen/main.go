@@ -1,19 +1,27 @@
-// Command corrgen emits the paper's evaluation datasets as CSV on stdout:
-// one "x,y" tuple per line.
+// Command corrgen emits the paper's evaluation datasets as CSV on stdout
+// — one "x,y" tuple per line — or, with -target, streams them straight
+// into a running corrd daemon through the client's chunked batch ingest,
+// turning the generator into a self-contained load driver for the
+// network service.
 //
 // Usage:
 //
 //	corrgen -dataset uniform|zipf1|zipf2|ethernet [-n 1000000] [-seed 1]
 //	        [-xdom 500001] [-ydom 1000001]
+//	        [-target http://localhost:7070] [-chunk 8192]
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/client"
 	"github.com/streamagg/correlated/internal/gen"
 )
 
@@ -24,6 +32,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		xdom    = flag.Uint64("xdom", 500_001, "identifier domain size (not used by ethernet)")
 		ydom    = flag.Uint64("ydom", 1_000_001, "y domain size (not used by ethernet)")
+		target  = flag.String("target", "", "corrd base URL; send tuples there instead of stdout")
+		chunk   = flag.Int("chunk", 8192, "tuples per ingest request with -target")
 	)
 	flag.Parse()
 
@@ -40,6 +50,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "corrgen: unknown dataset %q\n", *dataset)
 		os.Exit(2)
+	}
+
+	if *target != "" {
+		if err := stream(s, *target, *chunk); err != nil {
+			fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	w := bufio.NewWriterSize(os.Stdout, 1<<20)
@@ -59,4 +77,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// stream drives the generated tuples into a corrd daemon in chunked
+// batches, reporting throughput on stderr.
+func stream(s gen.Stream, target string, chunk int) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	cl := client.New(target, client.WithChunkSize(chunk))
+	ctx := context.Background()
+	if err := cl.Healthy(ctx); err != nil {
+		return fmt.Errorf("target %s not healthy: %w", target, err)
+	}
+	batch := make([]correlated.Tuple, 0, chunk)
+	start := time.Now()
+	sent := 0
+	for {
+		t, ok := s.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, correlated.Tuple{X: t.X, Y: t.Y, W: 1})
+		if len(batch) == chunk {
+			if err := cl.AddBatch(ctx, batch); err != nil {
+				return fmt.Errorf("after %d tuples: %w", sent, err)
+			}
+			sent += len(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := cl.AddBatch(ctx, batch); err != nil {
+			return fmt.Errorf("after %d tuples: %w", sent, err)
+		}
+		sent += len(batch)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "corrgen: sent %d tuples to %s in %v (%.0f tuples/s)\n",
+		sent, target, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	return nil
 }

@@ -49,11 +49,18 @@
 //	§1.1 sliding windows      internal/window   timestamp-as-y reduction
 //	§4 turnstile/multipass    internal/turnstile  MULTIPASS, GREATER-THAN bounds
 //	distributed model         shard             P worker-owned summaries, channel-fed
-//	                                            ingest, merge-then-query coordinator
+//	                                            ingest, merge-then-query coordinator,
+//	                                            engine snapshots and push images
+//	                          service, client   corrd, the site/coordinator network
+//	                                            daemon (cmd/corrd): HTTP ingest and
+//	                                            wire-image pushes, snapshot
+//	                                            durability, Prometheus metrics, and
+//	                                            the Go client driving it
 //	support                   internal/dyadic, internal/hash, internal/quantile,
-//	                          internal/gen, internal/exact — interval arithmetic,
-//	                          seeded universal hashing, GK quantiles, generators,
-//	                          brute-force references
+//	                          internal/gen, internal/exact, internal/tupleio —
+//	                          interval arithmetic, seeded universal hashing, GK
+//	                          quantiles, generators, brute-force references, and
+//	                          the tuple wire codec
 //
 // # Accuracy guarantees
 //
@@ -79,7 +86,11 @@
 // structural guarantee but scales the bucket-straddling error term
 // (Lemma 4) by up to k; use Eps/k at the sites when a strict ε must
 // survive a k-way merge. The shard subpackage builds a parallel ingest
-// engine on exactly this merge layer.
+// engine on exactly this merge layer, and the service and client
+// subpackages (with cmd/corrd) expose the whole model over HTTP: remote
+// sites stream tuples or push marshaled summary images, the coordinator
+// daemon serves queries from the merged state, and snapshots make the
+// serving tier restartable.
 //
 // # Concurrency
 //

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"slices"
 
 	"github.com/streamagg/correlated/internal/dyadic"
 	"github.com/streamagg/correlated/internal/sketch"
@@ -56,12 +57,19 @@ func (s *Summary) MarshalBinary() ([]byte, error) {
 	if buf, err = appendSketch(buf, s.shared); err != nil {
 		return nil, err
 	}
-	// Singleton level.
+	// Singleton level, in ascending y order: the encoding is canonical
+	// (a given state always marshals to the same bytes), which snapshot
+	// round-trip contracts rely on.
 	buf = binary.AppendUvarint(buf, s.s0.y)
 	buf = binary.AppendUvarint(buf, uint64(len(s.s0.buckets)))
-	for y, b := range s.s0.buckets {
+	ys := make([]uint64, 0, len(s.s0.buckets))
+	for y := range s.s0.buckets {
+		ys = append(ys, y)
+	}
+	slices.Sort(ys)
+	for _, y := range ys {
 		buf = binary.AppendUvarint(buf, y)
-		if buf, err = appendSketch(buf, b.sk); err != nil {
+		if buf, err = appendSketch(buf, s.s0.buckets[y].sk); err != nil {
 			return nil, err
 		}
 	}

@@ -213,6 +213,12 @@ func (s *Summary) ParseMergeImage(data []byte) (*MergeImage, error) {
 		return nil, ErrBadEncoding
 	}
 	data = data[n:]
+	// Each singleton entry costs at least two bytes of payload, so a
+	// count beyond the remaining bytes is hostile; checking before the
+	// map pre-size keeps a forged count from forcing a giant allocation.
+	if cnt > uint64(len(data)) {
+		return nil, ErrBadEncoding
+	}
 	oz := levelZero{buckets: make(map[uint64]*bucket, cnt), y: y0}
 	for i := uint64(0); i < cnt; i++ {
 		y, n := binary.Uvarint(data)

@@ -1,0 +1,70 @@
+package corrf0
+
+import (
+	"testing"
+
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// FuzzUnmarshalBinary hardens the corrf0 wire format the same way as
+// the core format: images arrive from the network (corrd's /v1/push for
+// F0 deployments, snapshot files from disk), so malformed, truncated,
+// or config-mismatched bytes must fail with a typed error and never
+// panic or corrupt the receiver.
+func FuzzUnmarshalBinary(f *testing.F) {
+	cfg := Config{Eps: 0.3, Delta: 0.2, XDomain: 1 << 10, Alpha: 8, Seed: 5}
+	newSum := func(tb testing.TB) *Summary {
+		s, err := New(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return s
+	}
+
+	empty := newSum(f)
+	img, err := empty.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	full := newSum(f)
+	rng := hash.New(6)
+	for i := 0; i < 5_000; i++ {
+		full.Add(rng.Uint64n(1<<10), rng.Uint64n(1<<14))
+	}
+	if img, err = full.MarshalBinary(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:len(img)/2])
+	corrupt := append([]byte(nil), img...)
+	corrupt[len(corrupt)/4] ^= 0x55
+	f.Add(corrupt)
+	otherCfg := cfg
+	otherCfg.Alpha = 16
+	other, err := New(otherCfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if img, err = other.MarshalBinary(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add([]byte{})
+	f.Add([]byte{2}) // bare version byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := newSum(t)
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted images must leave the summary fully usable: query
+		// (its errors are legitimate FAIL outputs, panics are not),
+		// ingest, re-marshal.
+		s.Query(1 << 13)
+		s.Add(1, 1)
+		if _, err := s.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal after accepted image: %v", err)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"slices"
 
 	"github.com/streamagg/correlated/internal/compat"
 )
@@ -40,7 +41,15 @@ func (s *Summary) MarshalBinary() ([]byte, error) {
 			l := &r.levels[j]
 			buf = binary.AppendUvarint(buf, l.y)
 			buf = binary.AppendUvarint(buf, uint64(len(l.items)))
-			for _, e := range l.items {
+			// Ascending x order keeps the encoding canonical: a given
+			// state always marshals to the same bytes.
+			xs := make([]uint64, 0, len(l.items))
+			for x := range l.items {
+				xs = append(xs, x)
+			}
+			slices.Sort(xs)
+			for _, x := range xs {
+				e := l.items[x]
 				buf = binary.AppendUvarint(buf, e.x)
 				buf = binary.AppendUvarint(buf, e.y1)
 				buf = binary.AppendUvarint(buf, e.y2)
@@ -113,7 +122,9 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 			if err != nil {
 				return err
 			}
-			if int(cnt) > s.alpha {
+			// Unsigned comparison: a forged count >= 2^63 must not slip
+			// past as a negative int and reach the map pre-size below.
+			if cnt > uint64(s.alpha) {
 				return ErrBadEncoding
 			}
 			l := &r.levels[j]

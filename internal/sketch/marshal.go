@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Binary serialization for sketches. Hash functions are never serialized:
@@ -223,6 +224,12 @@ func (s *KMV) UnmarshalBinary(data []byte) error {
 		if n, rest, err = readU64(rest); err != nil {
 			return err
 		}
+		// Each value costs at least one byte of payload; bounding the
+		// count before the pre-size keeps a forged count from forcing a
+		// giant allocation.
+		if n > uint64(len(rest)) {
+			return ErrBadEncoding
+		}
 		r := &s.reps[i]
 		r.vals = r.vals[:0]
 		r.seen = make(map[uint64]struct{}, n)
@@ -287,10 +294,17 @@ func (f *Fk) MarshalBinary() ([]byte, error) {
 		}
 		buf = appendU64(buf, uint64(len(cs)))
 		buf = append(buf, cs...)
+		// Ascending x order keeps the encoding canonical (same state,
+		// same bytes), which engine snapshot round-trips rely on.
 		buf = appendU64(buf, uint64(len(lv.cand)))
-		for x, c := range lv.cand {
+		xs := make([]uint64, 0, len(lv.cand))
+		for x := range lv.cand {
+			xs = append(xs, x)
+		}
+		slices.Sort(xs)
+		for _, x := range xs {
 			buf = appendU64(buf, x)
-			buf = appendI64(buf, c)
+			buf = appendI64(buf, lv.cand[x])
 		}
 		if lv.evicted {
 			buf = append(buf, 1)

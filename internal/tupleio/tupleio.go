@@ -1,0 +1,88 @@
+// Package tupleio is the tuple wire codec shared by the corrd service
+// and its client: a batch of (x, y, w) tuples encodes as repeated
+// uvarint triples, nothing else — no count prefix, no framing — so a
+// body can be produced incrementally and decoded in one pass. Weights
+// are encoded as uvarints (the ingest APIs require w > 0; a zero weight
+// on the wire decodes to 1, matching Tuple's zero-value convention).
+//
+// The codec deliberately lives below both the client and service
+// packages: the service decodes exactly what the client encodes, and a
+// non-Go producer only needs "three uvarints per tuple".
+package tupleio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/streamagg/correlated/internal/core"
+)
+
+// ContentType is the media type of the binary tuple stream.
+const ContentType = "application/x-correlated-tuples"
+
+// ErrBadStream reports a malformed binary tuple stream.
+var ErrBadStream = errors.New("tupleio: malformed tuple stream")
+
+// MaxDecodeTuples caps how many tuples Decode will accept in one body:
+// a hostile 1-byte-per-tuple stream can claim at most body-length
+// tuples, but the cap keeps a decoded batch's memory proportional to a
+// sane request size regardless of what the transport allowed.
+const MaxDecodeTuples = 1 << 22
+
+// AppendTuple appends one tuple record to buf and returns the extended
+// slice. A non-positive weight is encoded as 1.
+func AppendTuple(buf []byte, x, y uint64, w int64) []byte {
+	if w <= 0 {
+		w = 1
+	}
+	buf = binary.AppendUvarint(buf, x)
+	buf = binary.AppendUvarint(buf, y)
+	return binary.AppendUvarint(buf, uint64(w))
+}
+
+// AppendBatch appends every tuple in batch to buf (zero weights encode
+// as 1, matching the ingest APIs' convention).
+func AppendBatch(buf []byte, batch []core.Tuple) []byte {
+	for _, t := range batch {
+		buf = AppendTuple(buf, t.X, t.Y, t.W)
+	}
+	return buf
+}
+
+// Decode parses a complete binary tuple stream into dst (reusing its
+// capacity) and returns the filled slice. The stream must contain only
+// whole records; a trailing partial record, a weight that overflows
+// int64, or more than MaxDecodeTuples records is an error matching
+// ErrBadStream.
+func Decode(dst []core.Tuple, data []byte) ([]core.Tuple, error) {
+	dst = dst[:0]
+	for len(data) > 0 {
+		if len(dst) >= MaxDecodeTuples {
+			return dst[:0], fmt.Errorf("%w: more than %d tuples in one body", ErrBadStream, MaxDecodeTuples)
+		}
+		var t core.Tuple
+		var w uint64
+		var n int
+		if t.X, n = binary.Uvarint(data); n <= 0 {
+			return dst[:0], fmt.Errorf("%w: bad x at record %d", ErrBadStream, len(dst))
+		}
+		data = data[n:]
+		if t.Y, n = binary.Uvarint(data); n <= 0 {
+			return dst[:0], fmt.Errorf("%w: bad y at record %d", ErrBadStream, len(dst))
+		}
+		data = data[n:]
+		if w, n = binary.Uvarint(data); n <= 0 {
+			return dst[:0], fmt.Errorf("%w: bad weight at record %d", ErrBadStream, len(dst))
+		}
+		data = data[n:]
+		if w > 1<<63-1 {
+			return dst[:0], fmt.Errorf("%w: weight overflows int64 at record %d", ErrBadStream, len(dst))
+		}
+		if t.W = int64(w); t.W == 0 {
+			t.W = 1
+		}
+		dst = append(dst, t)
+	}
+	return dst, nil
+}

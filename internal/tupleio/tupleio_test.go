@@ -1,0 +1,69 @@
+package tupleio
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/core"
+)
+
+func TestRoundTrip(t *testing.T) {
+	batch := []core.Tuple{
+		{X: 0, Y: 0, W: 1},
+		{X: 1 << 60, Y: 1<<32 - 1, W: 1<<62 + 3},
+		{X: 7, Y: 9}, // zero weight normalizes to 1
+		{X: 1, Y: 2, W: -5},
+	}
+	buf := AppendBatch(nil, batch)
+	got, err := Decode(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Tuple{
+		{X: 0, Y: 0, W: 1},
+		{X: 1 << 60, Y: 1<<32 - 1, W: 1<<62 + 3},
+		{X: 7, Y: 9, W: 1},
+		{X: 1, Y: 2, W: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %v want %v", got, want)
+	}
+	// Decode reuses dst capacity.
+	reused, err := Decode(got, buf[:0])
+	if err != nil || len(reused) != 0 {
+		t.Fatalf("empty stream: %v len=%d", err, len(reused))
+	}
+}
+
+func TestDecodeRejectsPartialRecords(t *testing.T) {
+	buf := AppendTuple(nil, 5, 6, 7)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := Decode(nil, buf[:cut]); !errors.Is(err, ErrBadStream) {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+	}
+	// Unterminated uvarint (ten continuation bytes).
+	bad := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}
+	if _, err := Decode(nil, bad); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("unterminated uvarint: %v", err)
+	}
+}
+
+func TestDecodeRejectsOverflowWeight(t *testing.T) {
+	var buf []byte
+	buf = appendRaw(buf, 1)
+	buf = appendRaw(buf, 2)
+	buf = appendRaw(buf, 1<<63) // does not fit int64
+	if _, err := Decode(nil, buf); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("overflow weight: %v", err)
+	}
+}
+
+func appendRaw(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}

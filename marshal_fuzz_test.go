@@ -1,0 +1,69 @@
+package correlated_test
+
+import (
+	"testing"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// FuzzMergeMarshaled exercises the exact byte surface corrd's /v1/push
+// hands to the library: the dual-summary wire framing plus the embedded
+// core images, against a dual-direction receiver. Hostile bytes must be
+// rejected with typed errors, never panic, and never leave the receiver
+// unusable. (The per-format decode walks have their own fuzz targets in
+// internal/core and internal/corrf0; this one covers the outer framing
+// and the two-phase parse/apply atomicity.)
+func FuzzMergeMarshaled(f *testing.F) {
+	opts := correlated.Options{
+		Eps: 0.25, Delta: 0.1, YMax: 1<<10 - 1,
+		MaxStreamLen: 1 << 14, MaxX: 1 << 10,
+		Alpha: 8, Seed: 11, Predicate: correlated.Both,
+	}
+	newSum := func(tb testing.TB) *correlated.F2Summary {
+		s, err := correlated.NewF2Summary(opts)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return s
+	}
+	site := newSum(f)
+	rng := hash.New(2)
+	for i := 0; i < 4_000; i++ {
+		if err := site.Add(rng.Uint64n(1<<9), rng.Uint64n(1<<10)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	img, err := site.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:len(img)/2])
+	f.Add(img[:2])
+	corrupt := append([]byte(nil), img...)
+	corrupt[len(corrupt)/2] ^= 0x10
+	f.Add(corrupt)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recv := newSum(t)
+		for i := 0; i < 50; i++ {
+			if err := recv.Add(uint64(i), uint64(i%1024)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := recv.MergeMarshaled(data); err != nil {
+			return
+		}
+		if err := recv.Add(1, 1); err != nil {
+			t.Fatalf("add after accepted push: %v", err)
+		}
+		if _, err := recv.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal after accepted push: %v", err)
+		}
+		if _, err := recv.QueryLE(1 << 9); err != nil && err != correlated.ErrNoLevel {
+			t.Fatalf("query after accepted push: %v", err)
+		}
+	})
+}

@@ -24,6 +24,10 @@ BENCH_COUNT="${BENCH_COUNT:-1}"
   # free cores to show wall-clock scaling (see benchmarks/README.md).
   go test -run '^$' -bench 'BenchmarkShardedAdd' -benchmem -benchtime=500000x \
     -count="$BENCH_COUNT" ./shard/
+  # Site-push hot path (corrd /v1/push): coordinator folding a marshaled
+  # site image; MB/s is push bandwidth per coordinator core.
+  go test -run '^$' -bench 'BenchmarkMergeMarshaled' -benchmem -benchtime=20x \
+    -count="$BENCH_COUNT" .
 } | tee benchmarks/latest.txt
 
 echo

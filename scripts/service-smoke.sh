@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the corrd service subsystem (run by CI):
+#
+#   1. start corrd with a snapshot path
+#   2. drive it with corrgen -target (chunked HTTP ingest)
+#   3. query, scrape /v1/stats and /metrics
+#   4. SIGTERM (graceful shutdown writes a final snapshot)
+#   5. restart from the snapshot and prove the answer is identical
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:17070"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+SNAP="$WORK/corrd.snapshot"
+LOG="$WORK/corrd.log"
+N=200000
+CUTOFF=500000
+
+cleanup() {
+  [ -n "${CORRD_PID:-}" ] && kill "$CORRD_PID" 2>/dev/null || true
+  [ -n "${SITE_PID:-}" ] && kill "$SITE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/corrd" ./cmd/corrd
+go build -o "$WORK/corrgen" ./cmd/corrgen
+
+start_corrd() {
+  "$WORK/corrd" -addr "$ADDR" -agg f2 -eps 0.15 -delta 0.1 \
+    -ymax 1000000 -maxn 1048576 -maxx 500001 -seed 42 -shards 2 \
+    -snapshot "$SNAP" -snapshot-interval 5s >>"$LOG" 2>&1 &
+  CORRD_PID=$!
+  for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "corrd did not become healthy; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+echo "== start corrd"
+start_corrd
+
+echo "== drive with corrgen -target"
+"$WORK/corrgen" -dataset zipf1 -n "$N" -seed 7 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -chunk 8192
+
+echo "== text-format ingest (curl path)"
+printf '1,2\n3,4,2\n' | curl -fsS -X POST -H 'Content-Type: text/csv' \
+  --data-binary @- "$BASE/v1/ingest" >/dev/null
+
+echo "== stats + query + metrics"
+STATS=$(curl -fsS "$BASE/v1/stats")
+echo "$STATS"
+COUNT=$(echo "$STATS" | grep -o '"count":[0-9]*' | cut -d: -f2)
+EXPECTED=$((N + 2))
+if [ "$COUNT" != "$EXPECTED" ]; then
+  echo "FAIL: count $COUNT != $EXPECTED" >&2; exit 1
+fi
+Q1=$(curl -fsS "$BASE/v1/query?op=le&c=$CUTOFF")
+echo "query: $Q1"
+curl -fsS "$BASE/metrics" | grep -E 'corrd_tuples_ingested_total|corrd_snapshot' | head -6
+curl -fsS "$BASE/metrics" | grep -q "corrd_tuples_ingested_total $EXPECTED" \
+  || { echo "FAIL: ingest metric missing" >&2; exit 1; }
+
+echo "== SIGTERM (graceful: flush + final snapshot)"
+kill -TERM "$CORRD_PID"
+wait "$CORRD_PID" || { echo "FAIL: corrd exited non-zero; log:" >&2; cat "$LOG" >&2; exit 1; }
+CORRD_PID=""
+[ -s "$SNAP" ] || { echo "FAIL: no snapshot written" >&2; exit 1; }
+
+echo "== restart from snapshot, re-query"
+start_corrd
+grep -q "restored state" "$LOG" || { echo "FAIL: restart did not restore" >&2; exit 1; }
+Q2=$(curl -fsS "$BASE/v1/query?op=le&c=$CUTOFF")
+echo "query after restart: $Q2"
+if [ "$(echo "$Q1" | grep -o '"estimate":[^}]*')" != "$(echo "$Q2" | grep -o '"estimate":[^}]*')" ]; then
+  echo "FAIL: answers differ across restart: $Q1 vs $Q2" >&2; exit 1
+fi
+COUNT2=$(curl -fsS "$BASE/v1/stats" | grep -o '"count":[0-9]*' | cut -d: -f2)
+if [ "$COUNT2" != "$EXPECTED" ]; then
+  echo "FAIL: restored count $COUNT2 != $EXPECTED" >&2; exit 1
+fi
+
+echo "== site -> coordinator push"
+SITE_ADDR="127.0.0.1:17071"
+"$WORK/corrd" -addr "$SITE_ADDR" -agg f2 -eps 0.15 -delta 0.1 \
+  -ymax 1000000 -maxn 1048576 -maxx 500001 -seed 42 -shards 1 \
+  -push-to "$BASE" -push-interval 1s >>"$LOG" 2>&1 &
+SITE_PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$SITE_ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+"$WORK/corrgen" -dataset uniform -n 50000 -seed 9 -xdom 100001 -ydom 1000001 \
+  -target "http://$SITE_ADDR" -chunk 8192
+kill -TERM "$SITE_PID"; wait "$SITE_PID" || { echo "FAIL: site exited non-zero" >&2; cat "$LOG" >&2; exit 1; }
+SITE_PID=""
+COUNT3=$(curl -fsS "$BASE/v1/stats" | grep -o '"count":[0-9]*' | cut -d: -f2)
+EXPECTED3=$((EXPECTED + 50000))
+if [ "$COUNT3" != "$EXPECTED3" ]; then
+  echo "FAIL: coordinator count after site push $COUNT3 != $EXPECTED3" >&2; exit 1
+fi
+curl -fsS "$BASE/metrics" | grep -q 'corrd_pushes_merged_total [1-9]' \
+  || { echo "FAIL: push metric missing" >&2; exit 1; }
+
+kill -TERM "$CORRD_PID"; wait "$CORRD_PID" || true
+CORRD_PID=""
+echo "service smoke test PASSED"

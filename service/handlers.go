@@ -1,0 +1,349 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/tupleio"
+	"github.com/streamagg/correlated/shard"
+)
+
+// routes wires the HTTP surface. Method-qualified patterns (Go 1.22
+// ServeMux) give wrong-method requests a 405 for free.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
+	s.mux.HandleFunc("POST /v1/push", s.instrument("push", s.handlePush))
+	s.mux.HandleFunc("GET /v1/query", s.instrument("query", s.handleQuery))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/summary", s.instrument("summary", s.handleSummary))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// maxPooledBuffer caps what a recycled decodeState may retain: a rare
+// near-MaxBodyBytes request must not leave a pool entry permanently
+// pinning tens of MiB, so oversized buffers are dropped and reallocated
+// by the next large request instead.
+const maxPooledBuffer = 4 << 20
+
+// putDecodeState recycles d unless a large request inflated it.
+func (s *Server) putDecodeState(d *decodeState) {
+	if cap(d.body) > maxPooledBuffer {
+		d.body = nil
+	}
+	if cap(d.tuples)*24 > maxPooledBuffer { // 24 bytes per Tuple
+		d.tuples = nil
+	}
+	s.dec.Put(d)
+}
+
+// instrument feeds the per-handler latency histogram.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.metrics.observe(name, time.Since(start))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// readBody drains the request body into dst (reusing its capacity),
+// enforcing the configured byte cap. It reports 413 on overflow itself
+// and returns ok=false.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, dst []byte) ([]byte, bool) {
+	rd := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dst = dst[:0]
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := rd.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, true
+		}
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("body exceeds %d bytes", mbe.Limit))
+			} else {
+				s.httpError(w, http.StatusBadRequest, err)
+			}
+			return dst, false
+		}
+	}
+}
+
+// handleIngest accepts a batch of tuples — the binary tupleio stream
+// from the Go client, or text lines "x,y[,w]" for curl-friendly ingest —
+// and drives it through the shard engine's atomic AddBatch: a rejected
+// batch has ingested nothing.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ingestRequests.Inc()
+	d := s.dec.Get().(*decodeState)
+	defer s.putDecodeState(d)
+	var ok bool
+	if d.body, ok = s.readBody(w, r, d.body); !ok {
+		s.metrics.ingestErrors.Inc()
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	var err error
+	switch ct {
+	case tupleio.ContentType, "application/octet-stream", "":
+		d.tuples, err = tupleio.Decode(d.tuples, d.body)
+	case "text/csv", "text/plain":
+		d.tuples, err = parseTextTuples(d.tuples, d.body)
+	default:
+		s.metrics.ingestErrors.Inc()
+		s.httpError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Type %q (want %s or text/csv)", ct, tupleio.ContentType))
+		return
+	}
+	if err != nil {
+		s.metrics.ingestErrors.Inc()
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err = s.eng.AddBatch(d.tuples)
+	s.mu.Unlock()
+	if err != nil {
+		// AddBatch fails only on synchronous validation (y bound,
+		// weight) — the batch was rejected atomically, so this is the
+		// client's error; a closed engine is the exception.
+		s.metrics.ingestErrors.Inc()
+		status := http.StatusBadRequest
+		if errors.Is(err, shard.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		s.httpError(w, status, err)
+		return
+	}
+	s.metrics.tuplesIngested.Add(uint64(len(d.tuples)))
+	writeJSON(w, http.StatusOK, map[string]uint64{"tuples": uint64(len(d.tuples))})
+}
+
+// parseTextTuples parses newline-separated "x,y" or "x,y,w" records
+// (blank lines and #-comments ignored) into dst.
+func parseTextTuples(dst []correlated.Tuple, body []byte) ([]correlated.Tuple, error) {
+	dst = dst[:0]
+	for lineNo, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 && len(parts) != 3 {
+			return dst[:0], fmt.Errorf("line %d: want x,y or x,y,w", lineNo+1)
+		}
+		var t correlated.Tuple
+		var err error
+		if t.X, err = strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64); err != nil {
+			return dst[:0], fmt.Errorf("line %d: bad x: %w", lineNo+1, err)
+		}
+		if t.Y, err = strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64); err != nil {
+			return dst[:0], fmt.Errorf("line %d: bad y: %w", lineNo+1, err)
+		}
+		t.W = 1
+		if len(parts) == 3 {
+			if t.W, err = strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64); err != nil {
+				return dst[:0], fmt.Errorf("line %d: bad weight: %w", lineNo+1, err)
+			}
+		}
+		dst = append(dst, t)
+	}
+	return dst, nil
+}
+
+// handlePush folds a marshaled site summary image into the engine —
+// attacker-controlled bytes by definition, so the decode path is the
+// fuzz-hardened MergeMarshaled, and every failure is a typed rejection
+// that leaves the engine untouched.
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	d := s.dec.Get().(*decodeState)
+	defer s.putDecodeState(d)
+	var ok bool
+	if d.body, ok = s.readBody(w, r, d.body); !ok {
+		s.metrics.pushErrors.Inc()
+		return
+	}
+	if len(d.body) == 0 {
+		s.metrics.pushErrors.Inc()
+		s.httpError(w, http.StatusBadRequest, errors.New("empty push body"))
+		return
+	}
+	s.mu.Lock()
+	err := s.eng.MergeMarshaled(d.body)
+	s.mu.Unlock()
+	if err != nil {
+		s.metrics.pushErrors.Inc()
+		status := http.StatusBadRequest
+		if errors.Is(err, correlated.ErrIncompatible) {
+			status = http.StatusConflict
+		}
+		s.httpError(w, status, err)
+		return
+	}
+	s.metrics.pushesMerged.Inc()
+	writeJSON(w, http.StatusOK, map[string]bool{"merged": true})
+}
+
+// handleQuery answers GET /v1/query?op=le|ge&c=N.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	op := q.Get("op")
+	if op == "" {
+		op = "le"
+	}
+	if op != "le" && op != "ge" {
+		s.metrics.queryErrors.Inc()
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad op %q (want le or ge)", op))
+		return
+	}
+	cutoff, err := strconv.ParseUint(q.Get("c"), 10, 64)
+	if err != nil {
+		s.metrics.queryErrors.Inc()
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad cutoff c=%q: %w", q.Get("c"), err))
+		return
+	}
+	var est float64
+	s.mu.Lock()
+	if op == "le" {
+		est, err = s.eng.QueryLE(cutoff)
+	} else {
+		est, err = s.eng.QueryGE(cutoff)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.metrics.queryErrors.Inc()
+		s.httpError(w, statusForQuery(err), err)
+		return
+	}
+	if op == "le" {
+		s.metrics.queriesLE.Inc()
+	} else {
+		s.metrics.queriesGE.Inc()
+	}
+	writeJSON(w, http.StatusOK, client.QueryResult{Op: op, C: cutoff, Estimate: est})
+}
+
+// statusForQuery maps query errors: misuse is 400, the paper's FAIL
+// output (ErrNoLevel, probability <= Delta) is 503 — the client may
+// retry a nearby cutoff — and a closed engine is 503 too.
+func statusForQuery(err error) int {
+	switch {
+	case errors.Is(err, correlated.ErrDirection):
+		return http.StatusBadRequest
+	case errors.Is(err, correlated.ErrNoLevel), errors.Is(err, shard.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusForEngine maps errors surfacing from engine barriers (stats,
+// summary): a closed engine is 503, anything else is server state gone
+// wrong — e.g. a worker's sticky async ingest error — not the caller's
+// fault.
+func statusForEngine(err error) int {
+	if errors.Is(err, shard.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// handleStats reports the serving-state counters as JSON.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	count, err := s.eng.Count()
+	var space int64
+	if err == nil {
+		space, err = s.eng.Space()
+	}
+	shards := s.eng.Shards()
+	s.mu.Unlock()
+	if err != nil {
+		s.httpError(w, statusForEngine(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.Stats{
+		Role:           s.cfg.role(),
+		Aggregate:      s.cfg.aggregate(),
+		Shards:         shards,
+		Count:          count,
+		Space:          space,
+		TuplesIngested: s.metrics.tuplesIngested.Load(),
+		PushesMerged:   s.metrics.pushesMerged.Load(),
+		QueriesServed:  s.metrics.queriesLE.Load() + s.metrics.queriesGE.Load(),
+		Restored:       s.restored,
+		LastSnapshot:   s.metrics.lastSnapshotUnix.Load(),
+		UptimeSeconds:  time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+// handleSummary serves the engine's merged summary image — the same
+// bytes a site would push, so a downstream coordinator (or an offline
+// tool) can pull instead of being pushed to.
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	img, err := s.eng.MarshalMerged()
+	s.mu.Unlock()
+	if err != nil {
+		s.httpError(w, statusForEngine(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(img)))
+	w.Write(img)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		s.httpError(w, http.StatusServiceUnavailable, errors.New("shutting down"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, "ok\n")
+}
+
+// handleMetrics renders the Prometheus text exposition. Engine gauges
+// are sampled under the driver lock (a drain barrier — scrape-rate
+// traffic, not hot-path traffic).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var es engineStats
+	s.mu.Lock()
+	if n, err := s.eng.Count(); err == nil {
+		es.count = n
+	}
+	if sp, err := s.eng.Space(); err == nil {
+		es.space = sp
+	}
+	es.shards = s.eng.Shards()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, es)
+}

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Dependency-free Prometheus-text observability. The instrument set is
+// fixed at startup (no dynamic label cardinality): counters for the
+// three traffic classes, one latency histogram per handler, and gauges
+// for engine and snapshot state. Everything is atomics — recording on
+// the hot path takes no lock — and the /metrics handler renders the
+// text exposition format directly.
+
+// counter is a monotonically increasing metric.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) Inc()         { c.v.Add(1) }
+func (c *counter) Add(n uint64) { c.v.Add(n) }
+func (c *counter) Load() uint64 { return c.v.Load() }
+
+// gauge is a settable instantaneous value.
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) Set(n int64) { g.v.Store(n) }
+func (g *gauge) Load() int64 { return g.v.Load() }
+
+// histogram is a fixed-bucket latency histogram (cumulative on render,
+// like Prometheus expects; per-bucket on record, so Observe is one
+// atomic add).
+type histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf is implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// defaultBuckets spans sub-millisecond handler hits through multi-second
+// merges of large pushed images.
+func defaultBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+}
+
+func (h *histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// metrics is the service's instrument registry.
+type metrics struct {
+	start time.Time
+
+	tuplesIngested counter
+	ingestRequests counter
+	ingestErrors   counter
+
+	pushesMerged counter
+	pushErrors   counter
+
+	queriesLE   counter
+	queriesGE   counter
+	queryErrors counter
+
+	snapshotsWritten counter
+	snapshotErrors   counter
+	lastSnapshotUnix gauge // 0 until the first snapshot
+	snapshotBytes    gauge
+
+	pushesSent     counter // site role: images shipped upstream
+	pushSendErrors counter
+
+	handlers map[string]*histogram // request duration per handler
+}
+
+func newMetrics() *metrics {
+	m := &metrics{start: time.Now(), handlers: map[string]*histogram{}}
+	for _, h := range handlerNames {
+		m.handlers[h] = newHistogram(defaultBuckets())
+	}
+	return m
+}
+
+// handlerNames fixes the exposition order of the per-handler histograms.
+var handlerNames = []string{"ingest", "push", "query", "stats", "summary"}
+
+func (m *metrics) observe(handler string, d time.Duration) {
+	if h, ok := m.handlers[handler]; ok {
+		h.Observe(d.Seconds())
+	}
+}
+
+// engineStats is the engine-derived part of the exposition, gathered
+// under the server's lock just before rendering.
+type engineStats struct {
+	count  uint64
+	space  int64
+	shards int
+}
+
+// write renders the Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, es engineStats) {
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c("corrd_tuples_ingested_total", "Tuples accepted through /v1/ingest.", m.tuplesIngested.Load())
+	c("corrd_ingest_requests_total", "Requests to /v1/ingest.", m.ingestRequests.Load())
+	c("corrd_ingest_errors_total", "Rejected /v1/ingest requests.", m.ingestErrors.Load())
+	c("corrd_pushes_merged_total", "Site summary images merged through /v1/push.", m.pushesMerged.Load())
+	c("corrd_push_errors_total", "Rejected /v1/push requests.", m.pushErrors.Load())
+	fmt.Fprintf(w, "# HELP corrd_queries_served_total Queries answered, by direction.\n")
+	fmt.Fprintf(w, "# TYPE corrd_queries_served_total counter\n")
+	fmt.Fprintf(w, "corrd_queries_served_total{op=\"le\"} %d\n", m.queriesLE.Load())
+	fmt.Fprintf(w, "corrd_queries_served_total{op=\"ge\"} %d\n", m.queriesGE.Load())
+	c("corrd_query_errors_total", "Failed /v1/query requests.", m.queryErrors.Load())
+	c("corrd_snapshots_written_total", "Snapshots persisted to disk.", m.snapshotsWritten.Load())
+	c("corrd_snapshot_errors_total", "Failed snapshot attempts.", m.snapshotErrors.Load())
+	g("corrd_snapshot_last_unix_seconds", "Unix time of the last successful snapshot (0 = never).", m.lastSnapshotUnix.Load())
+	if last := m.lastSnapshotUnix.Load(); last > 0 {
+		g("corrd_snapshot_age_seconds", "Seconds since the last successful snapshot.",
+			int64(time.Since(time.Unix(last, 0)).Seconds()))
+	}
+	g("corrd_snapshot_bytes", "Size of the last written snapshot.", m.snapshotBytes.Load())
+	c("corrd_site_pushes_sent_total", "Images this site pushed upstream.", m.pushesSent.Load())
+	c("corrd_site_push_send_errors_total", "Failed upstream pushes (re-queued locally).", m.pushSendErrors.Load())
+	g("corrd_engine_tuples", "Tuples held by the engine (Count).", int64(es.count))
+	g("corrd_engine_space", "Stored counters/tuples across shard summaries (Space).", es.space)
+	g("corrd_engine_shards", "Shard workers in the engine.", int64(es.shards))
+	g("corrd_uptime_seconds", "Seconds since the server was created.", int64(time.Since(m.start).Seconds()))
+
+	fmt.Fprintf(w, "# HELP corrd_http_request_duration_seconds Request latency by handler.\n")
+	fmt.Fprintf(w, "# TYPE corrd_http_request_duration_seconds histogram\n")
+	for _, name := range handlerNames {
+		h := m.handlers[name]
+		var cum uint64
+		for i, ub := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "corrd_http_request_duration_seconds_bucket{handler=%q,le=%q} %d\n",
+				name, formatBound(ub), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "corrd_http_request_duration_seconds_bucket{handler=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "corrd_http_request_duration_seconds_sum{handler=%q} %g\n",
+			name, math.Float64frombits(h.sumBits.Load()))
+		fmt.Fprintf(w, "corrd_http_request_duration_seconds_count{handler=%q} %d\n", name, h.count.Load())
+	}
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

@@ -1,0 +1,351 @@
+// Package service implements corrd, the correlated-aggregation network
+// service: the paper's distributed model (remote sites streaming tuples,
+// a coordinator answering AGG{x : y <= c} queries over merged site
+// summaries) as an HTTP daemon built entirely on the repo's mergeable
+// summaries and the shard parallel-ingest engine — standard library
+// only, zero new dependencies.
+//
+// One Server plays either role:
+//
+//   - coordinator: accepts tuple batches on POST /v1/ingest, site
+//     summary images on POST /v1/push (folded straight into the engine
+//     via MergeMarshaled, no full decode round-trip), and answers
+//     GET /v1/query?op=le|ge&c=... from the merged state.
+//   - site (Config.PushTo set): ingests locally like a coordinator and
+//     ships its merged summary image upstream on a ticker, resetting the
+//     local engine after each acknowledged push — the delta-push
+//     protocol; mergeability makes the coordinator's state the summary
+//     of the union stream.
+//
+// Durability is a periodic snapshot of the engine's marshaled state
+// (atomic temp-file-then-rename; restored on startup), observability a
+// dependency-free Prometheus-text /metrics plus /healthz and /v1/stats,
+// and shutdown is graceful: drain HTTP, flush the shards, final push
+// (site role), final snapshot.
+//
+// The HTTP surface is deliberately small and wire-stable; see the
+// README's "Running the service" section for the endpoint catalogue and
+// curl recipes.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/shard"
+)
+
+// Engine is what the service needs from the sharded engine: batched
+// ingest, dual-direction queries, merge-in of pushed images, and the two
+// wire forms (per-shard snapshot, merged push image). *shard.Sharded[S]
+// satisfies it for every root summary type.
+type Engine interface {
+	AddBatch(batch []correlated.Tuple) error
+	QueryLE(c uint64) (float64, error)
+	QueryGE(c uint64) (float64, error)
+	Count() (uint64, error)
+	Space() (int64, error)
+	Flush() error
+	Reset() error
+	Shards() int
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary(data []byte) error
+	MarshalMerged() ([]byte, error)
+	MergeMarshaled(data []byte) error
+	Close() error
+}
+
+// Config configures a Server. The zero value is not usable: Options
+// must carry a valid (Eps, Delta, YMax) triple, exactly as for the
+// library constructors.
+type Config struct {
+	// Aggregate selects the summary type: "f2" (default), "fk",
+	// "count", or "sum".
+	Aggregate string
+	// K is the moment order when Aggregate is "fk".
+	K int
+	// Options configures every shard summary. All sites and their
+	// coordinator must share it verbatim — Seed included — or pushes
+	// are rejected as incompatible.
+	Options correlated.Options
+	// Shards is the engine's worker count; < 1 means 1.
+	Shards int
+	// BatchSize overrides the shard handoff granularity; 0 keeps the
+	// shard package default.
+	BatchSize int
+
+	// SnapshotPath enables durability: the engine state is persisted
+	// there on every SnapshotInterval tick and at shutdown, and
+	// restored from it at startup. Empty disables snapshots.
+	SnapshotPath string
+	// SnapshotInterval defaults to 30s when SnapshotPath is set.
+	SnapshotInterval time.Duration
+
+	// PushTo switches the server into the site role: the base URL of
+	// the coordinator to push merged summary images to.
+	PushTo string
+	// PushInterval defaults to 5s when PushTo is set.
+	PushInterval time.Duration
+
+	// MaxBodyBytes caps request bodies; 0 means 64 MiB.
+	MaxBodyBytes int64
+	// Logger receives operational messages (snapshot failures, push
+	// retries); nil discards them.
+	Logger *log.Logger
+}
+
+func (c *Config) role() string {
+	if c.PushTo != "" {
+		return "site"
+	}
+	return "coordinator"
+}
+
+// aggregate normalizes the Aggregate field.
+func (c *Config) aggregate() string {
+	if c.Aggregate == "" {
+		return "f2"
+	}
+	return c.Aggregate
+}
+
+// newEngine builds the sharded engine for the configured aggregate.
+func newEngine(cfg *Config) (Engine, error) {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	var opts []shard.Option
+	if cfg.BatchSize > 0 {
+		opts = append(opts, shard.WithBatchSize(cfg.BatchSize))
+	}
+	switch cfg.aggregate() {
+	case "f2":
+		return shard.NewF2(cfg.Options, shards, opts...)
+	case "fk":
+		return shard.NewFk(cfg.K, cfg.Options, shards, opts...)
+	case "count":
+		return shard.NewCount(cfg.Options, shards, opts...)
+	case "sum":
+		return shard.NewSum(cfg.Options, shards, opts...)
+	default:
+		return nil, fmt.Errorf("service: unknown aggregate %q (want f2, fk, count, or sum)", cfg.Aggregate)
+	}
+}
+
+// decodeState is one pooled set of ingest scratch buffers: the raw body
+// and the decoded tuple batch, recycled across requests so the steady
+// state ingest path does not allocate per request.
+type decodeState struct {
+	body   []byte
+	tuples []correlated.Tuple
+}
+
+// Server is one corrd instance. Create it with New, serve its Handler,
+// and Close it to flush, final-push, and final-snapshot.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	mux     *http.ServeMux
+	logger  *log.Logger
+
+	// mu is the engine driver lock: the shard engine is single-driver
+	// by contract, so every handler takes the mutex around engine
+	// calls. The parallelism lives inside the engine (P workers), not
+	// across handlers.
+	mu       sync.Mutex
+	eng      Engine
+	restored bool
+
+	// xferMu serializes whole state transfers — a snapshot, or a full
+	// delta-push round (marshal, reset, ship, snapshot-after-ack) — so
+	// the snapshot ticker can never persist the transient empty state
+	// between a push's Reset and its outcome, and a crash after an
+	// acknowledged push restores post-push state instead of re-pushing
+	// it. It is taken before mu and never while holding mu.
+	xferMu sync.Mutex
+
+	dec   sync.Pool // *decodeState
+	pushc *client.Client
+
+	done     chan struct{}
+	wg       sync.WaitGroup
+	closing  atomic.Bool
+	closeMu  sync.Mutex
+	closed   bool
+	closeErr error
+}
+
+// New builds a Server: engine, snapshot restore (if configured), HTTP
+// routes, and the background snapshot/push loops. On error nothing is
+// left running.
+func New(cfg Config) (*Server, error) {
+	if cfg.SnapshotInterval <= 0 {
+		cfg.SnapshotInterval = 30 * time.Second
+	}
+	if cfg.PushInterval <= 0 {
+		cfg.PushInterval = 5 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	eng, err := newEngine(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		eng:     eng,
+		logger:  cfg.Logger,
+		done:    make(chan struct{}),
+	}
+	if s.logger == nil {
+		s.logger = log.New(io.Discard, "", 0)
+	}
+	s.dec.New = func() any { return &decodeState{} }
+	if cfg.SnapshotPath != "" {
+		if err := s.restoreSnapshot(); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	s.routes()
+	if cfg.SnapshotPath != "" {
+		s.wg.Add(1)
+		go s.snapshotLoop(cfg.SnapshotInterval)
+	}
+	if cfg.PushTo != "" {
+		s.pushc = client.New(cfg.PushTo)
+		s.wg.Add(1)
+		go s.pushLoop(cfg.PushInterval)
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (mount it on any listener —
+// http.Server, httptest, a mux of your own).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Restored reports whether startup state came from a snapshot.
+func (s *Server) Restored() bool { return s.restored }
+
+// Engine exposes the underlying engine for in-process use (examples,
+// tests). Serialize access with the same care as any shard engine; the
+// server's handlers take their own lock.
+func (s *Server) Engine() Engine { return s.eng }
+
+func (s *Server) logf(format string, args ...any) { s.logger.Printf("corrd: "+format, args...) }
+
+// Close shuts the server down gracefully: stop the background loops,
+// push any remaining local state upstream (site role), write a final
+// snapshot, and close the engine (which flushes its workers). Safe to
+// call more than once; later calls return the first result. Callers
+// should stop their http.Server first so no handler is mid-flight.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return s.closeErr
+	}
+	s.closed = true
+	s.closing.Store(true)
+	close(s.done)
+	s.wg.Wait()
+	var errs []error
+	if s.pushc != nil {
+		if err := s.pushOnce(); err != nil {
+			errs = append(errs, fmt.Errorf("final push: %w", err))
+		}
+	}
+	s.mu.Lock()
+	if err := s.eng.Flush(); err != nil {
+		errs = append(errs, err)
+	}
+	s.mu.Unlock()
+	if err := s.Snapshot(); err != nil {
+		errs = append(errs, err)
+	}
+	s.mu.Lock()
+	if err := s.eng.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	s.mu.Unlock()
+	s.closeErr = errors.Join(errs...)
+	return s.closeErr
+}
+
+// pushLoop ships local state upstream on every tick until Close.
+func (s *Server) pushLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.pushOnce(); err != nil {
+				s.logf("push to %s: %v", s.cfg.PushTo, err)
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// pushOnce implements one round of the site's delta-push protocol:
+// marshal the merged local summary, reset the engine, ship the image.
+// If the coordinator is unreachable the image is folded back into the
+// local engine — nothing is lost locally, and the next tick pushes the
+// union. The whole round holds the transfer lock, so a concurrent
+// snapshot can neither persist the empty state while the image is in
+// flight nor persist pre-push state after the coordinator has
+// acknowledged it: a fresh snapshot is written (when configured) under
+// the same lock right after the ack. The one remaining ambiguous window
+// is a crash after the coordinator received the image but before that
+// snapshot lands — a restart re-pushes, so delivery is at-least-once;
+// exactly-once across site crashes needs coordinator-side dedup.
+func (s *Server) pushOnce() error {
+	s.xferMu.Lock()
+	defer s.xferMu.Unlock()
+	s.mu.Lock()
+	n, err := s.eng.Count()
+	if err == nil && n == 0 {
+		s.mu.Unlock()
+		return nil // nothing accumulated since the last push
+	}
+	var img []byte
+	if err == nil {
+		img, err = s.eng.MarshalMerged()
+	}
+	if err == nil {
+		err = s.eng.Reset()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.pushc.Push(context.Background(), img); err != nil {
+		s.metrics.pushSendErrors.Inc()
+		s.mu.Lock()
+		mergeErr := s.eng.MergeMarshaled(img)
+		s.mu.Unlock()
+		if mergeErr != nil {
+			return errors.Join(err, fmt.Errorf("re-queue failed, %d tuples dropped: %w", n, mergeErr))
+		}
+		return fmt.Errorf("re-queued locally: %w", err)
+	}
+	s.metrics.pushesSent.Inc()
+	if err := s.snapshotLocked(); err != nil {
+		s.logf("post-push snapshot: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,456 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// testOptions keeps streams in the singleton regime (distinct y values
+// below Alpha), where merge-then-query is bit-identical to a single
+// whole-stream summary — the regime where "identical to an offline
+// summary" is an exact float comparison, not a tolerance.
+func testOptions() correlated.Options {
+	return correlated.Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1<<16 - 1,
+		MaxStreamLen: 1 << 20, MaxX: 1 << 14,
+		Alpha: 512, Seed: 7, Predicate: correlated.Both,
+	}
+}
+
+const distinctY = 300 // < Alpha: singleton regime
+
+func testStream(n int, seed uint64) []correlated.Tuple {
+	rng := hash.New(seed)
+	batch := make([]correlated.Tuple, n)
+	for i := range batch {
+		batch[i] = correlated.Tuple{X: rng.Uint64n(1 << 12), Y: rng.Uint64n(distinctY), W: 1}
+	}
+	return batch
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *client.Client) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts, client.New(ts.URL, client.WithChunkSize(777))
+}
+
+// TestIngestQueryStatsRoundTrip: tuples ingested over HTTP answer
+// queries identically to an offline summary built from the same stream
+// with the same seed, and /v1/stats reflects the traffic.
+func TestIngestQueryStatsRoundTrip(t *testing.T) {
+	o := testOptions()
+	_, _, cl := newTestServer(t, Config{Options: o, Shards: 2, BatchSize: 64})
+	stream := testStream(10_000, 42)
+	if err := cl.AddBatch(context.Background(), stream); err != nil {
+		t.Fatal(err)
+	}
+	offline, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := offline.AddBatch(append([]correlated.Tuple(nil), stream...)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, c := range []uint64{0, 50, 150, distinctY, 1 << 15} {
+		want, err := offline.QueryLE(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.QueryLE(ctx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("LE c=%d: service %v offline %v", c, got, want)
+		}
+		wantGE, err := offline.QueryGE(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotGE, err := cl.QueryGE(ctx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotGE != wantGE {
+			t.Fatalf("GE c=%d: service %v offline %v", c, gotGE, wantGE)
+		}
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != uint64(len(stream)) || st.TuplesIngested != uint64(len(stream)) {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Role != "coordinator" || st.Aggregate != "f2" || st.Shards != 2 {
+		t.Fatalf("stats identity: %+v", st)
+	}
+	if st.QueriesServed == 0 || st.Space <= 0 {
+		t.Fatalf("stats counters: %+v", st)
+	}
+}
+
+// TestIngestTextFormat: the curl-friendly text body works and bad lines
+// reject the whole batch atomically.
+func TestIngestTextFormat(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{Options: testOptions()})
+	body := "# comment\n1,10\n2,20,3\n\n3,30\n"
+	resp, err := http.Post(ts.URL+"/v1/ingest", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text ingest: HTTP %d", resp.StatusCode)
+	}
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 3 { // three records (weights do not inflate Count)
+		t.Fatalf("count after text ingest: %d", st.Count)
+	}
+	resp, err = http.Post(ts.URL+"/v1/ingest", "text/csv", strings.NewReader("1,2\nnope\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad line: HTTP %d", resp.StatusCode)
+	}
+	if st, _ = cl.Stats(context.Background()); st.Count != 3 {
+		t.Fatalf("rejected batch changed count: %d", st.Count)
+	}
+}
+
+// TestPushPathBitIdentical: a site image pushed through /v1/push yields
+// query answers identical to offline MergeMarshaled of the same image,
+// and the served /v1/summary re-marshals to the offline bytes.
+func TestPushPathBitIdentical(t *testing.T) {
+	o := testOptions()
+	_, _, cl := newTestServer(t, Config{Options: o, Shards: 1})
+	site, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := site.AddBatch(testStream(5_000, 99)); err != nil {
+		t.Fatal(err)
+	}
+	img, err := site.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.Push(ctx, img); err != nil {
+		t.Fatal(err)
+	}
+	offline, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := offline.MergeMarshaled(img); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []uint64{0, 100, distinctY, 1 << 15} {
+		want, err1 := offline.QueryLE(c)
+		got, err2 := cl.QueryLE(ctx, c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("c=%d: %v / %v", c, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("c=%d: pushed %v offline %v", c, got, want)
+		}
+	}
+	served, err := cl.Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offlineImg, err := offline.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, offlineImg) {
+		t.Fatalf("served summary differs from offline merge (%d vs %d bytes)", len(served), len(offlineImg))
+	}
+	// Garbage push: 400, engine untouched.
+	if err := cl.Push(ctx, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage push accepted")
+	}
+	// Incompatible push (different seed): 409, detectable via helper.
+	o2 := o
+	o2.Seed++
+	foreign, err := correlated.NewF2Summary(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := foreign.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.Push(ctx, bad)
+	if !client.IsIncompatible(err) {
+		t.Fatalf("incompatible push: %v", err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != site.Count() || st.PushesMerged != 1 {
+		t.Fatalf("stats after rejected pushes: %+v", st)
+	}
+}
+
+// TestSnapshotCrashRecovery is the durability contract: snapshot, keep
+// ingesting, crash without a graceful shutdown — the restarted server
+// resumes from the snapshot with a bit-identical marshaled state.
+func TestSnapshotCrashRecovery(t *testing.T) {
+	o := testOptions()
+	snap := filepath.Join(t.TempDir(), "corrd.snapshot")
+	cfg := Config{
+		Options: o, Shards: 2, BatchSize: 32,
+		SnapshotPath: snap, SnapshotInterval: time.Hour, // only explicit snapshots
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	if err := cl.AddBatch(ctx, testStream(6_000, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLE, err := cl.QueryLE(ctx, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep ingesting past the snapshot, then crash: engine goroutines
+	// die, no final snapshot is written — disk still holds the old
+	// image, exactly like a SIGKILL mid-ingest.
+	if err := cl.AddBatch(ctx, testStream(2_000, 6)); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	svc.Engine().Close()
+
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if !svc2.Restored() {
+		t.Fatal("restart did not restore from snapshot")
+	}
+	img, err := svc2.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, snapBytes) {
+		t.Fatalf("restored state is not bit-identical to the snapshot image (%d vs %d bytes)",
+			len(img), len(snapBytes))
+	}
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	cl2 := client.New(ts2.URL)
+	got, err := cl2.QueryLE(ctx, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantLE {
+		t.Fatalf("post-restore query %v, pre-crash %v", got, wantLE)
+	}
+	st, err := cl2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 6_000 || !st.Restored {
+		t.Fatalf("post-restore stats: %+v", st)
+	}
+}
+
+// TestGracefulShutdownFlush: Close flushes shard buffers and writes a
+// final snapshot, so a restart serves every accepted tuple.
+func TestGracefulShutdownFlush(t *testing.T) {
+	o := testOptions()
+	snap := filepath.Join(t.TempDir(), "corrd.snapshot")
+	cfg := Config{
+		Options: o, Shards: 2,
+		BatchSize:    4096, // large: tuples sit in pending buffers until a barrier
+		SnapshotPath: snap, SnapshotInterval: time.Hour,
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	if err := client.New(srv.URL).AddBatch(context.Background(), testStream(500, 3)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	n, err := svc2.Engine().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("restart after graceful shutdown: count %d, want 500", n)
+	}
+}
+
+// TestSiteCoordinatorPushLoop: a site server pushes its deltas to a
+// coordinator on a ticker; after the site's final push on Close, the
+// coordinator answers exactly like a whole-stream offline summary.
+func TestSiteCoordinatorPushLoop(t *testing.T) {
+	o := testOptions()
+	_, coordTS, coordCl := newTestServer(t, Config{Options: o, Shards: 2})
+	site, err := New(Config{
+		Options: o, Shards: 2,
+		PushTo: coordTS.URL, PushInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteTS := httptest.NewServer(site.Handler())
+	stream := testStream(4_000, 88)
+	ctx := context.Background()
+	if err := client.New(siteTS.URL).AddBatch(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(90 * time.Millisecond) // let at least one ticker push land
+	siteTS.Close()
+	if err := site.Close(); err != nil { // final push ships the remainder
+		t.Fatal(err)
+	}
+	st, err := coordCl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != uint64(len(stream)) {
+		t.Fatalf("coordinator count %d, want %d", st.Count, len(stream))
+	}
+	if st.PushesMerged == 0 {
+		t.Fatalf("no pushes recorded: %+v", st)
+	}
+	offline, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := offline.AddBatch(append([]correlated.Tuple(nil), stream...)); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []uint64{0, 120, distinctY} {
+		want, err1 := offline.QueryLE(c)
+		got, err2 := coordCl.QueryLE(ctx, c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("c=%d: %v / %v", c, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("c=%d: coordinator %v offline %v", c, got, want)
+		}
+	}
+}
+
+// TestHealthzAndMetrics: liveness and the Prometheus exposition.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{Options: testOptions()})
+	ctx := context.Background()
+	if err := cl.Healthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddBatch(ctx, testStream(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.QueryLE(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"corrd_tuples_ingested_total 100",
+		`corrd_queries_served_total{op="le"} 1`,
+		"corrd_engine_tuples 100",
+		"corrd_engine_shards 1",
+		`corrd_http_request_duration_seconds_count{handler="ingest"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestQueryErrorMapping: misuse is 400, the paper's FAIL is 503.
+func TestQueryErrorMapping(t *testing.T) {
+	o := testOptions()
+	o.Predicate = correlated.LE // GE disabled
+	_, ts, cl := newTestServer(t, Config{Options: o})
+	ctx := context.Background()
+	var ae *client.APIError
+	if _, err := cl.QueryGE(ctx, 5); !asAPIError(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("disabled direction: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/query?op=weird&c=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op: HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/query?op=le&c=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cutoff: HTTP %d", resp.StatusCode)
+	}
+}
+
+func asAPIError(err error, ae **client.APIError) bool { return errors.As(err, ae) }

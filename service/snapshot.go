@@ -1,0 +1,119 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Durability: the engine's snapshot form (per-shard framed, see
+// shard.Sharded.MarshalBinary) is written to disk on a ticker and again
+// on graceful shutdown, via the classic temp-file-then-rename dance so a
+// crash mid-write can never corrupt the previous snapshot. Restore
+// happens once, at startup, before the listener opens.
+
+// writeFileAtomic writes data to path by writing a sibling temp file,
+// syncing it, and renaming it over path. The rename is atomic on POSIX
+// filesystems: readers see either the old snapshot or the new one,
+// never a prefix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself; best effort — some filesystems do not
+	// support syncing directories.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Snapshot marshals the engine under the driver lock and persists it
+// atomically. It is a no-op when the server was built without a
+// snapshot path. The transfer lock serializes it against the site
+// role's delta-push rounds (see pushOnce).
+func (s *Server) Snapshot() error {
+	s.xferMu.Lock()
+	defer s.xferMu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot minus the transfer lock, for callers that
+// already hold it.
+func (s *Server) snapshotLocked() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	data, err := s.eng.MarshalBinary()
+	s.mu.Unlock()
+	if err != nil {
+		s.metrics.snapshotErrors.Inc()
+		return fmt.Errorf("service: snapshot marshal: %w", err)
+	}
+	if err := writeFileAtomic(s.cfg.SnapshotPath, data); err != nil {
+		s.metrics.snapshotErrors.Inc()
+		return fmt.Errorf("service: snapshot write: %w", err)
+	}
+	s.metrics.snapshotsWritten.Inc()
+	s.metrics.lastSnapshotUnix.Set(time.Now().Unix())
+	s.metrics.snapshotBytes.Set(int64(len(data)))
+	return nil
+}
+
+// restoreSnapshot loads the snapshot file into the fresh engine at
+// startup. A missing file is a clean first boot; anything else that
+// fails is fatal (a daemon must not silently serve an empty state over
+// data it was asked to remember).
+func (s *Server) restoreSnapshot() error {
+	data, err := os.ReadFile(s.cfg.SnapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: snapshot read: %w", err)
+	}
+	if err := s.eng.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+	}
+	s.restored = true
+	s.metrics.snapshotBytes.Set(int64(len(data)))
+	return nil
+}
+
+// snapshotLoop persists on every tick until the server closes.
+func (s *Server) snapshotLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Snapshot(); err != nil {
+				s.logf("snapshot: %v", err)
+			}
+		case <-s.done:
+			return
+		}
+	}
+}

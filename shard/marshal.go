@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary serialization of a Sharded engine, for daemon checkpoints and
+// the site→coordinator push path.
+//
+// Two wire forms exist, for two different jobs:
+//
+//   - MarshalBinary / UnmarshalBinary is the *snapshot* form: every
+//     shard summary is framed separately, so restore reproduces the
+//     engine's exact internal state — a restored engine re-marshals to
+//     the same bytes, which is what a crash-recovery contract needs.
+//   - MarshalMerged is the *push* form: the single-summary image of the
+//     merge of all shards, consumable by MergeMarshaled on any
+//     identically configured summary or engine (this is what a site
+//     ships upstream; it is also what a query composes internally).
+//
+// As with the summaries themselves, configuration is not serialized:
+// restore into an engine built from the same Options (Seed included) and
+// the same shard count.
+
+// snapshotVersion versions the per-shard framing; the embedded summary
+// images carry their own versions and config-compatibility blocks.
+const snapshotVersion = 1
+
+// ErrBadSnapshot reports malformed snapshot framing (the per-summary
+// payloads fail with their own typed errors).
+var ErrBadSnapshot = errors.New("shard: bad snapshot encoding")
+
+// MarshalBinary serializes the engine as a snapshot: a drain barrier,
+// then every shard summary framed in shard order. Unlike MarshalMerged
+// it does not merge — restoring with UnmarshalBinary reproduces the
+// per-shard state exactly, so marshal → restore → marshal is
+// bit-identical.
+func (e *Sharded[S]) MarshalBinary() ([]byte, error) {
+	if err := e.barrier(); err != nil {
+		return nil, err
+	}
+	buf := []byte{snapshotVersion}
+	buf = binary.AppendUvarint(buf, uint64(len(e.workers)))
+	for _, wk := range e.workers {
+		payload, err := wk.sum.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		buf = append(buf, payload...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary into an
+// engine built from the same Options and shard count. Restore into a
+// freshly constructed engine: on error the engine may hold a partial
+// subset of the shards and should be discarded.
+func (e *Sharded[S]) UnmarshalBinary(data []byte) error {
+	if err := e.barrier(); err != nil {
+		return err
+	}
+	if len(data) < 1 || data[0] != snapshotVersion {
+		return ErrBadSnapshot
+	}
+	data = data[1:]
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return ErrBadSnapshot
+	}
+	data = data[sz:]
+	if int(n) != len(e.workers) {
+		return fmt.Errorf("shard: snapshot has %d shards, engine has %d: %w",
+			n, len(e.workers), ErrBadSnapshot)
+	}
+	for _, wk := range e.workers {
+		ln, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < ln {
+			return ErrBadSnapshot
+		}
+		if err := wk.sum.UnmarshalBinary(data[sz : sz+int(ln)]); err != nil {
+			return err
+		}
+		data = data[sz+int(ln):]
+	}
+	if len(data) != 0 {
+		return ErrBadSnapshot
+	}
+	return nil
+}
+
+// MarshalMerged returns the single-summary wire image of the merge of
+// every shard — the payload a site daemon pushes to its coordinator.
+// The bytes are exactly what the underlying summary type's
+// MarshalBinary produces, so they can be folded into any identically
+// configured summary (MergeMarshaled) or engine (Sharded.MergeMarshaled),
+// or restored standalone with the summary's UnmarshalBinary.
+func (e *Sharded[S]) MarshalMerged() ([]byte, error) {
+	if err := e.mergeAll(); err != nil {
+		return nil, err
+	}
+	return e.scratch.MarshalBinary()
+}
+
+// MergeMarshaled folds a single-summary wire image — a site summary
+// serialized with the summary's MarshalBinary, or an engine's
+// MarshalMerged — into the engine, the coordinator side of the paper's
+// distributed model. Images are routed round-robin across the shards so
+// repeated pushes spread merge load. The engine is untouched when the
+// image is malformed or configuration-incompatible.
+func (e *Sharded[S]) MergeMarshaled(data []byte) error {
+	if err := e.barrier(); err != nil {
+		return err
+	}
+	wk := e.workers[e.push]
+	if e.push++; e.push == len(e.workers) {
+		e.push = 0
+	}
+	return wk.sum.MergeMarshaled(data)
+}

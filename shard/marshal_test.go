@@ -1,0 +1,295 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/hash"
+)
+
+// fillEngine ingests a deterministic stream that drives the summaries
+// well past the singleton regime (closing and eviction on every shard).
+func fillEngine(t *testing.T, eng *Sharded[*correlated.F2Summary], n int, seed uint64) {
+	t.Helper()
+	rng := hash.New(seed)
+	for i := 0; i < n; i++ {
+		if err := eng.Add(rng.Uint64n(1<<14), rng.Uint64n(1<<16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func snapshotOptions() correlated.Options {
+	return correlated.Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1<<16 - 1,
+		MaxStreamLen: 1 << 20, MaxX: 1 << 14, Seed: 11,
+	}
+}
+
+// TestSnapshotRoundTripBitIdentical is the crash-recovery contract: a
+// snapshot restored into a fresh engine re-marshals to the same bytes
+// and answers queries identically, in the general (closing/eviction)
+// regime and across shard counts.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	o := snapshotOptions()
+	for _, shards := range []int{1, 3} {
+		eng, err := NewF2(o, shards, WithBatchSize(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillEngine(t, eng, 60_000, 21)
+		img, err := eng.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Marshaling is a drain barrier, not a mutation: the live engine
+		// re-marshals identically.
+		again, err := eng.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(img, again) {
+			t.Fatalf("shards=%d: re-marshal of live engine differs", shards)
+		}
+
+		restored, err := NewF2(o, shards, WithBatchSize(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.UnmarshalBinary(img); err != nil {
+			t.Fatal(err)
+		}
+		img2, err := restored.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(img, img2) {
+			t.Fatalf("shards=%d: restored engine marshals differently (%d vs %d bytes)",
+				shards, len(img), len(img2))
+		}
+		n1, _ := eng.Count()
+		n2, _ := restored.Count()
+		if n1 != n2 {
+			t.Fatalf("shards=%d: count %d vs restored %d", shards, n1, n2)
+		}
+		for _, c := range []uint64{1 << 10, 1 << 14, 1 << 15, 1<<16 - 1} {
+			want, err1 := eng.QueryLE(c)
+			got, err2 := restored.QueryLE(c)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("c=%d: %v / %v", c, err1, err2)
+			}
+			if got != want {
+				t.Fatalf("shards=%d c=%d: restored %v original %v", shards, c, got, want)
+			}
+		}
+		// Both engines stay usable after the round trip.
+		if err := eng.Add(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Add(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		restored.Close()
+	}
+}
+
+// TestSnapshotRoundTripFkBitIdentical: the same contract for the Fk
+// engine, whose sketch state includes candidate maps (canonical-order
+// encoding is what makes this hold).
+func TestSnapshotRoundTripFkBitIdentical(t *testing.T) {
+	o := snapshotOptions()
+	eng, err := NewFk(3, o, 2, WithBatchSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rng := hash.New(13)
+	for i := 0; i < 30_000; i++ {
+		if err := eng.Add(rng.Uint64n(1<<14), rng.Uint64n(1<<16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := eng.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFk(3, o, 2, WithBatchSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.UnmarshalBinary(img); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, img2) {
+		t.Fatalf("Fk restored engine marshals differently (%d vs %d bytes)", len(img), len(img2))
+	}
+}
+
+// TestSnapshotRejectsGarbage: framing errors are typed, never panics,
+// and a shard-count mismatch is called out.
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	o := snapshotOptions()
+	eng, err := NewF2(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, bad := range [][]byte{nil, {}, {99}, {snapshotVersion}, {snapshotVersion, 0x80}} {
+		if err := eng.UnmarshalBinary(bad); err == nil {
+			t.Fatalf("garbage %v accepted", bad)
+		}
+	}
+	img, err := eng.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewF2(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.UnmarshalBinary(img); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("shard-count mismatch: %v", err)
+	}
+	// Truncated payload.
+	if err := eng.UnmarshalBinary(img[:len(img)-3]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+// TestMarshalMergedPushPath: a site engine's merged image folds into a
+// coordinator engine (and a plain summary) exactly like a live merge —
+// the paper's site→coordinator path over the engine API.
+func TestMarshalMergedPushPath(t *testing.T) {
+	o := snapshotOptions()
+	site, err := NewF2(o, 2, WithBatchSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	fillEngine(t, site, 8_000, 31)
+	img, err := site.MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coordEng, err := NewF2(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordEng.Close()
+	if err := coordEng.MergeMarshaled(img); err != nil {
+		t.Fatal(err)
+	}
+	coordSum, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coordSum.MergeMarshaled(img); err != nil {
+		t.Fatal(err)
+	}
+	n, err := coordEng.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != coordSum.Count() {
+		t.Fatalf("engine count %d vs summary count %d", n, coordSum.Count())
+	}
+	for _, c := range []uint64{1 << 12, 1 << 15} {
+		want, err1 := coordSum.QueryLE(c)
+		got, err2 := coordEng.QueryLE(c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("c=%d: %v / %v", c, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("c=%d: engine %v summary %v", c, got, want)
+		}
+	}
+	// Incompatible image: rejected with the typed merge error, engine
+	// untouched.
+	o2 := o
+	o2.Seed++
+	foreign, err := correlated.NewF2Summary(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := foreign.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coordEng.MergeMarshaled(bad); !errors.Is(err, correlated.ErrIncompatible) {
+		t.Fatalf("mismatched seed: %v", err)
+	}
+	if n2, _ := coordEng.Count(); n2 != n {
+		t.Fatalf("rejected push changed count: %d vs %d", n2, n)
+	}
+}
+
+// TestEngineResetPushCycle: push-then-reset at a site accumulates
+// correctly at the coordinator — the delta-push protocol corrd's site
+// role runs on a ticker.
+func TestEngineResetPushCycle(t *testing.T) {
+	o := snapshotOptions()
+	site, err := NewF2(o, 2, WithBatchSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	coord, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.New(7)
+	const rounds, perRound = 3, 500
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			x, y := rng.Uint64n(1<<10), rng.Uint64n(200)
+			if err := site.Add(x, y); err != nil {
+				t.Fatal(err)
+			}
+			if err := whole.Add(x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		img, err := site.MarshalMerged()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := site.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.MergeMarshaled(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := site.Count(); n != 0 {
+		t.Fatalf("site count after reset: %d", n)
+	}
+	if coord.Count() != whole.Count() {
+		t.Fatalf("coordinator count %d vs whole-stream %d", coord.Count(), whole.Count())
+	}
+	// Small distinct-y stream keeps the singleton regime, where the
+	// merged answer is bit-identical to the whole-stream answer.
+	for _, c := range []uint64{0, 50, 150, 1 << 15} {
+		want, err1 := whole.QueryLE(c)
+		got, err2 := coord.QueryLE(c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("c=%d: %v / %v", c, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("c=%d: coordinator %v whole %v", c, got, want)
+		}
+	}
+}

@@ -47,12 +47,16 @@ import (
 var ErrClosed = errors.New("shard: engine is closed")
 
 // Summary is the contract a summary type must satisfy to be sharded: the
-// amortized batch ingest path plus mergeability and pooling. The root
-// package's *F2Summary, *FkSummary, *CountSummary and *SumSummary all
-// satisfy it.
+// amortized batch ingest path plus mergeability, pooling, and the binary
+// wire form (used for engine snapshots and the site→coordinator push
+// path). The root package's *F2Summary, *FkSummary, *CountSummary and
+// *SumSummary all satisfy it.
 type Summary[S any] interface {
 	AddBatch(batch []correlated.Tuple) error
 	Merge(other S) error
+	MergeMarshaled(data []byte) error
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary(data []byte) error
 	Reset()
 	QueryLE(c uint64) (float64, error)
 	QueryGE(c uint64) (float64, error)
@@ -110,6 +114,7 @@ type Sharded[S Summary[S]] struct {
 	scratch S // pooled merge-then-query accumulator
 	ack     chan struct{}
 	next    int // round-robin routing cursor
+	push    int // round-robin cursor for MergeMarshaled targets
 	ymax    uint64
 	err     error // sticky first worker error
 	closed  bool
@@ -291,6 +296,22 @@ func (e *Sharded[S]) barrier() error {
 		}
 	}
 	return e.err
+}
+
+// Reset drains the workers and returns every shard summary (and the
+// query scratch) to its freshly constructed state, keeping the sketch
+// pools. It is the engine-level counterpart of the summaries' Reset:
+// useful for epoch rotation and for a site that pushes its accumulated
+// summary upstream and starts over (see MarshalMerged).
+func (e *Sharded[S]) Reset() error {
+	if err := e.barrier(); err != nil {
+		return err
+	}
+	for _, wk := range e.workers {
+		wk.sum.Reset()
+	}
+	e.scratch.Reset()
+	return nil
 }
 
 // QueryLE estimates AGG{x : y <= c} over everything added so far, by
