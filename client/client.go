@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -56,13 +57,29 @@ type Stats struct {
 	Restored       bool    `json:"restored_from_snapshot"`
 	LastSnapshot   int64   `json:"last_snapshot_unix"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+
+	// WAL fields are present when the server runs with -wal-dir.
+	WALEnabled       bool    `json:"wal_enabled,omitempty"`
+	WALFsync         string  `json:"wal_fsync,omitempty"`
+	WALSegments      int64   `json:"wal_segments,omitempty"`
+	WALAppendedBytes uint64  `json:"wal_appended_bytes,omitempty"`
+	WALLastLSN       uint64  `json:"wal_last_lsn,omitempty"`
+	WALReplayRecords uint64  `json:"wal_replay_records,omitempty"`
+	WALReplaySeconds float64 `json:"wal_replay_seconds,omitempty"`
 }
 
-// QueryResult is the /v1/query response.
+// QueryResult is the /v1/query response for a single cutoff.
 type QueryResult struct {
 	Op       string  `json:"op"`
 	C        uint64  `json:"c"`
 	Estimate float64 `json:"estimate"`
+}
+
+// MultiQueryResult is the /v1/query response when the c parameter
+// repeats: every cutoff answered over one engine barrier.
+type MultiQueryResult struct {
+	Op      string        `json:"op"`
+	Results []QueryResult `json:"results"`
 }
 
 // ingestResult is the /v1/ingest and /v1/push acknowledgement.
@@ -89,12 +106,48 @@ func WithChunkSize(n int) Option {
 	}
 }
 
+// WithRetries sets how many times a request is retried after a
+// transient transport error — the connection was refused, reset, or
+// timed out before any HTTP response arrived — before the error is
+// returned; n < 0 disables retries. The default is 3. Retries respect
+// the request context and back off exponentially with jitter
+// (WithRetryBackoff). Once a response status line has been received the
+// request is never retried: every HTTP status (4xx and 5xx included) is
+// the server speaking — for corrd a 503 is a semantic answer (the
+// paper's FAIL, or shutdown) — and a body that dies mid-read may have
+// already been applied, so replaying it could double-ingest.
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		c.retries = n
+	}
+}
+
+// WithRetryBackoff sets the first retry delay and the cap it doubles
+// toward. Defaults: 50ms base, 1s cap. Each delay is jittered uniformly
+// over [base/2, base) so synchronized clients fan out.
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
 // Client talks to one corrd base URL.
 type Client struct {
-	base  string
-	hc    *http.Client
-	chunk int
-	bufs  sync.Pool // *[]byte encode buffers
+	base        string
+	hc          *http.Client
+	chunk       int
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	bufs        sync.Pool // *[]byte encode buffers
 }
 
 // New builds a client for a base URL like "http://localhost:7070". The
@@ -102,9 +155,12 @@ type Client struct {
 // change it.
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base:  strings.TrimRight(base, "/"),
-		hc:    &http.Client{Timeout: 30 * time.Second},
-		chunk: DefaultChunkSize,
+		base:        strings.TrimRight(base, "/"),
+		hc:          &http.Client{Timeout: 30 * time.Second},
+		chunk:       DefaultChunkSize,
+		retries:     3,
+		backoffBase: 50 * time.Millisecond,
+		backoffMax:  time.Second,
 	}
 	c.bufs.New = func() any { b := make([]byte, 0, 64<<10); return &b }
 	for _, o := range opts {
@@ -159,6 +215,32 @@ func (c *Client) query(ctx context.Context, op string, cutoff uint64) (float64, 
 	return res.Estimate, nil
 }
 
+// QueryBatch answers every cutoff in one round trip (repeated c=
+// parameters on GET /v1/query), in the order given — the drill-down
+// loop's bulk path. op is "le" or "ge".
+func (c *Client) QueryBatch(ctx context.Context, op string, cutoffs []uint64) ([]QueryResult, error) {
+	if len(cutoffs) == 0 {
+		return nil, nil
+	}
+	cs := make([]string, len(cutoffs))
+	for i, cu := range cutoffs {
+		cs[i] = strconv.FormatUint(cu, 10)
+	}
+	q := url.Values{"op": {op}, "c": cs}
+	if len(cutoffs) == 1 {
+		var res QueryResult
+		if err := c.get(ctx, "/v1/query?"+q.Encode(), &res); err != nil {
+			return nil, err
+		}
+		return []QueryResult{res}, nil
+	}
+	var res MultiQueryResult
+	if err := c.get(ctx, "/v1/query?"+q.Encode(), &res); err != nil {
+		return nil, err
+	}
+	return res.Results, nil
+}
+
 // Stats fetches the server's /v1/stats.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var s Stats
@@ -192,23 +274,87 @@ func (c *Client) Healthy(ctx context.Context) error {
 }
 
 func (c *Client) post(ctx context.Context, path, contentType string, body []byte, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", contentType)
-	return c.do(req, out)
+	return c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		return req, nil
+	}, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+	return c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	}, out)
 }
 
-func (c *Client) do(req *http.Request, out any) error {
+// do runs the request, retrying transient transport errors with
+// exponential backoff and jitter. build constructs a fresh request per
+// attempt (the body reader is consumed by each try).
+//
+// Retrying a POST is at-least-once, not exactly-once: a connection that
+// dies after the server applied (and WAL-logged) the batch but before
+// the response arrived looks identical to one refused outright, and the
+// retry applies the batch again — on a durable server the duplicate
+// survives restarts. Callers for whom a rare duplicate is worse than a
+// surfaced error should set WithRetries(0) and handle the transport
+// error themselves; no retry policy can distinguish the two cases
+// without server-side request dedup.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error), out any) error {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		err = c.doOnce(req, out)
+		if err == nil || attempt >= c.retries || !isTransient(ctx, err) {
+			return err
+		}
+		if werr := c.backoff(ctx, attempt); werr != nil {
+			return errors.Join(err, werr)
+		}
+	}
+}
+
+// isTransient reports whether err is a transport-level failure worth
+// retrying: the server never delivered a response, and the caller's
+// context is still live. Liveness is judged from ctx itself, not from
+// the error chain — an http.Client.Timeout expiring on a blackholed
+// connection also surfaces as context.DeadlineExceeded, and that one IS
+// the transient class retries exist for. Anything the server actually
+// said — every *APIError, every status code — is final.
+func isTransient(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false // the caller's own deadline or cancellation
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// backoff sleeps for the attempt's jittered exponential delay, or
+// returns early when ctx is done.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.backoffBase << attempt
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	// Uniform jitter over [d/2, d): synchronized retriers fan out.
+	if half := d / 2; half > 0 {
+		d = half + rand.N(half)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) doOnce(req *http.Request, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

@@ -3,10 +3,13 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	correlated "github.com/streamagg/correlated"
 	"github.com/streamagg/correlated/internal/tupleio"
@@ -76,5 +79,164 @@ func TestAPIErrorMapping(t *testing.T) {
 	}
 	if !IsIncompatible(err) {
 		t.Fatal("409 not detected as incompatible")
+	}
+}
+
+// flakyServer drops the first failures connections at the TCP level
+// (the transport sees a reset with no HTTP response — the transient
+// class the client retries), then serves normally.
+func flakyServer(t *testing.T, failures int, h http.Handler) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= int64(failures) {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("response writer cannot hijack")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // slam the door: no response bytes at all
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &attempts
+}
+
+// TestRetryTransientTransportErrors: AddBatch and Push survive dropped
+// connections within the retry budget, with backoff between attempts.
+func TestRetryTransientTransportErrors(t *testing.T) {
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"tuples":3}`)
+	})
+	srv, attempts := flakyServer(t, 2, ok)
+	cl := New(srv.URL, WithRetries(3), WithRetryBackoff(time.Millisecond, 10*time.Millisecond))
+	batch := []correlated.Tuple{{X: 1, Y: 2, W: 1}, {X: 3, Y: 4, W: 1}, {X: 5, Y: 6, W: 1}}
+	if err := cl.AddBatch(context.Background(), batch); err != nil {
+		t.Fatalf("AddBatch through flaky transport: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 drops + 1 success)", got)
+	}
+
+	srv2, attempts2 := flakyServer(t, 1, ok)
+	cl2 := New(srv2.URL, WithRetries(2), WithRetryBackoff(time.Millisecond, 10*time.Millisecond))
+	if err := cl2.Push(context.Background(), []byte{9, 9, 9}); err != nil {
+		t.Fatalf("Push through flaky transport: %v", err)
+	}
+	if got := attempts2.Load(); got != 2 {
+		t.Fatalf("push attempts: %d", got)
+	}
+}
+
+// TestRetryBudgetExhausted: a server that never recovers still fails,
+// after exactly retries+1 attempts.
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv, attempts := flakyServer(t, 1<<30, nil)
+	cl := New(srv.URL, WithRetries(2), WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
+	if err := cl.Push(context.Background(), []byte{1}); err == nil {
+		t.Fatal("push to always-failing server succeeded")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts: %d, want 3", got)
+	}
+}
+
+// TestNoRetryOnHTTPErrors: a delivered HTTP response — even a 5xx — is
+// the server speaking, not a transport fault; it must not be retried.
+func TestNoRetryOnHTTPErrors(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"FAIL"}`)
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, WithRetries(5), WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
+	if _, err := cl.QueryLE(context.Background(), 7); err == nil {
+		t.Fatal("503 reported as success")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("5xx retried: %d attempts", got)
+	}
+}
+
+// TestRetryHonorsContext: cancellation mid-backoff stops the loop
+// promptly with the context error.
+func TestRetryHonorsContext(t *testing.T) {
+	srv, attempts := flakyServer(t, 1<<30, nil)
+	cl := New(srv.URL, WithRetries(1000), WithRetryBackoff(time.Hour, time.Hour))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- cl.Push(ctx, []byte{1}) }()
+	// Let the first attempt fail and the backoff begin, then cancel.
+	for attempts.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop ignored cancellation")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts after cancel: %d", got)
+	}
+}
+
+// TestQueryBatchWire: QueryBatch hits /v1/query with repeated c= and
+// decodes the multi-result shape.
+func TestQueryBatchWire(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cs := r.URL.Query()["c"]
+		if len(cs) != 3 || r.URL.Query().Get("op") != "le" {
+			t.Errorf("query params: %v", r.URL.Query())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"op":"le","results":[{"op":"le","c":1,"estimate":10},{"op":"le","c":2,"estimate":20},{"op":"le","c":3,"estimate":30}]}`)
+	}))
+	defer srv.Close()
+	got, err := New(srv.URL).QueryBatch(context.Background(), "le", []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1].C != 2 || got[1].Estimate != 20 {
+		t.Fatalf("QueryBatch: %+v", got)
+	}
+	if res, err := New(srv.URL).QueryBatch(context.Background(), "le", nil); err != nil || res != nil {
+		t.Fatalf("empty QueryBatch: %v %v", res, err)
+	}
+}
+
+// TestRetryOnClientTimeout: an http.Client.Timeout expiring with no
+// response (blackholed connection) is transient and retried; only the
+// caller's own context deadline ends the loop.
+func TestRetryOnClientTimeout(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			time.Sleep(600 * time.Millisecond) // past the client timeout
+			return
+		}
+		io.WriteString(w, `{"merged":true}`)
+	}))
+	defer srv.Close()
+	cl := New(srv.URL,
+		WithHTTPClient(&http.Client{Timeout: 100 * time.Millisecond}),
+		WithRetries(2), WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
+	if err := cl.Push(context.Background(), []byte{1}); err != nil {
+		t.Fatalf("timed-out first attempt not retried: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("attempts: %d, want 2", got)
 	}
 }

@@ -6,7 +6,14 @@
 // answer queries:
 //
 //	corrd -addr :7070 -agg f2 -eps 0.15 -delta 0.1 -ymax 1048575 \
-//	      -shards 4 -snapshot /var/lib/corrd/f2.snapshot
+//	      -shards 4 -snapshot /var/lib/corrd/f2.snapshot \
+//	      -wal-dir /var/lib/corrd/wal -wal-fsync always
+//
+// With -wal-dir set, every acknowledged ingest batch and push image is
+// appended to a write-ahead log before the HTTP 200; startup restores
+// the snapshot and replays the log suffix, so a kill -9 loses nothing
+// that was acknowledged (under -wal-fsync=always). Snapshots checkpoint
+// and prune the log.
 //
 // Site — summarize a local stream and push merged images upstream every
 // -push-interval, resetting after each acknowledged push:
@@ -62,6 +69,11 @@ func main() {
 		snapshot     = flag.String("snapshot", "", "snapshot file path (empty = no durability)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
 
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory (empty = no WAL); with a WAL every acknowledged ingest/push survives kill -9")
+		walFsync    = flag.String("wal-fsync", "always", "WAL fsync policy: always, interval, or off")
+		walFsyncInt = flag.Duration("wal-fsync-interval", 100*time.Millisecond, "fsync ticker period for -wal-fsync=interval")
+		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold")
+
 		pushTo       = flag.String("push-to", "", "coordinator base URL; setting it makes this daemon a site")
 		pushInterval = flag.Duration("push-interval", 5*time.Second, "time between site pushes")
 
@@ -94,6 +106,10 @@ func main() {
 		Shards:           *shards,
 		SnapshotPath:     *snapshot,
 		SnapshotInterval: *snapInterval,
+		WALDir:           *walDir,
+		WALFsync:         *walFsync,
+		WALFsyncInterval: *walFsyncInt,
+		WALSegmentBytes:  *walSegBytes,
 		PushTo:           *pushTo,
 		PushInterval:     *pushInterval,
 		MaxBodyBytes:     *maxBody,

@@ -56,6 +56,11 @@
 //	                                            wire-image pushes, snapshot
 //	                                            durability, Prometheus metrics, and
 //	                                            the Go client driving it
+//	durable ingest            internal/wal      segmented CRC32C write-ahead log
+//	                                            under the daemon: log-before-ack,
+//	                                            fsync policies, torn-tail recovery,
+//	                                            checkpoint pruning — restart replays
+//	                                            to crash-exact state
 //	support                   internal/dyadic, internal/hash, internal/quantile,
 //	                          internal/gen, internal/exact, internal/tupleio —
 //	                          interval arithmetic, seeded universal hashing, GK

@@ -50,6 +50,56 @@ func AppendBatch(buf []byte, batch []core.Tuple) []byte {
 	return buf
 }
 
+// minRecordBytes is the smallest possible encoded record: one byte
+// each for x, y, and w. It is the unit every decode-side allocation
+// bound is derived from — a body of L bytes can hold at most
+// L/minRecordBytes records, no matter what any header claims.
+const minRecordBytes = 3
+
+// AppendCountedBatch appends the counted form of a batch: a uvarint
+// record count followed by the records, exactly as AppendBatch would
+// write them. This is the framing the corrd WAL logs for each accepted
+// ingest batch; the count header lets the replayer pre-allocate the
+// decode buffer in one step instead of growing it.
+func AppendCountedBatch(buf []byte, batch []core.Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(batch)))
+	return AppendBatch(buf, batch)
+}
+
+// DecodeCounted parses the counted form produced by AppendCountedBatch
+// into dst (reusing its capacity). The pre-allocation derived from the
+// count header is bounded by what the body could physically hold
+// (len/minRecordBytes) and by MaxDecodeTuples, so a hostile header
+// claiming 2^40 records on a 10-byte body is rejected before a single
+// byte is allocated — the same hostile-allocation class as the
+// map-pre-size DoS bugs fixed in the merge-image decoders. The count
+// must match the records exactly.
+func DecodeCounted(dst []core.Tuple, data []byte) ([]core.Tuple, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return dst[:0], fmt.Errorf("%w: bad count header", ErrBadStream)
+	}
+	data = data[sz:]
+	if n > MaxDecodeTuples {
+		return dst[:0], fmt.Errorf("%w: header claims %d tuples, cap is %d", ErrBadStream, n, MaxDecodeTuples)
+	}
+	if n > uint64(len(data)/minRecordBytes) {
+		return dst[:0], fmt.Errorf("%w: header claims %d tuples, body can hold at most %d",
+			ErrBadStream, n, len(data)/minRecordBytes)
+	}
+	if uint64(cap(dst)) < n {
+		dst = make([]core.Tuple, 0, n)
+	}
+	dst, err := Decode(dst, data)
+	if err != nil {
+		return dst, err
+	}
+	if uint64(len(dst)) != n {
+		return dst[:0], fmt.Errorf("%w: header claims %d tuples, body holds %d", ErrBadStream, n, len(dst))
+	}
+	return dst, nil
+}
+
 // Decode parses a complete binary tuple stream into dst (reusing its
 // capacity) and returns the filled slice. The stream must contain only
 // whole records; a trailing partial record, a weight that overflows

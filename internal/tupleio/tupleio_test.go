@@ -67,3 +67,66 @@ func appendRaw(buf []byte, v uint64) []byte {
 	}
 	return append(buf, byte(v))
 }
+
+// TestCountedRoundTrip: the counted form decodes back to the same batch
+// and reuses dst capacity.
+func TestCountedRoundTrip(t *testing.T) {
+	batch := []core.Tuple{
+		{X: 1, Y: 2, W: 3},
+		{X: 1 << 40, Y: 1 << 19, W: 1},
+		{X: 0, Y: 0, W: 1},
+	}
+	buf := AppendCountedBatch(nil, batch)
+	got, err := DecodeCounted(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("counted round trip: got %v want %v", got, batch)
+	}
+	// Empty batch round-trips too.
+	empty, err := DecodeCounted(got, AppendCountedBatch(nil, nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty counted batch: %v len=%d", err, len(empty))
+	}
+}
+
+// TestCountedAdversarialHeader is the regression test for decode-side
+// pre-allocation: a header claiming a huge tuple count over a tiny body
+// must be rejected up front, without allocating storage proportional to
+// the claim.
+func TestCountedAdversarialHeader(t *testing.T) {
+	hostile := appendRaw(nil, 1<<40) // claims 2^40 tuples
+	hostile = append(hostile, 1, 2, 3)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := DecodeCounted(nil, hostile); !errors.Is(err, ErrBadStream) {
+			t.Fatalf("hostile header accepted: %v", err)
+		}
+	})
+	// The only allocations allowed are the error values themselves.
+	if allocs > 8 {
+		t.Fatalf("hostile header cost %.0f allocs", allocs)
+	}
+
+	// A claim past MaxDecodeTuples is rejected even with a plausible body.
+	overCap := appendRaw(nil, MaxDecodeTuples+1)
+	overCap = append(overCap, make([]byte, 64)...)
+	if _, err := DecodeCounted(nil, overCap); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("over-cap header accepted: %v", err)
+	}
+
+	// A count that disagrees with the records is an error both ways.
+	two := AppendBatch(appendRaw(nil, 2), []core.Tuple{{X: 1, Y: 1, W: 1}})
+	if _, err := DecodeCounted(nil, two); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("undercounted body accepted: %v", err)
+	}
+	one := AppendBatch(appendRaw(nil, 1), []core.Tuple{{X: 1, Y: 1, W: 1}, {X: 2, Y: 2, W: 2}})
+	if _, err := DecodeCounted(nil, one); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("overcounted body accepted: %v", err)
+	}
+
+	// Truncated header.
+	if _, err := DecodeCounted(nil, []byte{0x80}); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("truncated header accepted: %v", err)
+	}
+}

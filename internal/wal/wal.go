@@ -1,0 +1,791 @@
+// Package wal is the durable-ingest subsystem of the corrd service: a
+// segmented append-only write-ahead log with CRC32C-framed records, the
+// piece that closes the durability window left by periodic snapshots.
+// The service logs each accepted ingest batch and push image before
+// acknowledging it, so an acknowledged request survives a crash; on
+// restart the engine is rebuilt as snapshot + replayed log suffix.
+//
+// # Log structure
+//
+// The log is a directory of segment files named wal-%016x.seg, where
+// the hex field is the LSN (log sequence number, 1-based) of the first
+// record in the segment. Each segment starts with a fixed header
+// (magic, version, first LSN) and then holds a run of frames:
+//
+//	length  uint32 LE   payload length
+//	crc     uint32 LE   CRC32C over type byte + payload
+//	type    uint8       record type
+//	payload length bytes
+//
+// Records are assigned consecutive LSNs in append order across
+// segments. When the active segment reaches SegmentBytes it is sealed —
+// synced to disk regardless of fsync policy, so a sealed segment is
+// always fully durable — and a new one is started.
+//
+// # Fsync policy
+//
+// SyncAlways syncs inside every Append, so a returned Append is a
+// durability barrier: the acknowledged record survives kill -9. This is
+// the policy the ack path pays for and the one BenchmarkWALAppend
+// prices. SyncInterval syncs on a background ticker (crash loses at
+// most the last interval of acknowledged records); SyncOff leaves
+// syncing to the OS page cache (crash durability is best-effort, but
+// the log still orders and frames records for clean restarts).
+//
+// # Recovery
+//
+// Open validates the segment chain and scans the final segment. A
+// frame that fails its length or CRC check in the final segment is a
+// torn tail — the write that was in flight when the process died — and
+// the segment is truncated to the last whole frame. Under SyncAlways a
+// torn frame can only be an unacknowledged record, so truncation never
+// discards acknowledged data: every frame behind the last fsync barrier
+// is intact because appends are sequential and sync covers a prefix.
+// A bad frame in a sealed (non-final) segment can not be a torn write —
+// sealing synced it — so it is reported as corruption instead of being
+// silently dropped.
+//
+// # Checkpoints
+//
+// Checkpoint(covered) appends a checkpoint-marker record recording that
+// some external snapshot captures the effects of every record with
+// LSN <= covered, syncs it, and then deletes sealed segments whose
+// records are all covered. Replay starts from an LSN the caller
+// recovers from its snapshot, so pruned segments are never needed
+// again. The marker itself also lets an Open-time reader see where the
+// last snapshot cut the log.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RecordType tags what a record's payload is; the WAL itself treats the
+// payload as opaque bytes.
+type RecordType uint8
+
+const (
+	// RecordIngest is a counted tupleio batch (tupleio.AppendCountedBatch)
+	// accepted through POST /v1/ingest.
+	RecordIngest RecordType = 1
+	// RecordPush is a marshaled summary image folded in through
+	// POST /v1/push (or re-queued locally after a failed upstream push).
+	RecordPush RecordType = 2
+	// RecordReset begins a site's push-then-reset round: the engine was
+	// reset at this log position and the payload — the merged image
+	// that was marshaled just before the reset — is in flight to the
+	// coordinator. Replay applies the reset and stashes the image; a
+	// later RecordPushAck discards it, and an un-acked image is folded
+	// back at the end of replay so acknowledged ingest is never lost.
+	RecordReset RecordType = 3
+	// RecordCheckpoint carries uvarint(covered): a snapshot durable
+	// outside the log captures every record with LSN <= covered.
+	RecordCheckpoint RecordType = 4
+	// RecordPushAck closes a push round: the coordinator acknowledged
+	// the image carried by the round's RecordReset. Once this record is
+	// durable, replay will never re-push that image upstream. Empty
+	// payload.
+	RecordPushAck RecordType = 5
+	// RecordFoldback closes a push round the other way: the ship
+	// failed and the payload image was merged back into the engine. One
+	// record carries both effects (merge + round closed) so a crash can
+	// never replay them separately and double-apply the image.
+	RecordFoldback RecordType = 6
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs inside every Append: an acknowledged record
+	// survives kill -9. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.SyncEvery).
+	SyncInterval
+	// SyncOff never fsyncs on the append path (segment seals and Close
+	// still sync); durability is left to the OS.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the flag spelling used by cmd/corrd.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Options configures a WAL. The zero value is usable: SyncAlways,
+// 64 MiB segments.
+type Options struct {
+	// SegmentBytes is the rotation threshold; a segment is sealed once
+	// it reaches this size. <= 0 means 64 MiB. An oversized record still
+	// goes into a single (oversized) segment.
+	SegmentBytes int64
+	// Sync selects the fsync policy.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval ticker period; <= 0 means 100ms.
+	SyncEvery time.Duration
+	// OnFsync, when set, observes the wall-clock duration of every
+	// fsync on the append/checkpoint path (for latency histograms).
+	OnFsync func(time.Duration)
+	// OnSyncError, when set, receives errors from the SyncInterval
+	// background loop — the one sync path with no caller to return to.
+	// They are also counted in Stats.SyncErrors.
+	OnSyncError func(error)
+}
+
+const (
+	defaultSegmentBytes = 64 << 20
+	defaultSyncEvery    = 100 * time.Millisecond
+
+	// MaxPayload bounds a single record; a frame claiming more is
+	// malformed by construction, which also bounds replay-side
+	// allocation before any CRC work happens.
+	MaxPayload = 1 << 30
+
+	headerSize = 17 // magic(8) + version(1) + firstLSN(8)
+	frameSize  = 9  // length(4) + crc(4) + type(1)
+	walVersion = 1
+)
+
+var (
+	magic = [8]byte{'c', 'o', 'r', 'r', 'd', 'w', 'a', 'l'}
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+	// ErrClosed is returned by operations on a closed WAL.
+	ErrClosed = errors.New("wal: closed")
+	// ErrCorrupt reports a malformed segment that cannot be explained
+	// by a torn tail write (bad header, bad frame in a sealed segment,
+	// broken LSN chain).
+	ErrCorrupt = errors.New("wal: corrupt log")
+)
+
+// Stats is a point-in-time snapshot of the WAL's counters, safe to read
+// concurrently with appends.
+type Stats struct {
+	Segments       int64  // segment files currently on disk
+	Appends        uint64 // records appended this process
+	AppendedBytes  uint64 // frame bytes appended this process
+	Fsyncs         uint64 // fsyncs issued on the append/checkpoint path
+	SyncErrors     uint64 // failed fsyncs in the background interval loop
+	Checkpoints    uint64 // checkpoint markers written
+	PrunedSegments uint64 // sealed segments deleted by checkpoints
+	LastLSN        uint64 // LSN of the most recently appended record
+}
+
+// WAL is a segmented write-ahead log. All methods are safe for
+// concurrent use; appends are serialized internally, so callers that
+// need "log order == apply order" must hold their own lock across the
+// apply + Append pair.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	size     int64    // bytes written to the active segment
+	segFirst uint64   // first LSN of the active segment
+	nextLSN  uint64   // LSN the next Append will get
+	dirty    bool     // unsynced bytes in the active segment
+	closed   bool
+	broken   error  // sticky: a partial append could not be rewound
+	frame    []byte // reusable frame-assembly buffer
+
+	// sealed is every non-active segment: firstLSN -> lastLSN,
+	// maintained for checkpoint pruning.
+	sealed map[uint64]uint64
+
+	segments       atomic.Int64
+	appends        atomic.Uint64
+	appendedBytes  atomic.Uint64
+	fsyncs         atomic.Uint64
+	syncErrors     atomic.Uint64
+	checkpoints    atomic.Uint64
+	prunedSegments atomic.Uint64
+	lastLSN        atomic.Uint64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func segmentName(firstLSN uint64) string { return fmt.Sprintf("wal-%016x.seg", firstLSN) }
+
+// syncDir fsyncs the log directory so segment creations and deletions
+// survive a power loss — without it, a freshly rotated segment full of
+// fsynced (acknowledged) records could itself vanish with the directory
+// entry.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Open opens (creating if needed) the log in dir, validates the segment
+// chain, truncates a torn tail in the final segment, and positions the
+// writer after the last whole record. It never truncates a sealed
+// segment: corruption there is an error, not data to discard.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{
+		dir:    dir,
+		opts:   opts,
+		sealed: map[uint64]uint64{},
+		done:   make(chan struct{}),
+	}
+	if err := w.recover(); err != nil {
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		w.wg.Add(1)
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// listSegments returns the segment firstLSNs in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var firsts []uint64
+	for _, e := range entries {
+		var first uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%016x.seg", &first); err != nil {
+			continue // foreign file; ignore
+		}
+		firsts = append(firsts, first)
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	return firsts, nil
+}
+
+// recover scans the on-disk state: validates headers and the LSN chain,
+// counts records, truncates the final segment's torn tail, and opens
+// the active segment for appending.
+func (w *WAL) recover() error {
+	firsts, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	if len(firsts) == 0 {
+		return w.startSegment(1)
+	}
+	next := firsts[0]
+	for i, first := range firsts {
+		if first != next {
+			return fmt.Errorf("%w: segment chain broken at %s (expected first LSN %d)",
+				ErrCorrupt, segmentName(first), next)
+		}
+		final := i == len(firsts)-1
+		n, validEnd, err := scanSegment(filepath.Join(w.dir, segmentName(first)), first, final)
+		if err != nil {
+			return err
+		}
+		if final {
+			if validEnd < 0 {
+				// Torn header: the crash died inside segment creation,
+				// before anything in it could have been acknowledged.
+				// Recreate it cleanly.
+				if err := os.Remove(filepath.Join(w.dir, segmentName(first))); err != nil {
+					return fmt.Errorf("wal: %w", err)
+				}
+				return w.startSegment(first)
+			}
+			return w.openActive(first, n-first, validEnd)
+		}
+		// n == first marks a sealed segment with zero records (a crash
+		// right after rotation); its degenerate lastLSN first-1 makes
+		// any checkpoint prune it.
+		w.sealed[first] = n - 1
+		w.segments.Add(1)
+		next = n
+	}
+	return nil // unreachable: the loop always returns on the final segment
+}
+
+// scanSegment validates one segment file and returns the LSN one past
+// its last whole record plus the byte offset where valid data ends. In
+// the final segment a bad frame marks a torn tail (scan stops, caller
+// truncates) and a bad header marks a creation torn mid-rotation
+// (validEnd -1: caller reinitializes); in a sealed segment either is
+// corruption.
+func scanSegment(path string, firstLSN uint64, final bool) (nextLSN uint64, validEnd int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	fileSize := info.Size()
+	// A final segment no larger than its header can only come from a
+	// rotation torn by a crash: appends follow the header write, so no
+	// record — let alone an acknowledged one — can live in it.
+	// Reinitialize it. A bad header on a segment that *does* hold data
+	// is corruption: an acknowledged record's fsync would have
+	// persisted the header too, so refuse rather than silently discard.
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if final && fileSize <= headerSize {
+			return firstLSN, -1, nil // torn creation: reinitialize
+		}
+		return 0, 0, fmt.Errorf("%w: %s: short header", ErrCorrupt, filepath.Base(path))
+	}
+	if [8]byte(hdr[:8]) != magic || hdr[8] != walVersion ||
+		binary.LittleEndian.Uint64(hdr[9:]) != firstLSN {
+		if final && fileSize <= headerSize {
+			return firstLSN, -1, nil
+		}
+		return 0, 0, fmt.Errorf("%w: %s: bad header", ErrCorrupt, filepath.Base(path))
+	}
+	lsn := firstLSN
+	off := int64(headerSize)
+	var fh [frameSize]byte
+	payload := make([]byte, 0, 4096)
+	for off < fileSize {
+		n, _, _, err := readFrame(f, fileSize-off, fh[:], &payload)
+		if err != nil {
+			if final {
+				return lsn, off, nil // torn tail: valid prefix ends here
+			}
+			return 0, 0, fmt.Errorf("%w: %s at offset %d (record %d): %v",
+				ErrCorrupt, filepath.Base(path), off, lsn, err)
+		}
+		off += n
+		lsn++
+	}
+	return lsn, off, nil
+}
+
+// readFrame reads one frame from r, which has remain bytes left. The
+// payload is read into *payload (grown as needed). It returns the total
+// frame length consumed. Any malformation — length exceeding the
+// remaining bytes or MaxPayload, CRC mismatch, short read — is an
+// error; the caller decides whether that means torn tail or corruption.
+func readFrame(r io.Reader, remain int64, fh []byte, payload *[]byte) (n int64, typ RecordType, data []byte, err error) {
+	if remain < frameSize {
+		return 0, 0, nil, errors.New("short frame header")
+	}
+	if _, err := io.ReadFull(r, fh); err != nil {
+		return 0, 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(fh[0:4])
+	crc := binary.LittleEndian.Uint32(fh[4:8])
+	typ = RecordType(fh[8])
+	if length > MaxPayload || int64(length) > remain-frameSize {
+		return 0, 0, nil, fmt.Errorf("frame claims %d payload bytes with %d remaining", length, remain-frameSize)
+	}
+	if cap(*payload) < int(length) {
+		*payload = make([]byte, length)
+	}
+	data = (*payload)[:length]
+	if _, err := io.ReadFull(r, data); err != nil {
+		return 0, 0, nil, err
+	}
+	sum := crc32.Update(crc32.Checksum(fh[8:9], castagnoli), castagnoli, data)
+	if sum != crc {
+		return 0, 0, nil, errors.New("crc mismatch")
+	}
+	return frameSize + int64(length), typ, data, nil
+}
+
+// openActive truncates the final segment to validEnd and opens it for
+// appending; nextDelta is the record count already in it.
+func (w *WAL) openActive(firstLSN, recordCount uint64, validEnd int64) error {
+	path := filepath.Join(w.dir, segmentName(firstLSN))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if info.Size() > validEnd {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.f = f
+	w.size = validEnd
+	w.segFirst = firstLSN
+	w.nextLSN = firstLSN + recordCount
+	if w.nextLSN > 1 {
+		w.lastLSN.Store(w.nextLSN - 1)
+	}
+	w.segments.Add(1)
+	return nil
+}
+
+// startSegment creates and opens a fresh segment whose first record
+// will carry firstLSN.
+func (w *WAL) startSegment(firstLSN uint64) error {
+	path := filepath.Join(w.dir, segmentName(firstLSN))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	hdr[8] = walVersion
+	binary.LittleEndian.PutUint64(hdr[9:], firstLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Persist the directory entry: an fsynced record is only as durable
+	// as the file's existence.
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.size = headerSize
+	w.segFirst = firstLSN
+	w.nextLSN = firstLSN
+	if firstLSN > 1 {
+		// Keep LastLSN truthful on every path that starts a segment —
+		// rotation (where it is already firstLSN-1) and torn-creation
+		// reinit (where it would otherwise stay 0 and poison the next
+		// snapshot's covered LSN).
+		w.lastLSN.Store(firstLSN - 1)
+	}
+	w.dirty = true
+	w.segments.Add(1)
+	return nil
+}
+
+// rotateLocked seals the active segment — syncing it regardless of
+// policy, so sealed segments are always fully durable — and starts the
+// next one.
+func (w *WAL) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// The sealed file stays on disk (still counted in segments);
+	// startSegment counts the new active file.
+	w.sealed[w.segFirst] = w.nextLSN - 1
+	return w.startSegment(w.nextLSN)
+}
+
+// Append writes one record and returns its LSN. Under SyncAlways the
+// record is on stable storage when Append returns — this is the
+// durability barrier the service acknowledges behind.
+func (w *WAL) Append(typ RecordType, payload []byte) (uint64, error) {
+	if len(payload) > MaxPayload {
+		return 0, fmt.Errorf("wal: payload %d bytes exceeds MaxPayload", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.broken != nil {
+		return 0, fmt.Errorf("wal: log is broken (failed to clean up a partial append): %w", w.broken)
+	}
+	if w.size >= w.opts.SegmentBytes && w.nextLSN > w.segFirst {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	w.frame = w.frame[:0]
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, uint32(len(payload)))
+	sum := crc32.Update(crc32.Checksum([]byte{byte(typ)}, castagnoli), castagnoli, payload)
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, sum)
+	w.frame = append(w.frame, byte(typ))
+	w.frame = append(w.frame, payload...)
+	if _, err := w.f.Write(w.frame); err != nil {
+		// Rewind past any partially written frame bytes: a later
+		// successful, fsynced append must never sit behind garbage, or
+		// recovery would truncate it away as a torn tail. If the
+		// rewind itself fails the log can no longer guarantee that, so
+		// it is declared broken and refuses further appends.
+		_, serr := w.f.Seek(w.size, io.SeekStart)
+		terr := w.f.Truncate(w.size)
+		if serr != nil || terr != nil {
+			w.broken = errors.Join(fmt.Errorf("wal: append: %w", err), serr, terr)
+		}
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	w.size += int64(len(w.frame))
+	w.dirty = true
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.appends.Add(1)
+	w.appendedBytes.Add(uint64(len(w.frame)))
+	w.lastLSN.Store(lsn)
+	if cap(w.frame) > 1<<20 {
+		w.frame = nil // do not pin a rare huge push image
+	}
+	if w.opts.Sync == SyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// syncLocked fsyncs the active segment if it has unsynced bytes.
+func (w *WAL) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.dirty = false
+	w.fsyncs.Add(1)
+	if w.opts.OnFsync != nil {
+		w.opts.OnFsync(time.Since(start))
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active segment (a manual durability
+// barrier under SyncInterval or SyncOff).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := w.Sync(); err != nil && !errors.Is(err, ErrClosed) {
+				w.syncErrors.Add(1)
+				if w.opts.OnSyncError != nil {
+					w.opts.OnSyncError(err)
+				}
+			}
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 if
+// the log is empty). Safe to call concurrently with appends, but for a
+// consistent "state as of this LSN" cut, call it under the same lock
+// that serializes apply+Append.
+func (w *WAL) LastLSN() uint64 { return w.lastLSN.Load() }
+
+// Checkpoint records that a snapshot durable outside the log covers
+// every record with LSN <= covered: it appends a checkpoint marker,
+// syncs it regardless of policy, and deletes every sealed segment whose
+// records are all covered. The active segment is never deleted.
+func (w *WAL) Checkpoint(covered uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], covered)
+	if _, err := w.Append(RecordCheckpoint, buf[:n]); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	w.checkpoints.Add(1)
+	// Prune oldest-first, persisting each deletion before the next:
+	// whatever prefix of the deletions survives a crash or an I/O error,
+	// the remaining segments stay a contiguous chain — a gap in the
+	// middle would make the next Open refuse as corrupt.
+	var prunable []uint64
+	for first, last := range w.sealed {
+		if last <= covered {
+			prunable = append(prunable, first)
+		}
+	}
+	sort.Slice(prunable, func(i, j int) bool { return prunable[i] < prunable[j] })
+	for _, first := range prunable {
+		if err := os.Remove(filepath.Join(w.dir, segmentName(first))); err != nil {
+			return fmt.Errorf("wal: prune: %w", err)
+		}
+		if err := syncDir(w.dir); err != nil {
+			return err
+		}
+		delete(w.sealed, first)
+		w.segments.Add(-1)
+		w.prunedSegments.Add(1)
+	}
+	return nil
+}
+
+// Replay walks every retained record in LSN order and calls fn for each
+// with LSN > from, stopping at fn's first error. The payload slice is
+// only valid for the duration of the call. Checkpoint markers are
+// delivered like any other record; state-rebuilding callers skip them.
+func (w *WAL) Replay(from uint64, fn func(lsn uint64, typ RecordType, payload []byte) error) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	// Appends go through w.f's own offset; reading via a separate
+	// handle is safe, but replay is meant for startup, before traffic.
+	firsts := make([]uint64, 0, len(w.sealed)+1)
+	for first := range w.sealed {
+		firsts = append(firsts, first)
+	}
+	firsts = append(firsts, w.segFirst)
+	activeEnd := w.size
+	if err := w.syncLocked(); err != nil { // make what we replay match disk
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+
+	var fh [frameSize]byte
+	payload := make([]byte, 0, 64<<10)
+	for _, first := range firsts {
+		path := filepath.Join(w.dir, segmentName(first))
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		end := info.Size()
+		if first == w.segFirst && activeEnd < end {
+			end = activeEnd
+		}
+		lsn := first
+		off := int64(headerSize)
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		for off < end {
+			n, typ, data, err := readFrame(f, end-off, fh[:], &payload)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, segmentName(first), off, err)
+			}
+			if lsn > from {
+				if err := fn(lsn, typ, data); err != nil {
+					f.Close()
+					return err
+				}
+			}
+			off += n
+			lsn++
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the WAL's counters.
+func (w *WAL) Stats() Stats {
+	return Stats{
+		Segments:       w.segments.Load(),
+		Appends:        w.appends.Load(),
+		AppendedBytes:  w.appendedBytes.Load(),
+		Fsyncs:         w.fsyncs.Load(),
+		SyncErrors:     w.syncErrors.Load(),
+		Checkpoints:    w.checkpoints.Load(),
+		PrunedSegments: w.prunedSegments.Load(),
+		LastLSN:        w.lastLSN.Load(),
+	}
+}
+
+// Close stops the background sync loop (if any), syncs the active
+// segment, and closes it. Further operations return ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	close(w.done)
+	w.mu.Unlock()
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var errs []error
+	if w.dirty {
+		if err := w.f.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("wal: fsync: %w", err))
+		}
+		w.dirty = false
+	}
+	if err := w.f.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("wal: %w", err))
+	}
+	return errors.Join(errs...)
+}

@@ -28,6 +28,10 @@ BENCH_COUNT="${BENCH_COUNT:-1}"
   # site image; MB/s is push bandwidth per coordinator core.
   go test -run '^$' -bench 'BenchmarkMergeMarshaled' -benchmem -benchtime=20x \
     -count="$BENCH_COUNT" .
+  # Durable-ingest ack path: what each WAL fsync policy adds to a
+  # /v1/ingest acknowledgement (fsync=always is the durability barrier).
+  go test -run '^$' -bench 'BenchmarkWALAppend' -benchmem -benchtime=500x \
+    -count="$BENCH_COUNT" ./internal/wal/
 } | tee benchmarks/latest.txt
 
 echo

@@ -6,6 +6,9 @@
 #   3. query, scrape /v1/stats and /metrics
 #   4. SIGTERM (graceful shutdown writes a final snapshot)
 #   5. restart from the snapshot and prove the answer is identical
+#   6. WAL crash-exactness: kill -9 a -wal-dir daemon mid-ingest and
+#      prove the restarted /v1/summary is byte-identical to a
+#      crash-free oracle run over the same acknowledged batches
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +23,8 @@ CUTOFF=500000
 cleanup() {
   [ -n "${CORRD_PID:-}" ] && kill "$CORRD_PID" 2>/dev/null || true
   [ -n "${SITE_PID:-}" ] && kill "$SITE_PID" 2>/dev/null || true
+  [ -n "${WAL_PID:-}" ] && kill -9 "$WAL_PID" 2>/dev/null || true
+  [ -n "${ORACLE_PID:-}" ] && kill "$ORACLE_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -62,8 +67,11 @@ if [ "$COUNT" != "$EXPECTED" ]; then
 fi
 Q1=$(curl -fsS "$BASE/v1/query?op=le&c=$CUTOFF")
 echo "query: $Q1"
-curl -fsS "$BASE/metrics" | grep -E 'corrd_tuples_ingested_total|corrd_snapshot' | head -6
-curl -fsS "$BASE/metrics" | grep -q "corrd_tuples_ingested_total $EXPECTED" \
+# Fetch the exposition once, then grep the buffer: grep -q on a live
+# curl pipe exits at first match and EPIPEs curl into a false failure.
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -E 'corrd_tuples_ingested_total|corrd_snapshot' | head -6
+echo "$METRICS" | grep -q "corrd_tuples_ingested_total $EXPECTED" \
   || { echo "FAIL: ingest metric missing" >&2; exit 1; }
 
 echo "== SIGTERM (graceful: flush + final snapshot)"
@@ -104,9 +112,94 @@ EXPECTED3=$((EXPECTED + 50000))
 if [ "$COUNT3" != "$EXPECTED3" ]; then
   echo "FAIL: coordinator count after site push $COUNT3 != $EXPECTED3" >&2; exit 1
 fi
-curl -fsS "$BASE/metrics" | grep -q 'corrd_pushes_merged_total [1-9]' \
+curl -fsS "$BASE/metrics" -o "$WORK/metrics.txt"
+grep -q 'corrd_pushes_merged_total [1-9]' "$WORK/metrics.txt" \
   || { echo "FAIL: push metric missing" >&2; exit 1; }
 
 kill -TERM "$CORRD_PID"; wait "$CORRD_PID" || true
 CORRD_PID=""
+
+echo "== WAL crash-exact recovery (kill -9 mid-ingest, -wal-fsync=always)"
+# A two-shard daemon with a WAL (snapshots serialize the routing
+# cursors, so recovery is exact even across shards); the snapshot
+# ticker runs so the restart exercises restore-snapshot-then-replay-
+# suffix.
+WAL_ADDR="127.0.0.1:17074"; WBASE="http://$WAL_ADDR"
+ORACLE_ADDR="127.0.0.1:17075"; OBASE="http://$ORACLE_ADDR"
+WAL_N=200000
+SUMMARY_FLAGS=(-agg f2 -eps 0.15 -delta 0.1 -ymax 1000000 -maxn 1048576 \
+  -maxx 500001 -seed 42 -shards 2)
+
+start_wal_corrd() { # $1 addr, $2 name (state dirs keyed off it)
+  "$WORK/corrd" -addr "$1" "${SUMMARY_FLAGS[@]}" \
+    -snapshot "$WORK/$2.snapshot" -snapshot-interval 2s \
+    -wal-dir "$WORK/$2-wal" -wal-fsync always >>"$LOG" 2>&1 &
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "corrd ($2) did not become healthy; log:" >&2; cat "$LOG" >&2; exit 1
+}
+
+start_wal_corrd "$WAL_ADDR" "walcrash"
+WAL_PID=$!
+
+# Drive ingest in the background and SIGKILL the daemon mid-stream: no
+# graceful shutdown, no final snapshot — durability rides on the WAL.
+"$WORK/corrgen" -dataset uniform -n "$WAL_N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$WBASE" -chunk 2048 >/dev/null 2>&1 &
+GEN_PID=$!
+for _ in $(seq 1 100); do
+  INGESTED=$(curl -fsS "$WBASE/v1/stats" 2>/dev/null | grep -o '"count":[0-9]*' | cut -d: -f2 || echo 0)
+  [ "${INGESTED:-0}" -ge 20000 ] && break
+  sleep 0.1
+done
+kill -9 "$WAL_PID"
+wait "$WAL_PID" 2>/dev/null || true
+WAL_PID=""
+wait "$GEN_PID" 2>/dev/null || true  # the generator dies with the connection
+
+start_wal_corrd "$WAL_ADDR" "walcrash"
+WAL_PID=$!
+grep -q "wal: replayed" "$LOG" || { echo "FAIL: restart did not replay the WAL" >&2; cat "$LOG" >&2; exit 1; }
+M=$(curl -fsS "$WBASE/v1/stats" | grep -o '"count":[0-9]*' | cut -d: -f2)
+if [ "$M" -lt 20000 ]; then
+  echo "FAIL: recovered count $M lost acknowledged ingest" >&2; exit 1
+fi
+if [ $((M % 2048)) -ne 0 ] && [ "$M" -ne "$WAL_N" ]; then
+  echo "FAIL: recovered count $M is not a whole number of acknowledged chunks" >&2; exit 1
+fi
+echo "recovered $M acknowledged tuples after kill -9"
+
+# Crash-free oracle: same configuration, the same acknowledged prefix of
+# the same deterministic stream (corrgen is sequential, so -n M is the
+# prefix), the same chunking — its summary must match byte for byte.
+start_wal_corrd "$ORACLE_ADDR" "oracle"
+ORACLE_PID=$!
+"$WORK/corrgen" -dataset uniform -n "$M" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$OBASE" -chunk 2048
+curl -fsS -o "$WORK/recovered.summary" "$WBASE/v1/summary"
+curl -fsS -o "$WORK/oracle.summary" "$OBASE/v1/summary"
+if ! cmp -s "$WORK/recovered.summary" "$WORK/oracle.summary"; then
+  echo "FAIL: recovered /v1/summary differs from crash-free oracle" >&2
+  ls -l "$WORK/recovered.summary" "$WORK/oracle.summary" >&2
+  exit 1
+fi
+echo "recovered summary is byte-identical to the crash-free oracle ($(wc -c <"$WORK/recovered.summary") bytes)"
+
+# The recovered daemon keeps serving durable ingest, and the WAL shows
+# up in the exposition.
+printf '5,7\n' | curl -fsS -X POST -H 'Content-Type: text/csv' \
+  --data-binary @- "$WBASE/v1/ingest" >/dev/null
+curl -fsS "$WBASE/metrics" -o "$WORK/wal-metrics.txt"
+grep -q 'corrd_wal_segments' "$WORK/wal-metrics.txt" \
+  || { echo "FAIL: WAL metrics missing" >&2; exit 1; }
+curl -fsS "$WBASE/v1/stats" -o "$WORK/wal-stats.json"
+grep -q '"wal_enabled":true' "$WORK/wal-stats.json" \
+  || { echo "FAIL: stats missing WAL fields" >&2; exit 1; }
+
+kill -TERM "$ORACLE_PID"; wait "$ORACLE_PID" || true
+ORACLE_PID=""
+kill -TERM "$WAL_PID"; wait "$WAL_PID" || true
+WAL_PID=""
 echo "service smoke test PASSED"

@@ -13,6 +13,7 @@ import (
 	correlated "github.com/streamagg/correlated"
 	"github.com/streamagg/correlated/client"
 	"github.com/streamagg/correlated/internal/tupleio"
+	"github.com/streamagg/correlated/internal/wal"
 	"github.com/streamagg/correlated/shard"
 )
 
@@ -42,6 +43,9 @@ func (s *Server) putDecodeState(d *decodeState) {
 	}
 	if cap(d.tuples)*24 > maxPooledBuffer { // 24 bytes per Tuple
 		d.tuples = nil
+	}
+	if cap(d.wal) > maxPooledBuffer {
+		d.wal = nil
 	}
 	s.dec.Put(d)
 }
@@ -128,8 +132,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Engine apply and WAL append share one critical section so the
+	// log replays in apply order; under fsync=always the Append is the
+	// durability barrier the 200 below acknowledges. With a WAL the
+	// engine is also drained before the ack: the shard workers' batch
+	// boundaries become a pure function of the request sequence, which
+	// is what lets replay — the same sequence — rebuild bit-identical
+	// state no matter when snapshots or queries barriered the original
+	// run (see wal.go).
 	s.mu.Lock()
 	err = s.eng.AddBatch(d.tuples)
+	var flushErr, walErr error
+	if err == nil && s.wal != nil {
+		if flushErr = s.eng.Flush(); flushErr == nil {
+			walErr = s.logIngest(d)
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		// AddBatch fails only on synchronous validation (y bound,
@@ -141,6 +159,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 		}
 		s.httpError(w, status, err)
+		return
+	}
+	if flushErr != nil {
+		// A worker rejected part of the batch (or the engine died):
+		// not logged, not acknowledged.
+		s.metrics.ingestErrors.Inc()
+		s.httpError(w, statusForEngine(flushErr), flushErr)
+		return
+	}
+	if walErr != nil {
+		// The engine holds the batch but the log does not: the tuples
+		// were never acknowledged, so a crash dropping them is within
+		// contract — but tell the client the write is not durable.
+		s.metrics.ingestErrors.Inc()
+		s.metrics.walAppendErrors.Inc()
+		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", walErr))
 		return
 	}
 	s.metrics.tuplesIngested.Add(uint64(len(d.tuples)))
@@ -198,6 +232,10 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	err := s.eng.MergeMarshaled(d.body)
+	var walErr error
+	if err == nil {
+		walErr = s.logPush(d.body)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		s.metrics.pushErrors.Inc()
@@ -208,11 +246,22 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, status, err)
 		return
 	}
+	if walErr != nil {
+		s.metrics.pushErrors.Inc()
+		s.metrics.walAppendErrors.Inc()
+		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", walErr))
+		return
+	}
 	s.metrics.pushesMerged.Inc()
 	writeJSON(w, http.StatusOK, map[string]bool{"merged": true})
 }
 
-// handleQuery answers GET /v1/query?op=le|ge&c=N.
+// handleQuery answers GET /v1/query?op=le|ge&c=N. The c parameter may
+// repeat (?op=le&c=10&c=100&c=1000): all cutoffs are answered over one
+// engine barrier and one shard merge (QueryLEBatch/QueryGEBatch) and
+// returned together, so a drill-down loop pays one round trip and one
+// merge instead of one of each per cutoff. A single c keeps the
+// original wire shape; multiple return {"op":...,"results":[...]}.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	op := q.Get("op")
@@ -224,18 +273,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad op %q (want le or ge)", op))
 		return
 	}
-	cutoff, err := strconv.ParseUint(q.Get("c"), 10, 64)
-	if err != nil {
+	raw := q["c"]
+	if len(raw) == 0 {
 		s.metrics.queryErrors.Inc()
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad cutoff c=%q: %w", q.Get("c"), err))
+		s.httpError(w, http.StatusBadRequest, errors.New("missing cutoff c"))
 		return
 	}
-	var est float64
+	if len(raw) > maxCutoffsPerQuery {
+		s.metrics.queryErrors.Inc()
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%d cutoffs in one query (cap is %d)", len(raw), maxCutoffsPerQuery))
+		return
+	}
+	cutoffs := make([]uint64, len(raw))
+	for i, rc := range raw {
+		c, err := strconv.ParseUint(rc, 10, 64)
+		if err != nil {
+			s.metrics.queryErrors.Inc()
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad cutoff c=%q: %w", rc, err))
+			return
+		}
+		cutoffs[i] = c
+	}
+	// One batched engine call: the shard merge composes once and every
+	// cutoff queries the composed summary.
+	estimates := make([]float64, len(cutoffs))
 	s.mu.Lock()
+	var err error
 	if op == "le" {
-		est, err = s.eng.QueryLE(cutoff)
+		err = s.eng.QueryLEBatch(cutoffs, estimates)
 	} else {
-		est, err = s.eng.QueryGE(cutoff)
+		err = s.eng.QueryGEBatch(cutoffs, estimates)
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -243,13 +311,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, statusForQuery(err), err)
 		return
 	}
-	if op == "le" {
-		s.metrics.queriesLE.Inc()
-	} else {
-		s.metrics.queriesGE.Inc()
+	results := make([]client.QueryResult, len(cutoffs))
+	for i, c := range cutoffs {
+		results[i] = client.QueryResult{Op: op, C: c, Estimate: estimates[i]}
 	}
-	writeJSON(w, http.StatusOK, client.QueryResult{Op: op, C: cutoff, Estimate: est})
+	if op == "le" {
+		s.metrics.queriesLE.Add(uint64(len(cutoffs)))
+	} else {
+		s.metrics.queriesGE.Add(uint64(len(cutoffs)))
+	}
+	if len(results) == 1 {
+		writeJSON(w, http.StatusOK, results[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, client.MultiQueryResult{Op: op, Results: results})
 }
+
+// maxCutoffsPerQuery bounds the per-request work of a multi-cutoff
+// query; each cutoff costs a merge-composed query on the engine.
+const maxCutoffsPerQuery = 1024
 
 // statusForQuery maps query errors: misuse is 400, the paper's FAIL
 // output (ErrNoLevel, probability <= Delta) is 503 — the client may
@@ -290,7 +370,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, statusForEngine(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, client.Stats{
+	st := client.Stats{
 		Role:           s.cfg.role(),
 		Aggregate:      s.cfg.aggregate(),
 		Shards:         shards,
@@ -302,7 +382,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Restored:       s.restored,
 		LastSnapshot:   s.metrics.lastSnapshotUnix.Load(),
 		UptimeSeconds:  time.Since(s.metrics.start).Seconds(),
-	})
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WALEnabled = true
+		st.WALFsync = s.cfg.walFsync()
+		st.WALSegments = ws.Segments
+		st.WALAppendedBytes = ws.AppendedBytes
+		st.WALLastLSN = ws.LastLSN
+		st.WALReplayRecords = s.walReplayed
+		st.WALReplaySeconds = s.metrics.walReplaySeconds.Load()
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleSummary serves the engine's merged summary image — the same
@@ -344,6 +435,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	es.shards = s.eng.Shards()
 	s.mu.Unlock()
+	var ws *wal.Stats
+	if s.wal != nil {
+		snap := s.wal.Stats()
+		ws = &snap
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, es)
+	s.metrics.write(w, es, ws)
 }

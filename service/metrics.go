@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"github.com/streamagg/correlated/internal/wal"
 )
 
 // Dependency-free Prometheus-text observability. The instrument set is
@@ -28,6 +30,12 @@ type gauge struct{ v atomic.Int64 }
 
 func (g *gauge) Set(n int64) { g.v.Store(n) }
 func (g *gauge) Load() int64 { return g.v.Load() }
+
+// fgauge is a float-valued gauge (bit-stored for atomicity).
+type fgauge struct{ bits atomic.Uint64 }
+
+func (g *fgauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *fgauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // histogram is a fixed-bucket latency histogram (cumulative on render,
 // like Prometheus expects; per-bucket on record, so Observe is one
@@ -84,7 +92,18 @@ type metrics struct {
 	pushesSent     counter // site role: images shipped upstream
 	pushSendErrors counter
 
+	walAppendErrors  counter    // appends that failed after the engine applied
+	walFsync         *histogram // fsync latency on the append/checkpoint path
+	walReplayRecords gauge      // state records replayed at the last startup
+	walReplaySeconds fgauge     // wall-clock duration of that replay
+
 	handlers map[string]*histogram // request duration per handler
+}
+
+// walFsyncBuckets spans an SSD's sub-100µs fsync through a saturated
+// spinning disk's hundreds of milliseconds.
+func walFsyncBuckets() []float64 {
+	return []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
 }
 
 func newMetrics() *metrics {
@@ -92,6 +111,7 @@ func newMetrics() *metrics {
 	for _, h := range handlerNames {
 		m.handlers[h] = newHistogram(defaultBuckets())
 	}
+	m.walFsync = newHistogram(walFsyncBuckets())
 	return m
 }
 
@@ -112,8 +132,28 @@ type engineStats struct {
 	shards int
 }
 
-// write renders the Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, es engineStats) {
+// writeHistogram renders one histogram series, optionally with a fixed
+// label pair (e.g. `handler="ingest"`) merged into every sample.
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	bucketOpen, plain := "{", ""
+	if labels != "" {
+		bucketOpen = "{" + labels + ","
+		plain = "{" + labels + "}"
+	}
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", name, bucketOpen, formatBound(ub), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, bucketOpen, cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, plain, math.Float64frombits(h.sumBits.Load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, plain, h.count.Load())
+}
+
+// write renders the Prometheus text exposition format. ws is nil when
+// the server runs without a WAL.
+func (m *metrics) write(w io.Writer, es engineStats, ws *wal.Stats) {
 	c := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -145,21 +185,29 @@ func (m *metrics) write(w io.Writer, es engineStats) {
 	g("corrd_engine_shards", "Shard workers in the engine.", int64(es.shards))
 	g("corrd_uptime_seconds", "Seconds since the server was created.", int64(time.Since(m.start).Seconds()))
 
+	if ws != nil {
+		g("corrd_wal_segments", "WAL segment files on disk.", ws.Segments)
+		c("corrd_wal_appends_total", "Records appended to the WAL this process.", ws.Appends)
+		c("corrd_wal_appended_bytes_total", "Frame bytes appended to the WAL this process.", ws.AppendedBytes)
+		c("corrd_wal_fsyncs_total", "Fsyncs issued on the WAL append/checkpoint path.", ws.Fsyncs)
+		c("corrd_wal_sync_errors_total", "Failed fsyncs in the WAL's background interval loop.", ws.SyncErrors)
+		c("corrd_wal_checkpoints_total", "Checkpoint markers written after snapshots.", ws.Checkpoints)
+		c("corrd_wal_pruned_segments_total", "Sealed WAL segments deleted by checkpoints.", ws.PrunedSegments)
+		g("corrd_wal_last_lsn", "LSN of the most recently appended WAL record.", int64(ws.LastLSN))
+		c("corrd_wal_append_errors_total", "WAL appends that failed after the engine applied the batch.", m.walAppendErrors.Load())
+		g("corrd_wal_replay_records", "State records replayed from the WAL at the last startup.", m.walReplayRecords.Load())
+		fmt.Fprintf(w, "# HELP corrd_wal_replay_duration_seconds Wall-clock duration of the startup WAL replay.\n")
+		fmt.Fprintf(w, "# TYPE corrd_wal_replay_duration_seconds gauge\n")
+		fmt.Fprintf(w, "corrd_wal_replay_duration_seconds %g\n", m.walReplaySeconds.Load())
+		fmt.Fprintf(w, "# HELP corrd_wal_fsync_duration_seconds WAL fsync latency on the ack path.\n")
+		fmt.Fprintf(w, "# TYPE corrd_wal_fsync_duration_seconds histogram\n")
+		writeHistogram(w, "corrd_wal_fsync_duration_seconds", "", m.walFsync)
+	}
+
 	fmt.Fprintf(w, "# HELP corrd_http_request_duration_seconds Request latency by handler.\n")
 	fmt.Fprintf(w, "# TYPE corrd_http_request_duration_seconds histogram\n")
 	for _, name := range handlerNames {
-		h := m.handlers[name]
-		var cum uint64
-		for i, ub := range h.bounds {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "corrd_http_request_duration_seconds_bucket{handler=%q,le=%q} %d\n",
-				name, formatBound(ub), cum)
-		}
-		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(w, "corrd_http_request_duration_seconds_bucket{handler=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(w, "corrd_http_request_duration_seconds_sum{handler=%q} %g\n",
-			name, math.Float64frombits(h.sumBits.Load()))
-		fmt.Fprintf(w, "corrd_http_request_duration_seconds_count{handler=%q} %d\n", name, h.count.Load())
+		writeHistogram(w, "corrd_http_request_duration_seconds", fmt.Sprintf("handler=%q", name), m.handlers[name])
 	}
 }
 

@@ -17,11 +17,16 @@
 //     protocol; mergeability makes the coordinator's state the summary
 //     of the union stream.
 //
-// Durability is a periodic snapshot of the engine's marshaled state
-// (atomic temp-file-then-rename; restored on startup), observability a
-// dependency-free Prometheus-text /metrics plus /healthz and /v1/stats,
-// and shutdown is graceful: drain HTTP, flush the shards, final push
-// (site role), final snapshot.
+// Durability is two cooperating layers: a periodic snapshot of the
+// engine's marshaled state (atomic temp-file-then-rename; restored on
+// startup) and, with Config.WALDir set, a write-ahead log that records
+// every accepted ingest batch and push image before the request is
+// acknowledged — startup becomes restore-snapshot-then-replay-suffix,
+// so under WALFsync "always" an acknowledged request survives kill -9
+// and the recovered state is bit-identical to a crash-free run (see
+// wal.go). Observability is a dependency-free Prometheus-text /metrics
+// plus /healthz and /v1/stats, and shutdown is graceful: drain HTTP,
+// flush the shards, final push (site role), final snapshot.
 //
 // The HTTP surface is deliberately small and wire-stable; see the
 // README's "Running the service" section for the endpoint catalogue and
@@ -41,6 +46,7 @@ import (
 
 	correlated "github.com/streamagg/correlated"
 	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/wal"
 	"github.com/streamagg/correlated/shard"
 )
 
@@ -52,6 +58,8 @@ type Engine interface {
 	AddBatch(batch []correlated.Tuple) error
 	QueryLE(c uint64) (float64, error)
 	QueryGE(c uint64) (float64, error)
+	QueryLEBatch(cutoffs []uint64, out []float64) error
+	QueryGEBatch(cutoffs []uint64, out []float64) error
 	Count() (uint64, error)
 	Space() (int64, error)
 	Flush() error
@@ -90,6 +98,23 @@ type Config struct {
 	// SnapshotInterval defaults to 30s when SnapshotPath is set.
 	SnapshotInterval time.Duration
 
+	// WALDir enables the write-ahead log: every accepted ingest batch
+	// and push image is appended (and, per WALFsync, fsynced) before
+	// the request is acknowledged, and startup replays the log suffix
+	// the snapshot does not cover. Empty disables the WAL and leaves
+	// the durability window at the snapshot interval. Pair it with
+	// SnapshotPath so checkpoints can prune the log.
+	WALDir string
+	// WALFsync is the fsync policy: "always" (default — an
+	// acknowledged request survives kill -9), "interval", or "off".
+	WALFsync string
+	// WALFsyncInterval is the ticker period for WALFsync="interval";
+	// <= 0 means 100ms.
+	WALFsyncInterval time.Duration
+	// WALSegmentBytes is the segment rotation threshold; <= 0 means
+	// 64 MiB.
+	WALSegmentBytes int64
+
 	// PushTo switches the server into the site role: the base URL of
 	// the coordinator to push merged summary images to.
 	PushTo string
@@ -108,6 +133,14 @@ func (c *Config) role() string {
 		return "site"
 	}
 	return "coordinator"
+}
+
+// walFsync normalizes the WALFsync field.
+func (c *Config) walFsync() string {
+	if c.WALFsync == "" {
+		return "always"
+	}
+	return c.WALFsync
 }
 
 // aggregate normalizes the Aggregate field.
@@ -142,12 +175,14 @@ func newEngine(cfg *Config) (Engine, error) {
 	}
 }
 
-// decodeState is one pooled set of ingest scratch buffers: the raw body
-// and the decoded tuple batch, recycled across requests so the steady
-// state ingest path does not allocate per request.
+// decodeState is one pooled set of ingest scratch buffers: the raw
+// body, the decoded tuple batch, and the WAL record encode buffer,
+// recycled across requests so the steady-state ingest path does not
+// allocate per request.
 type decodeState struct {
 	body   []byte
 	tuples []correlated.Tuple
+	wal    []byte
 }
 
 // Server is one corrd instance. Create it with New, serve its Handler,
@@ -161,10 +196,17 @@ type Server struct {
 	// mu is the engine driver lock: the shard engine is single-driver
 	// by contract, so every handler takes the mutex around engine
 	// calls. The parallelism lives inside the engine (P workers), not
-	// across handlers.
+	// across handlers. WAL appends for a request happen in the same
+	// critical section as its engine apply, so log order always equals
+	// apply order (what makes replay crash-exact).
 	mu       sync.Mutex
 	eng      Engine
 	restored bool
+
+	// wal is the durable-ingest log (nil without Config.WALDir);
+	// walReplayed counts state records replayed at the last startup.
+	wal         *wal.WAL
+	walReplayed uint64
 
 	// xferMu serializes whole state transfers — a snapshot, or a full
 	// delta-push round (marshal, reset, ship, snapshot-after-ack) — so
@@ -213,8 +255,28 @@ func New(cfg Config) (*Server, error) {
 		s.logger = log.New(io.Discard, "", 0)
 	}
 	s.dec.New = func() any { return &decodeState{} }
+	if cfg.WALDir != "" {
+		if err := s.openWAL(); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	// Recovery order: restore the snapshot (which records the LSN it
+	// covers), then replay the WAL suffix past it — the state that
+	// comes out is the same sequence of engine calls the crashed
+	// process made.
+	var covered uint64
 	if cfg.SnapshotPath != "" {
-		if err := s.restoreSnapshot(); err != nil {
+		var err error
+		if covered, err = s.restoreSnapshot(); err != nil {
+			s.shutdownStorage()
+			eng.Close()
+			return nil, err
+		}
+	}
+	if s.wal != nil {
+		if err := s.replayWAL(covered); err != nil {
+			s.shutdownStorage()
 			eng.Close()
 			return nil, err
 		}
@@ -245,6 +307,16 @@ func (s *Server) Restored() bool { return s.restored }
 func (s *Server) Engine() Engine { return s.eng }
 
 func (s *Server) logf(format string, args ...any) { s.logger.Printf("corrd: "+format, args...) }
+
+// shutdownStorage closes the WAL (used on construction failures and at
+// the tail of Close).
+func (s *Server) shutdownStorage() {
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			s.logf("wal close: %v", err)
+		}
+	}
+}
 
 // Close shuts the server down gracefully: stop the background loops,
 // push any remaining local state upstream (site role), write a final
@@ -280,6 +352,11 @@ func (s *Server) Close() error {
 		errs = append(errs, err)
 	}
 	s.mu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	s.closeErr = errors.Join(errs...)
 	return s.closeErr
 }
@@ -309,9 +386,17 @@ func (s *Server) pushLoop(interval time.Duration) {
 // snapshot can neither persist the empty state while the image is in
 // flight nor persist pre-push state after the coordinator has
 // acknowledged it: a fresh snapshot is written (when configured) under
-// the same lock right after the ack. The one remaining ambiguous window
-// is a crash after the coordinator received the image but before that
-// snapshot lands — a restart re-pushes, so delivery is at-least-once;
+// the same lock right after the ack.
+//
+// With a WAL the round is journaled too: a RecordReset carrying the
+// in-flight image is appended in the same critical section as the
+// Reset, a failed ship logs one RecordFoldback (merge + round close in
+// a single record), and a successful ship logs a RecordPushAck before
+// the post-push snapshot — after which a crashed site replays to the
+// post-push state and never re-sends the image. The one remaining
+// ambiguous window is a crash after the coordinator received the image
+// but before the ack record (or, without a WAL, the post-push
+// snapshot) lands — a restart re-pushes, so delivery is at-least-once;
 // exactly-once across site crashes needs coordinator-side dedup.
 func (s *Server) pushOnce() error {
 	s.xferMu.Lock()
@@ -329,6 +414,18 @@ func (s *Server) pushOnce() error {
 	if err == nil {
 		err = s.eng.Reset()
 	}
+	if err == nil {
+		if err = s.logReset(img); err != nil {
+			// The engine is already reset but the round never reached
+			// the log: fold the image straight back so the live state
+			// keeps the data, and ship nothing this tick. The WAL sees
+			// neither a reset nor a merge — consistent, since the two
+			// cancel out.
+			if mergeErr := s.eng.MergeMarshaled(img); mergeErr != nil {
+				err = errors.Join(err, fmt.Errorf("fold back after failed reset log, %d tuples dropped: %w", n, mergeErr))
+			}
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -337,6 +434,14 @@ func (s *Server) pushOnce() error {
 		s.metrics.pushSendErrors.Inc()
 		s.mu.Lock()
 		mergeErr := s.eng.MergeMarshaled(img)
+		if mergeErr == nil {
+			// One record carries the merge and closes the round; if the
+			// append fails the round stays open and replay's end-of-log
+			// fold-back reconstructs the same state.
+			if walErr := s.logFoldback(img); walErr != nil {
+				s.logf("wal: log fold-back: %v", walErr)
+			}
+		}
 		s.mu.Unlock()
 		if mergeErr != nil {
 			return errors.Join(err, fmt.Errorf("re-queue failed, %d tuples dropped: %w", n, mergeErr))
@@ -344,6 +449,11 @@ func (s *Server) pushOnce() error {
 		return fmt.Errorf("re-queued locally: %w", err)
 	}
 	s.metrics.pushesSent.Inc()
+	s.mu.Lock()
+	if walErr := s.logPushAck(); walErr != nil {
+		s.logf("wal: log push ack: %v", walErr)
+	}
+	s.mu.Unlock()
 	if err := s.snapshotLocked(); err != nil {
 		s.logf("post-push snapshot: %v", err)
 	}

@@ -245,7 +245,11 @@ func TestSnapshotCrashRecovery(t *testing.T) {
 	if err := svc.Snapshot(); err != nil {
 		t.Fatal(err)
 	}
-	snapBytes, err := os.ReadFile(snap)
+	snapFile, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snapBytes, err := decodeSnapshotFile(snapFile)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,3 +458,470 @@ func TestQueryErrorMapping(t *testing.T) {
 }
 
 func asAPIError(err error, ae **client.APIError) bool { return errors.As(err, ae) }
+
+// walConfig is the standard durable-ingest test configuration: WAL with
+// fsync=always plus a snapshot path whose ticker never fires, so every
+// recovery path exercises the log.
+func walConfig(t *testing.T, shards int) Config {
+	t.Helper()
+	dir := t.TempDir()
+	return Config{
+		Options: testOptions(), Shards: shards, BatchSize: 32,
+		SnapshotPath: filepath.Join(dir, "corrd.snapshot"), SnapshotInterval: time.Hour,
+		WALDir: filepath.Join(dir, "wal"), WALFsync: "always",
+	}
+}
+
+// crash simulates kill -9 for an in-process server: drop the listener
+// and kill the engine goroutines. No graceful Close, no final snapshot,
+// no WAL close — exactly the state a SIGKILL leaves on disk.
+func crash(ts *httptest.Server, svc *Server) {
+	ts.Close()
+	svc.Engine().Close()
+}
+
+// TestWALCrashRecoveryExact is the acceptance contract: a server killed
+// without warning restarts — restore snapshot, replay WAL suffix — to
+// a merged summary byte-identical to a crash-free oracle that performed
+// the same acknowledged operations.
+func TestWALCrashRecoveryExact(t *testing.T) {
+	o := testOptions()
+	cfg := walConfig(t, 2)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	cl := client.New(ts.URL, client.WithChunkSize(512))
+	ctx := context.Background()
+
+	// Phase 1: ingest, then snapshot (covers a WAL prefix and prunes).
+	// The odd count leaves the engine's round-robin cursor mid-cycle at
+	// the snapshot, so this test also proves the cursor is restored —
+	// otherwise replayed tuples would route to the opposite shards.
+	s1 := testStream(2_999, 11)
+	if err := cl.AddBatch(ctx, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: more ingest plus a push image — the replay suffix.
+	s2 := testStream(2_000, 12)
+	if err := cl.AddBatch(ctx, s2); err != nil {
+		t.Fatal(err)
+	}
+	site, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := testStream(1_000, 13)
+	if err := site.AddBatch(append([]correlated.Tuple(nil), s3...)); err != nil {
+		t.Fatal(err)
+	}
+	img, err := site.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Push(ctx, img); err != nil {
+		t.Fatal(err)
+	}
+	crash(ts, svc)
+
+	// Restart: snapshot + suffix replay.
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if !svc2.Restored() {
+		t.Fatal("restart did not restore the snapshot")
+	}
+	if svc2.walReplayed == 0 {
+		t.Fatal("restart replayed no WAL records")
+	}
+	got, err := svc2.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-free oracle: the same configuration (WAL included — the
+	// durable ingest path drains per request) fed the same acknowledged
+	// operations, never killed.
+	oracle, err := New(walConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	ots := httptest.NewServer(oracle.Handler())
+	defer ots.Close()
+	ocl := client.New(ots.URL, client.WithChunkSize(512))
+	if err := ocl.AddBatch(ctx, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ocl.AddBatch(ctx, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ocl.Push(ctx, img); err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered merged summary differs from crash-free oracle (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	// Stronger than the merged image: the per-shard snapshot form must
+	// match too, which requires replayed tuples to have routed to the
+	// same shards as the crash-free run (restored round-robin cursors).
+	gotShards, err := svc2.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShards, err := oracle.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotShards, wantShards) {
+		t.Fatalf("recovered per-shard state differs from crash-free oracle (%d vs %d bytes): shard routing diverged",
+			len(gotShards), len(wantShards))
+	}
+
+	// The recovered server keeps serving: /v1/summary equals the oracle
+	// bytes over HTTP too, and new ingest still works.
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	cl2 := client.New(ts2.URL)
+	served, err := cl2.Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want) {
+		t.Fatal("served /v1/summary differs from oracle after recovery")
+	}
+	if err := cl2.AddBatch(ctx, testStream(100, 14)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.WALEnabled || st.WALReplayRecords == 0 || st.WALLastLSN == 0 {
+		t.Fatalf("wal stats after recovery: %+v", st)
+	}
+}
+
+// TestWALRecoveryWithoutSnapshot: with no snapshot ever written, the
+// whole log replays into a fresh engine.
+func TestWALRecoveryWithoutSnapshot(t *testing.T) {
+	cfg := Config{
+		Options: testOptions(), Shards: 1,
+		WALDir: filepath.Join(t.TempDir(), "wal"), WALFsync: "always",
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	cl := client.New(ts.URL)
+	stream := testStream(1_500, 21)
+	if err := cl.AddBatch(context.Background(), stream); err != nil {
+		t.Fatal(err)
+	}
+	want, err := svc.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(ts, svc)
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if svc2.Restored() {
+		t.Fatal("no snapshot existed, yet Restored reports true")
+	}
+	got, err := svc2.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("pure-WAL recovery differs from pre-crash state")
+	}
+}
+
+// TestWALSitePushRound: the site role's journaled push protocol. After
+// an acknowledged push, a crashed site recovers to the post-push state
+// and does not re-push; a push round cut short by the crash folds its
+// image back so nothing is lost.
+func TestWALSitePushRound(t *testing.T) {
+	o := testOptions()
+	_, coordTS, coordCl := newTestServer(t, Config{Options: o, Shards: 1})
+	cfg := walConfig(t, 1)
+	cfg.PushTo = coordTS.URL
+	cfg.PushInterval = time.Hour // pushes only when we say so
+	site, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(site.Handler())
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	stream := testStream(2_000, 31)
+	if err := cl.AddBatch(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.pushOnce(); err != nil {
+		t.Fatal(err)
+	}
+	coordCount := func() uint64 {
+		st, err := coordCl.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Count
+	}
+	if got := coordCount(); got != uint64(len(stream)) {
+		t.Fatalf("coordinator count after push: %d", got)
+	}
+	// Ingest a little more after the acknowledged push, then crash.
+	post := testStream(300, 32)
+	if err := cl.AddBatch(ctx, post); err != nil {
+		t.Fatal(err)
+	}
+	crash(ts, site)
+	site2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := site2.Engine().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(post)) {
+		t.Fatalf("recovered site count %d, want %d (acknowledged push must not be replayed locally)",
+			n, len(post))
+	}
+	// The recovered site pushes only the post-push delta upstream.
+	if err := site2.pushOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := coordCount(); got != uint64(len(stream)+len(post)) {
+		t.Fatalf("coordinator count after recovered push: %d, want %d (no duplicate push)",
+			got, len(stream)+len(post))
+	}
+	site2.Close()
+}
+
+// TestWALInFlightPushFoldsBack: a crash with a push round open (reset
+// logged, no ack) folds the in-flight image back at replay, so the
+// acknowledged ingest behind it is never lost.
+func TestWALInFlightPushFoldsBack(t *testing.T) {
+	cfg := walConfig(t, 1)
+	cfg.PushTo = "http://127.0.0.1:1" // unreachable coordinator
+	cfg.PushInterval = time.Hour
+	site, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(site.Handler())
+	cl := client.New(ts.URL, client.WithRetries(0))
+	ctx := context.Background()
+	stream := testStream(1_200, 41)
+	if err := cl.AddBatch(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	// Open a push round by hand: marshal + reset + RecordReset, exactly
+	// what pushOnce does before shipping — then "crash" before any
+	// fold-back or ack is logged.
+	site.mu.Lock()
+	img, err := site.eng.MarshalMerged()
+	if err == nil {
+		err = site.eng.Reset()
+	}
+	if err == nil {
+		err = site.logReset(img)
+	}
+	site.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(ts, site)
+
+	site2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site2.Close()
+	n, err := site2.Engine().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(stream)) {
+		t.Fatalf("recovered count %d, want %d (in-flight image must fold back)", n, len(stream))
+	}
+}
+
+// TestMultiCutoffQuery: repeated c= values come back in one response,
+// each answer identical to its single-cutoff counterpart.
+func TestMultiCutoffQuery(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{Options: testOptions(), Shards: 2})
+	ctx := context.Background()
+	if err := cl.AddBatch(ctx, testStream(5_000, 51)); err != nil {
+		t.Fatal(err)
+	}
+	cutoffs := []uint64{0, 10, 50, 100, 200, distinctY, 1 << 15}
+	got, err := cl.QueryBatch(ctx, "le", cutoffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cutoffs) {
+		t.Fatalf("%d results for %d cutoffs", len(got), len(cutoffs))
+	}
+	for i, c := range cutoffs {
+		want, err := cl.QueryLE(ctx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].C != c || got[i].Estimate != want || got[i].Op != "le" {
+			t.Fatalf("cutoff %d: batch %+v, single %v", c, got[i], want)
+		}
+	}
+	// Single-cutoff QueryBatch keeps the single-result wire shape.
+	one, err := cl.QueryBatch(ctx, "ge", cutoffs[:1])
+	if err != nil || len(one) != 1 || one[0].Op != "ge" {
+		t.Fatalf("single-cutoff batch: %v %+v", err, one)
+	}
+	// A bad cutoff rejects the whole request.
+	resp, err := http.Get(ts.URL + "/v1/query?op=le&c=1&c=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cutoff in batch: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestWALMetricsExposed: the Prometheus exposition carries the WAL
+// family when (and only when) the WAL is on.
+func TestWALMetricsExposed(t *testing.T) {
+	_, ts, cl := newTestServer(t, walConfig(t, 1))
+	ctx := context.Background()
+	if err := cl.AddBatch(ctx, testStream(100, 61)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"corrd_wal_segments 1",
+		"corrd_wal_appends_total 1",
+		"corrd_wal_fsyncs_total",
+		"corrd_wal_fsync_duration_seconds_count",
+		`corrd_wal_fsync_duration_seconds_bucket{le="+Inf"}`,
+		"corrd_wal_last_lsn 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	_, ts2, _ := newTestServer(t, Config{Options: testOptions()})
+	resp2, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if strings.Contains(string(raw2), "corrd_wal_") {
+		t.Fatal("WAL metrics exposed without a WAL")
+	}
+}
+
+// TestWALFoldbackRoundSurvivesCrash: a push whose ship fails folds the
+// image back and journals it as one atomic record — after a crash the
+// recovered state holds the stream exactly once, not twice.
+func TestWALFoldbackRoundSurvivesCrash(t *testing.T) {
+	cfg := walConfig(t, 1)
+	cfg.PushTo = "http://127.0.0.1:1" // nothing listens there
+	cfg.PushInterval = time.Hour
+	site, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(site.Handler())
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	stream := testStream(900, 71)
+	if err := cl.AddBatch(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.pushOnce(); err == nil {
+		t.Fatal("push to an unreachable coordinator succeeded")
+	}
+	n, err := site.Engine().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(stream)) {
+		t.Fatalf("live fold-back count %d, want %d", n, len(stream))
+	}
+	crash(ts, site)
+	site2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site2.Close()
+	n2, err := site2.Engine().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != uint64(len(stream)) {
+		t.Fatalf("recovered count %d, want %d (fold-back must apply exactly once)", n2, len(stream))
+	}
+}
+
+// TestWALRefusesStaleSnapshot: the log's checkpoint markers witness
+// that a snapshot covering LSN N existed; if the restored snapshot
+// covers less (deleted, replaced, or written during a WAL-less run),
+// startup must refuse instead of double-applying the retained log.
+func TestWALRefusesStaleSnapshot(t *testing.T) {
+	cfg := walConfig(t, 1)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	if err := cl.AddBatch(ctx, testStream(500, 81)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Snapshot(); err != nil { // writes the checkpoint marker
+		t.Fatal(err)
+	}
+	if err := cl.AddBatch(ctx, testStream(100, 82)); err != nil {
+		t.Fatal(err)
+	}
+	crash(ts, svc)
+	if err := os.Remove(cfg.SnapshotPath); err != nil { // lose the snapshot
+		t.Fatal(err)
+	}
+	svc2, err := New(cfg)
+	if err == nil {
+		svc2.Close()
+		t.Fatal("startup over a checkpointed WAL with no snapshot must refuse")
+	}
+	if !strings.Contains(err.Error(), "stale or missing") {
+		t.Fatalf("unexpected refusal error: %v", err)
+	}
+}

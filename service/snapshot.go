@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -13,6 +15,39 @@ import (
 // on graceful shutdown, via the classic temp-file-then-rename dance so a
 // crash mid-write can never corrupt the previous snapshot. Restore
 // happens once, at startup, before the listener opens.
+//
+// The file is wrapped in a small header that records the WAL position
+// the snapshot covers (0 without a WAL), so startup knows exactly which
+// log suffix to replay. A completed snapshot also appends a checkpoint
+// marker to the WAL, which prunes every sealed segment the snapshot
+// made redundant.
+
+// snapshotMagic prefixes the wrapped snapshot file format. Legacy files
+// (raw engine bytes, which start with the shard framing version 0x01)
+// can never collide with it and are still restorable.
+var snapshotMagic = []byte("corrdsn1")
+
+// encodeSnapshotFile wraps the engine image with the covered WAL LSN.
+func encodeSnapshotFile(covered uint64, engine []byte) []byte {
+	buf := make([]byte, 0, len(snapshotMagic)+binary.MaxVarintLen64+len(engine))
+	buf = append(buf, snapshotMagic...)
+	buf = binary.AppendUvarint(buf, covered)
+	return append(buf, engine...)
+}
+
+// decodeSnapshotFile splits a snapshot file into the covered LSN and
+// the engine image, accepting the pre-WAL raw format as covered = 0.
+func decodeSnapshotFile(data []byte) (covered uint64, engine []byte, err error) {
+	if !bytes.HasPrefix(data, snapshotMagic) {
+		return 0, data, nil // legacy raw engine snapshot
+	}
+	rest := data[len(snapshotMagic):]
+	covered, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, errors.New("service: snapshot header truncated")
+	}
+	return covered, rest[n:], nil
+}
 
 // writeFileAtomic writes data to path by writing a sibling temp file,
 // syncing it, and renaming it over path. The rename is atomic on POSIX
@@ -59,46 +94,65 @@ func (s *Server) Snapshot() error {
 }
 
 // snapshotLocked is Snapshot minus the transfer lock, for callers that
-// already hold it.
+// already hold it. The engine marshal and the covered-LSN read happen
+// in one driver-lock critical section, so the recorded LSN is exactly
+// the log position the image captures; once the file is durably
+// renamed, the WAL checkpoints at that LSN and prunes.
 func (s *Server) snapshotLocked() error {
 	if s.cfg.SnapshotPath == "" {
 		return nil
 	}
 	s.mu.Lock()
 	data, err := s.eng.MarshalBinary()
+	var covered uint64
+	if err == nil && s.wal != nil {
+		covered = s.wal.LastLSN()
+	}
 	s.mu.Unlock()
 	if err != nil {
 		s.metrics.snapshotErrors.Inc()
 		return fmt.Errorf("service: snapshot marshal: %w", err)
 	}
-	if err := writeFileAtomic(s.cfg.SnapshotPath, data); err != nil {
+	if err := writeFileAtomic(s.cfg.SnapshotPath, encodeSnapshotFile(covered, data)); err != nil {
 		s.metrics.snapshotErrors.Inc()
 		return fmt.Errorf("service: snapshot write: %w", err)
 	}
 	s.metrics.snapshotsWritten.Inc()
 	s.metrics.lastSnapshotUnix.Set(time.Now().Unix())
 	s.metrics.snapshotBytes.Set(int64(len(data)))
+	if s.wal != nil {
+		if err := s.wal.Checkpoint(covered); err != nil {
+			// The snapshot is durable; a failed checkpoint only delays
+			// pruning, so log rather than fail the snapshot.
+			s.logf("wal checkpoint: %v", err)
+		}
+	}
 	return nil
 }
 
 // restoreSnapshot loads the snapshot file into the fresh engine at
-// startup. A missing file is a clean first boot; anything else that
-// fails is fatal (a daemon must not silently serve an empty state over
-// data it was asked to remember).
-func (s *Server) restoreSnapshot() error {
+// startup and returns the WAL LSN the snapshot covers. A missing file
+// is a clean first boot; anything else that fails is fatal (a daemon
+// must not silently serve an empty state over data it was asked to
+// remember).
+func (s *Server) restoreSnapshot() (covered uint64, err error) {
 	data, err := os.ReadFile(s.cfg.SnapshotPath)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("service: snapshot read: %w", err)
+		return 0, fmt.Errorf("service: snapshot read: %w", err)
 	}
-	if err := s.eng.UnmarshalBinary(data); err != nil {
-		return fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+	covered, engine, err := decodeSnapshotFile(data)
+	if err != nil {
+		return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+	}
+	if err := s.eng.UnmarshalBinary(engine); err != nil {
+		return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
 	}
 	s.restored = true
-	s.metrics.snapshotBytes.Set(int64(len(data)))
-	return nil
+	s.metrics.snapshotBytes.Set(int64(len(engine)))
+	return covered, nil
 }
 
 // snapshotLoop persists on every tick until the server closes.

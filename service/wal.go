@@ -1,0 +1,218 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/tupleio"
+	"github.com/streamagg/correlated/internal/wal"
+)
+
+// Durable ingest: with Config.WALDir set, every accepted ingest batch
+// and push image is appended to a write-ahead log *before* the HTTP
+// acknowledgement, and startup becomes restore-snapshot-then-replay-
+// suffix. Under -wal-fsync=always an acknowledged request therefore
+// survives kill -9 — the durability window shrinks from the snapshot
+// interval to zero.
+//
+// Two invariants make recovery crash-exact. First, "log order == apply
+// order": the engine apply and the WAL append for one request happen
+// under the same critical section of the driver lock (s.mu), so the
+// replayer — which re-applies records through the very same engine
+// entry points (AddBatch, MergeMarshaled, Reset) — reconstructs the
+// identical sequence of engine calls. Second, "boundaries are a
+// function of the log": the shard summaries' state depends on where
+// worker batch handoffs fall, and untimed barriers (a snapshot tick, a
+// query) would move those boundaries in ways no log can reproduce — so
+// with the WAL on, every ingest request drains the engine before it is
+// acknowledged, pinning each worker batch to its request. Together with
+// the canonical marshaling ("equal state ⇒ equal bytes"), a recovered
+// server's /v1/summary is byte-identical to a crash-free run over the
+// same acknowledged requests.
+//
+// Snapshots and the WAL compose rather than compete: the snapshot file
+// embeds the LSN it covers, a completed snapshot appends a checkpoint
+// marker, and the WAL then prunes every sealed segment whose records
+// the snapshot already captures.
+//
+// The site role's push-then-reset delta protocol is a two-record round:
+// RecordReset — appended in the same critical section as the engine
+// Reset, carrying the marshaled image that is about to ship — then
+// either RecordPushAck (the coordinator acknowledged) or RecordFoldback
+// (the ship failed and the image was merged back; one record carries
+// both the merge and the round close, so replay can never double-apply
+// it). Replay applies the reset at its logged position (so ingests
+// interleaved with the HTTP push land in the post-reset state, exactly
+// as they did live), stashes the image, and discards it when the round
+// closes; a round the crash cut short folds the stashed image back into
+// the engine — the same fold-back the live path performs when the
+// coordinator is unreachable — so acknowledged ingest is never lost,
+// and once the ack record is durable the image is never re-pushed
+// upstream. The remaining at-least-once window is a crash after the
+// coordinator processed the image but before the ack record's fsync —
+// one append, not a whole snapshot write.
+
+// openWAL opens the log and wires its fsync-latency hook into the
+// metrics registry.
+func (s *Server) openWAL() error {
+	policy, err := wal.ParseSyncPolicy(s.cfg.WALFsync)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	w, err := wal.Open(s.cfg.WALDir, wal.Options{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Sync:         policy,
+		SyncEvery:    s.cfg.WALFsyncInterval,
+		OnFsync:      func(d time.Duration) { s.metrics.walFsync.Observe(d.Seconds()) },
+		OnSyncError:  func(err error) { s.logf("wal: background fsync: %v", err) },
+	})
+	if err != nil {
+		return fmt.Errorf("service: wal: %w", err)
+	}
+	s.wal = w
+	return nil
+}
+
+// logIngest appends an accepted ingest batch to the WAL. Callers hold
+// s.mu, which is what makes the log position match the apply position.
+func (s *Server) logIngest(d *decodeState) error {
+	if s.wal == nil {
+		return nil
+	}
+	d.wal = tupleio.AppendCountedBatch(d.wal[:0], d.tuples)
+	_, err := s.wal.Append(wal.RecordIngest, d.wal)
+	return err
+}
+
+// logPush appends a merged push image to the WAL (callers hold s.mu).
+func (s *Server) logPush(image []byte) error {
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.wal.Append(wal.RecordPush, image)
+	return err
+}
+
+// logReset appends the site role's push-round begin record: the engine
+// was reset here and image is in flight. Callers hold s.mu, immediately
+// after the engine Reset it records.
+func (s *Server) logReset(image []byte) error {
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.wal.Append(wal.RecordReset, image)
+	return err
+}
+
+// logPushAck closes the push round opened by logReset: the coordinator
+// has the image, so replay must never re-push it.
+func (s *Server) logPushAck() error {
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.wal.Append(wal.RecordPushAck, nil)
+	return err
+}
+
+// logFoldback closes a push round whose ship failed: the image was
+// merged back into the engine. Callers hold s.mu around the merge and
+// this append.
+func (s *Server) logFoldback(image []byte) error {
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.wal.Append(wal.RecordFoldback, image)
+	return err
+}
+
+// replayWAL re-applies every record the snapshot does not cover, in log
+// order, through the same engine entry points the handlers use. Any
+// failure is fatal to startup: a daemon must not serve state it knows
+// is missing acknowledged data.
+func (s *Server) replayWAL(covered uint64) error {
+	start := time.Now()
+	var records uint64
+	var inFlight []byte // image of an open push round, nil when none
+	tuples := make([]correlated.Tuple, 0, 4096)
+	err := s.wal.Replay(covered, func(lsn uint64, typ wal.RecordType, payload []byte) error {
+		switch typ {
+		case wal.RecordIngest:
+			var err error
+			if tuples, err = tupleio.DecodeCounted(tuples, payload); err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+			if err := s.eng.AddBatch(tuples); err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+			// Drain per record, mirroring the live ingest path: worker
+			// batch boundaries replay exactly as they ran.
+			if err := s.eng.Flush(); err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+		case wal.RecordPush:
+			if err := s.eng.MergeMarshaled(payload); err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+		case wal.RecordReset:
+			if err := s.eng.Reset(); err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+			inFlight = append(inFlight[:0], payload...)
+		case wal.RecordPushAck:
+			inFlight = nil
+		case wal.RecordFoldback:
+			if err := s.eng.MergeMarshaled(payload); err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+			inFlight = nil
+		case wal.RecordCheckpoint:
+			// Not state, but a consistency witness: the marker says a
+			// snapshot covering LSN c was durably written. If the
+			// snapshot we restored claims less, we are about to
+			// re-apply records the log was already pruned against —
+			// the signature of a lost/stale snapshot file or a WAL
+			// re-enabled after running without one. Double-applying
+			// silently corrupts counts; refuse instead.
+			c, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return fmt.Errorf("service: wal replay: record %d: bad checkpoint marker", lsn)
+			}
+			if c > covered {
+				return fmt.Errorf("service: wal replay: log has a checkpoint covering LSN %d but the restored snapshot covers only %d — snapshot at %q is stale or missing; refusing to double-apply (restore the matching snapshot, or move the WAL dir aside to start fresh)",
+					c, covered, s.cfg.SnapshotPath)
+			}
+			return nil
+		default:
+			return fmt.Errorf("service: wal replay: record %d has unknown type %d", lsn, typ)
+		}
+		records++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(inFlight) > 0 {
+		// The crash cut a push round short: the coordinator may or may
+		// not have received this image. Fold it back — the same choice
+		// the live path makes when a push fails — so the next round
+		// ships the union. Delivery is at-least-once across this one
+		// window; it is never silent loss.
+		if err := s.eng.MergeMarshaled(inFlight); err != nil {
+			return fmt.Errorf("service: wal replay: fold back in-flight push image: %w", err)
+		}
+		s.logf("wal: push round was in flight at crash; image folded back for re-push")
+	}
+	if err := s.eng.Flush(); err != nil {
+		return fmt.Errorf("service: wal replay: %w", err)
+	}
+	dur := time.Since(start)
+	s.walReplayed = records
+	s.metrics.walReplayRecords.Set(int64(records))
+	s.metrics.walReplaySeconds.Set(dur.Seconds())
+	if records > 0 {
+		s.logf("wal: replayed %d records in %s (log suffix past LSN %d)", records, dur, covered)
+	}
+	return nil
+}

@@ -26,7 +26,16 @@ import (
 
 // snapshotVersion versions the per-shard framing; the embedded summary
 // images carry their own versions and config-compatibility blocks.
-const snapshotVersion = 1
+// Version 2 appends the engine's two round-robin cursors (ingest
+// routing, MergeMarshaled target) after the shard frames, so a
+// restored engine routes subsequent traffic exactly like the engine
+// that was snapshotted — the property the corrd WAL's crash-exact
+// replay contract stands on. Version 1 snapshots (no cursors) still
+// restore, with both cursors at zero.
+const (
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
+)
 
 // ErrBadSnapshot reports malformed snapshot framing (the per-summary
 // payloads fail with their own typed errors).
@@ -51,6 +60,8 @@ func (e *Sharded[S]) MarshalBinary() ([]byte, error) {
 		buf = binary.AppendUvarint(buf, uint64(len(payload)))
 		buf = append(buf, payload...)
 	}
+	buf = binary.AppendUvarint(buf, uint64(e.next))
+	buf = binary.AppendUvarint(buf, uint64(e.push))
 	return buf, nil
 }
 
@@ -62,9 +73,10 @@ func (e *Sharded[S]) UnmarshalBinary(data []byte) error {
 	if err := e.barrier(); err != nil {
 		return err
 	}
-	if len(data) < 1 || data[0] != snapshotVersion {
+	if len(data) < 1 || (data[0] != snapshotVersion && data[0] != snapshotVersionV1) {
 		return ErrBadSnapshot
 	}
+	version := data[0]
 	data = data[1:]
 	n, sz := binary.Uvarint(data)
 	if sz <= 0 {
@@ -84,6 +96,23 @@ func (e *Sharded[S]) UnmarshalBinary(data []byte) error {
 			return err
 		}
 		data = data[sz+int(ln):]
+	}
+	e.next, e.push = 0, 0
+	if version >= snapshotVersion {
+		next, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return ErrBadSnapshot
+		}
+		data = data[sz:]
+		push, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return ErrBadSnapshot
+		}
+		data = data[sz:]
+		if next >= uint64(len(e.workers)) || push >= uint64(len(e.workers)) {
+			return fmt.Errorf("shard: snapshot cursor out of range: %w", ErrBadSnapshot)
+		}
+		e.next, e.push = int(next), int(push)
 	}
 	if len(data) != 0 {
 		return ErrBadSnapshot

@@ -293,3 +293,81 @@ func TestEngineResetPushCycle(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotRestoresRoutingCursors: a snapshot taken with the
+// round-robin cursors mid-cycle restores them, so an engine that
+// continues ingesting after restore routes tuples (and MergeMarshaled
+// images) to the same shards as the original — the property the corrd
+// WAL's crash-exact replay depends on. Proven in the eviction regime,
+// where mis-routing changes per-shard bytes.
+func TestSnapshotRestoresRoutingCursors(t *testing.T) {
+	o := snapshotOptions()
+	a, err := NewF2(o, 3, WithBatchSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	fillEngine(t, a, 5_001, 21) // 5001 % 3 != 0: cursor mid-cycle
+	img, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewF2(o, 3, WithBatchSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.UnmarshalBinary(img); err != nil {
+		t.Fatal(err)
+	}
+	if b.next != a.next || b.push != a.push {
+		t.Fatalf("cursors not restored: got (%d,%d) want (%d,%d)", b.next, b.push, a.next, a.push)
+	}
+	// Continue both engines identically; per-shard state must stay
+	// bit-identical, which requires identical routing.
+	fillEngine(t, a, 2_000, 22)
+	fillEngine(t, b, 2_000, 22)
+	am, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(am, bm) {
+		t.Fatal("post-restore ingest diverged from the original engine: routing cursors not honored")
+	}
+}
+
+// TestSnapshotV1StillRestores: a version-1 snapshot (per-shard frames,
+// no cursor suffix) restores with both cursors at zero.
+func TestSnapshotV1StillRestores(t *testing.T) {
+	o := snapshotOptions()
+	a, err := NewF2(o, 2, WithBatchSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	fillEngine(t, a, 1_000, 31)
+	img, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite as v1: drop the two trailing cursor uvarints. Cursor
+	// values after 1000 tuples on 2 shards are 0,0 → one byte each.
+	v1 := append([]byte{snapshotVersionV1}, img[1:len(img)-2]...)
+	b, err := NewF2(o, 2, WithBatchSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.UnmarshalBinary(v1); err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	na, _ := a.Count()
+	nb, _ := b.Count()
+	if na != nb {
+		t.Fatalf("v1 restore count %d want %d", nb, na)
+	}
+}

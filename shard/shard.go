@@ -334,6 +334,39 @@ func (e *Sharded[S]) QueryGE(c uint64) (float64, error) {
 	return e.scratch.QueryGE(c)
 }
 
+// QueryLEBatch answers AGG{x : y <= c} for every cutoff over a single
+// merge of the shard summaries, writing estimates into out (len(out)
+// must equal len(cutoffs)). One mergeAll amortizes across the whole
+// batch — the point of the service's multi-cutoff /v1/query.
+func (e *Sharded[S]) QueryLEBatch(cutoffs []uint64, out []float64) error {
+	if err := e.mergeAll(); err != nil {
+		return err
+	}
+	for i, c := range cutoffs {
+		v, err := e.scratch.QueryLE(c)
+		if err != nil {
+			return fmt.Errorf("c=%d: %w", c, err)
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// QueryGEBatch is QueryLEBatch for the GE direction.
+func (e *Sharded[S]) QueryGEBatch(cutoffs []uint64, out []float64) error {
+	if err := e.mergeAll(); err != nil {
+		return err
+	}
+	for i, c := range cutoffs {
+		v, err := e.scratch.QueryGE(c)
+		if err != nil {
+			return fmt.Errorf("c=%d: %w", c, err)
+		}
+		out[i] = v
+	}
+	return nil
+}
+
 // mergeAll drains the workers and rebuilds the scratch summary as the
 // merge of every shard. The scratch is reset, not reallocated, so
 // steady-state queries reuse its sketch pools.
