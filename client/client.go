@@ -46,21 +46,30 @@ func (e *APIError) Error() string {
 
 // Stats is the /v1/stats response (also what the service renders).
 type Stats struct {
-	Role           string  `json:"role"`
-	Aggregate      string  `json:"aggregate"`
-	Shards         int     `json:"shards"`
-	Count          uint64  `json:"count"`
-	Space          int64   `json:"space"`
-	TuplesIngested uint64  `json:"tuples_ingested"`
-	PushesMerged   uint64  `json:"pushes_merged"`
-	QueriesServed  uint64  `json:"queries_served"`
-	Restored       bool    `json:"restored_from_snapshot"`
-	LastSnapshot   int64   `json:"last_snapshot_unix"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Role           string `json:"role"`
+	Aggregate      string `json:"aggregate"`
+	Shards         int    `json:"shards"`
+	Count          uint64 `json:"count"`
+	Space          int64  `json:"space"`
+	TuplesIngested uint64 `json:"tuples_ingested"`
+	PushesMerged   uint64 `json:"pushes_merged"`
+	QueriesServed  uint64 `json:"queries_served"`
+
+	// Group commit and epoch cache: requests/groups is the live fsync
+	// amortization factor, hits/(hits+rebuilds) the fraction of queries
+	// that skipped the shard merge entirely.
+	IngestGroups       uint64  `json:"ingest_groups,omitempty"`
+	IngestGroupReqs    uint64  `json:"ingest_group_requests,omitempty"`
+	QueryCacheHits     uint64  `json:"query_cache_hits,omitempty"`
+	QueryCacheRebuilds uint64  `json:"query_cache_rebuilds,omitempty"`
+	Restored           bool    `json:"restored_from_snapshot"`
+	LastSnapshot       int64   `json:"last_snapshot_unix"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
 
 	// WAL fields are present when the server runs with -wal-dir.
 	WALEnabled       bool    `json:"wal_enabled,omitempty"`
 	WALFsync         string  `json:"wal_fsync,omitempty"`
+	WALFsyncs        uint64  `json:"wal_fsyncs,omitempty"`
 	WALSegments      int64   `json:"wal_segments,omitempty"`
 	WALAppendedBytes uint64  `json:"wal_appended_bytes,omitempty"`
 	WALLastLSN       uint64  `json:"wal_last_lsn,omitempty"`

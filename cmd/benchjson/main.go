@@ -1,0 +1,174 @@
+// Command benchjson converts `go test -bench` text output (the format
+// benchmarks/latest.txt stores) into the machine-readable
+// benchmarks/latest.json, folding in the service-level load reports when
+// they exist — one JSON file per bench run, so the perf trajectory is
+// trackable across PRs by tooling instead of by eyeball.
+//
+// Usage:
+//
+//	benchjson -in benchmarks/latest.txt -out benchmarks/latest.json \
+//	          -load ingest=benchmarks/service-load-ingest.json \
+//	          -load mixed=benchmarks/service-load-mixed.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// Output is the benchmarks/latest.json document: the benchmark table
+// plus the machine disclosure the text format carries in its headers,
+// and the service-level load reports keyed by phase.
+type Output struct {
+	GOOS        string                     `json:"goos,omitempty"`
+	GOARCH      string                     `json:"goarch,omitempty"`
+	CPU         string                     `json:"cpu,omitempty"`
+	Benchmarks  []Benchmark                `json:"benchmarks"`
+	ServiceLoad map[string]json.RawMessage `json:"service_load,omitempty"`
+}
+
+// loadFlags collects repeated -load phase=path arguments.
+type loadFlags map[string]string
+
+func (l loadFlags) String() string { return fmt.Sprint(map[string]string(l)) }
+func (l loadFlags) Set(v string) error {
+	phase, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want phase=path, got %q", v)
+	}
+	l[phase] = path
+	return nil
+}
+
+func main() {
+	in := flag.String("in", "benchmarks/latest.txt", "go test -bench output to parse")
+	out := flag.String("out", "benchmarks/latest.json", "JSON file to write")
+	loads := loadFlags{}
+	flag.Var(&loads, "load", "service load report to fold in, as phase=path (repeatable; missing files are skipped)")
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var doc Output
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				b.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	for phase, path := range loads {
+		raw, err := os.ReadFile(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // a phase that was not run this time is not an error
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", path)
+			os.Exit(1)
+		}
+		if doc.ServiceLoad == nil {
+			doc.ServiceLoad = map[string]json.RawMessage{}
+		}
+		doc.ServiceLoad[phase] = json.RawMessage(raw)
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks, %d load phases)\n", *out, len(doc.Benchmarks), len(doc.ServiceLoad))
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName-8   500000   1207 ns/op   46 B/op   0 allocs/op
+//
+// The GOMAXPROCS suffix is stripped from the name so results compare
+// across machines, matching scripts/bench-compare.sh.
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "MB/s":
+			b.MBPerS = v
+		}
+	}
+	if b.NsPerOp == 0 && b.MBPerS == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}

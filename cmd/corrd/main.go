@@ -13,7 +13,13 @@
 // appended to a write-ahead log before the HTTP 200; startup restores
 // the snapshot and replays the log suffix, so a kill -9 loses nothing
 // that was acknowledged (under -wal-fsync=always). Snapshots checkpoint
-// and prune the log.
+// and prune the log. Concurrent ingest requests are group-committed:
+// everything queued while the previous group was fsyncing is applied,
+// drained, and made durable as one unit (one fsync, one engine drain,
+// up to -ingest-group-max requests), so acknowledged throughput under
+// -wal-fsync=always scales with the offered concurrency instead of
+// being gated by fsync latency times request count. Queries are served
+// from an epoch-keyed merged-summary cache and do not block ingest.
 //
 // Site — summarize a local stream and push merged images upstream every
 // -push-interval, resetting after each acknowledged push:
@@ -53,18 +59,20 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":7070", "listen address")
-		agg    = flag.String("agg", "f2", "aggregate: f2, fk, count, or sum")
-		k      = flag.Int("k", 3, "moment order for -agg fk")
-		eps    = flag.Float64("eps", 0.15, "target relative error ε ∈ (0,1)")
-		delta  = flag.Float64("delta", 0.1, "failure probability δ ∈ (0,1)")
-		ymax   = flag.Uint64("ymax", 1<<20-1, "largest y value")
-		maxn   = flag.Uint64("maxn", 1<<32, "stream length bound")
-		maxx   = flag.Uint64("maxx", 1<<32, "identifier bound (SUM/F0 sizing)")
-		seed   = flag.Uint64("seed", 1, "hash seed; must match across sites and coordinator")
-		pred   = flag.String("pred", "both", "query directions: le, ge, or both")
-		alpha  = flag.Int("alpha", 0, "per-level bucket capacity override (0 = derive)")
-		shards = flag.Int("shards", 1, "parallel ingest shards")
+		addr     = flag.String("addr", ":7070", "listen address")
+		agg      = flag.String("agg", "f2", "aggregate: f2, fk, count, or sum")
+		k        = flag.Int("k", 3, "moment order for -agg fk")
+		eps      = flag.Float64("eps", 0.15, "target relative error ε ∈ (0,1)")
+		delta    = flag.Float64("delta", 0.1, "failure probability δ ∈ (0,1)")
+		ymax     = flag.Uint64("ymax", 1<<20-1, "largest y value")
+		maxn     = flag.Uint64("maxn", 1<<32, "stream length bound")
+		maxx     = flag.Uint64("maxx", 1<<32, "identifier bound (SUM/F0 sizing)")
+		seed     = flag.Uint64("seed", 1, "hash seed; must match across sites and coordinator")
+		pred     = flag.String("pred", "both", "query directions: le, ge, or both")
+		alpha    = flag.Int("alpha", 0, "per-level bucket capacity override (0 = derive)")
+		shards   = flag.Int("shards", 1, "parallel ingest shards")
+		groupMax = flag.Int("ingest-group-max", 256, "max ingest requests committed (and fsynced) as one group")
+		maxStale = flag.Duration("query-max-stale", 0, "serve queries from a cached merged summary up to this old (0 = rebuild whenever state moved)")
 
 		snapshot     = flag.String("snapshot", "", "snapshot file path (empty = no durability)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
@@ -104,6 +112,8 @@ func main() {
 			Predicate: predicate, Alpha: *alpha,
 		},
 		Shards:           *shards,
+		IngestGroupMax:   *groupMax,
+		QueryMaxStale:    *maxStale,
 		SnapshotPath:     *snapshot,
 		SnapshotInterval: *snapInterval,
 		WALDir:           *walDir,

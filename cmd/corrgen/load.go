@@ -1,0 +1,297 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/gen"
+)
+
+// Load mode: corrgen as a service-level load driver. With -clients N the
+// n tuples are split across N concurrent clients, each ingesting its own
+// deterministic substream in chunked requests (one AddBatch call with a
+// full chunk is exactly one /v1/ingest request), and with -query-clients
+// M another M loops hammer GET /v1/query with the -query-cutoffs set for
+// the duration of the ingest. The report — req/s, acked tuples/s, and
+// ingest/query latency percentiles — is what scripts/load-bench.sh
+// records before/after serving-core changes: it measures the acknowledged
+// ingest path end-to-end, fsync and engine drain included.
+
+// loadReport is the machine-readable result of one load run.
+type loadReport struct {
+	Target       string  `json:"target"`
+	Dataset      string  `json:"dataset"`
+	Tuples       int     `json:"tuples"`
+	Chunk        int     `json:"chunk"`
+	Clients      int     `json:"clients"`
+	QueryClients int     `json:"query_clients"`
+	QueryCutoffs int     `json:"query_cutoffs"`
+	Seconds      float64 `json:"seconds"`
+
+	IngestRequests int     `json:"ingest_requests"`
+	AckedTuples    int     `json:"acked_tuples"`
+	IngestReqSec   float64 `json:"ingest_req_per_sec"`
+	AckedTuplesSec float64 `json:"acked_tuples_per_sec"`
+	IngestP50Ms    float64 `json:"ingest_p50_ms"`
+	IngestP99Ms    float64 `json:"ingest_p99_ms"`
+
+	Queries    int     `json:"queries"`
+	QuerySec   float64 `json:"queries_per_sec"`
+	QueryP50Ms float64 `json:"query_p50_ms"`
+	QueryP99Ms float64 `json:"query_p99_ms"`
+
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+}
+
+// loadConfig carries the flag values the load mode needs.
+type loadConfig struct {
+	target       string
+	dataset      string
+	n            int
+	seed         uint64
+	xdom, ydom   uint64
+	chunk        int
+	clients      int
+	queryClients int
+	cutoffs      []uint64
+	jsonPath     string
+}
+
+// parseCutoffs parses the -query-cutoffs comma list.
+func parseCutoffs(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cutoff %q: %w", part, err)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no cutoffs in %q", s)
+	}
+	return out, nil
+}
+
+// clientStream builds the i-th client's substream: the same dataset
+// family, a per-client seed, and an even share of the tuple budget.
+func clientStream(cfg *loadConfig, i int) (gen.Stream, error) {
+	share := cfg.n / cfg.clients
+	if i < cfg.n%cfg.clients {
+		share++
+	}
+	seed := cfg.seed + uint64(i)*1_000_003
+	switch cfg.dataset {
+	case "uniform":
+		return gen.Uniform(share, cfg.xdom, cfg.ydom, seed), nil
+	case "zipf1":
+		return gen.Zipf(share, cfg.xdom, cfg.ydom, 1.0, seed), nil
+	case "zipf2":
+		return gen.Zipf(share, cfg.xdom, cfg.ydom, 2.0, seed), nil
+	case "ethernet":
+		return gen.Ethernet(share, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", cfg.dataset)
+	}
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted
+// durations, in milliseconds.
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)-1) * p / 100)
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// loadClient builds one load goroutine's client: its own transport so
+// N concurrent clients really hold N connections (the default
+// transport's 2-idle-conns-per-host pruning would otherwise churn
+// connections and serialize what should be concurrent offered load).
+func loadClient(cfg *loadConfig) *client.Client {
+	tr := &http.Transport{MaxIdleConns: 4, MaxIdleConnsPerHost: 4}
+	return client.New(cfg.target,
+		client.WithChunkSize(cfg.chunk),
+		client.WithHTTPClient(&http.Client{Timeout: 60 * time.Second, Transport: tr}))
+}
+
+// runLoad drives the concurrent load and prints (and optionally writes)
+// the report. Any client error aborts the whole run.
+func runLoad(cfg *loadConfig) error {
+	ctx := context.Background()
+	if err := loadClient(cfg).Healthy(ctx); err != nil {
+		return fmt.Errorf("target %s not healthy: %w", cfg.target, err)
+	}
+
+	var (
+		ingestWG   sync.WaitGroup
+		queryWG    sync.WaitGroup
+		mu         sync.Mutex
+		firstErr   error
+		ingestLats = make([][]time.Duration, cfg.clients)
+		queryLats  = make([][]time.Duration, cfg.queryClients)
+		queries    = make([]int, cfg.queryClients)
+		acked      atomic.Int64
+		requests   atomic.Int64
+		ingesting  atomic.Bool
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	ingesting.Store(true)
+	start := time.Now()
+
+	for i := 0; i < cfg.clients; i++ {
+		ingestWG.Add(1)
+		go func(i int) {
+			defer ingestWG.Done()
+			cl := loadClient(cfg)
+			s, err := clientStream(cfg, i)
+			if err != nil {
+				fail(err)
+				return
+			}
+			lats := make([]time.Duration, 0, s.Len()/cfg.chunk+1)
+			batch := make([]correlated.Tuple, 0, cfg.chunk)
+			flush := func() bool {
+				t0 := time.Now()
+				if err := cl.AddBatch(ctx, batch); err != nil {
+					fail(fmt.Errorf("client %d: %w", i, err))
+					return false
+				}
+				lats = append(lats, time.Since(t0))
+				requests.Add(1)
+				acked.Add(int64(len(batch)))
+				batch = batch[:0]
+				return true
+			}
+			for {
+				t, ok := s.Next()
+				if !ok {
+					break
+				}
+				batch = append(batch, correlated.Tuple{X: t.X, Y: t.Y, W: 1})
+				if len(batch) == cfg.chunk && !flush() {
+					return
+				}
+			}
+			if len(batch) > 0 {
+				flush()
+			}
+			ingestLats[i] = lats
+		}(i)
+	}
+	for q := 0; q < cfg.queryClients; q++ {
+		queryWG.Add(1)
+		go func(q int) {
+			defer queryWG.Done()
+			cl := loadClient(cfg)
+			var lats []time.Duration
+			for ingesting.Load() {
+				t0 := time.Now()
+				if _, err := cl.QueryBatch(ctx, "le", cfg.cutoffs); err != nil {
+					fail(fmt.Errorf("query client %d: %w", q, err))
+					return
+				}
+				lats = append(lats, time.Since(t0))
+				queries[q]++
+			}
+			queryLats[q] = lats
+		}(q)
+	}
+
+	// The query loops run exactly as long as the ingest does: the
+	// measurement window closes when the last ingest client finishes.
+	ingestWG.Wait()
+	elapsed := time.Since(start)
+	ingesting.Store(false)
+	queryWG.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	var allIngest, allQuery []time.Duration
+	for _, l := range ingestLats {
+		allIngest = append(allIngest, l...)
+	}
+	for _, l := range queryLats {
+		allQuery = append(allQuery, l...)
+	}
+	sort.Slice(allIngest, func(i, j int) bool { return allIngest[i] < allIngest[j] })
+	sort.Slice(allQuery, func(i, j int) bool { return allQuery[i] < allQuery[j] })
+	totalQueries := 0
+	for _, n := range queries {
+		totalQueries += n
+	}
+
+	rep := loadReport{
+		Target:       cfg.target,
+		Dataset:      cfg.dataset,
+		Tuples:       cfg.n,
+		Chunk:        cfg.chunk,
+		Clients:      cfg.clients,
+		QueryClients: cfg.queryClients,
+		QueryCutoffs: len(cfg.cutoffs),
+		Seconds:      elapsed.Seconds(),
+
+		IngestRequests: int(requests.Load()),
+		AckedTuples:    int(acked.Load()),
+		IngestReqSec:   float64(requests.Load()) / elapsed.Seconds(),
+		AckedTuplesSec: float64(acked.Load()) / elapsed.Seconds(),
+		IngestP50Ms:    percentileMs(allIngest, 50),
+		IngestP99Ms:    percentileMs(allIngest, 99),
+
+		Queries:    totalQueries,
+		QuerySec:   float64(totalQueries) / elapsed.Seconds(),
+		QueryP50Ms: percentileMs(allQuery, 50),
+		QueryP99Ms: percentileMs(allQuery, 99),
+
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"corrgen load: %d clients acked %d tuples in %d requests over %v (%.0f req/s, %.0f tuples/s, ingest p50 %.2fms p99 %.2fms)\n",
+		rep.Clients, rep.AckedTuples, rep.IngestRequests, elapsed.Round(time.Millisecond),
+		rep.IngestReqSec, rep.AckedTuplesSec, rep.IngestP50Ms, rep.IngestP99Ms)
+	if cfg.queryClients > 0 {
+		fmt.Fprintf(os.Stderr,
+			"corrgen load: %d query clients answered %d multi-cutoff queries (%.0f q/s, p50 %.2fms p99 %.2fms)\n",
+			rep.QueryClients, rep.Queries, rep.QuerySec, rep.QueryP50Ms, rep.QueryP99Ms)
+	}
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "corrgen load: wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}

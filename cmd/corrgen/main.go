@@ -9,6 +9,15 @@
 //	corrgen -dataset uniform|zipf1|zipf2|ethernet [-n 1000000] [-seed 1]
 //	        [-xdom 500001] [-ydom 1000001]
 //	        [-target http://localhost:7070] [-chunk 8192]
+//	        [-clients 8] [-query-clients 2] [-query-cutoffs 250000,500000]
+//	        [-load-json load.json]
+//
+// With -clients N (and -target) the tuples are split across N concurrent
+// ingest clients — the service-level load mode — and with -query-clients
+// M another M loops issue multi-cutoff queries for the duration of the
+// ingest. The run reports req/s, acked tuples/s, and ingest/query latency
+// percentiles, optionally as JSON with -load-json (see load.go and
+// scripts/load-bench.sh).
 package main
 
 import (
@@ -34,6 +43,11 @@ func main() {
 		ydom    = flag.Uint64("ydom", 1_000_001, "y domain size (not used by ethernet)")
 		target  = flag.String("target", "", "corrd base URL; send tuples there instead of stdout")
 		chunk   = flag.Int("chunk", 8192, "tuples per ingest request with -target")
+
+		clients      = flag.Int("clients", 1, "concurrent ingest clients with -target (load mode when > 1)")
+		queryClients = flag.Int("query-clients", 0, "concurrent multi-cutoff query loops during the ingest")
+		queryCutoffs = flag.String("query-cutoffs", "250000,500000,750000", "comma-separated cutoffs for -query-clients")
+		loadJSON     = flag.String("load-json", "", "write the load-mode report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +67,24 @@ func main() {
 	}
 
 	if *target != "" {
+		if *clients > 1 || *queryClients > 0 {
+			cutoffs, err := parseCutoffs(*queryCutoffs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
+				os.Exit(2)
+			}
+			cfg := &loadConfig{
+				target: *target, dataset: *dataset, n: *n, seed: *seed,
+				xdom: *xdom, ydom: *ydom, chunk: max(*chunk, 1),
+				clients: max(*clients, 1), queryClients: *queryClients,
+				cutoffs: cutoffs, jsonPath: *loadJSON,
+			}
+			if err := runLoad(cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := stream(s, *target, *chunk); err != nil {
 			fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
 			os.Exit(1)

@@ -56,11 +56,21 @@
 //	                                            wire-image pushes, snapshot
 //	                                            durability, Prometheus metrics, and
 //	                                            the Go client driving it
+//	concurrent serving        service           group-commit ingest pipeline (one
+//	                                            fsync + one engine drain per group
+//	                                            of concurrent requests) and the
+//	                                            epoch-cached query path (merged
+//	                                            summary rebuilt only when state
+//	                                            moved, served outside the ingest
+//	                                            lock; -query-max-stale bounds the
+//	                                            rebuild rate)
 //	durable ingest            internal/wal      segmented CRC32C write-ahead log
 //	                                            under the daemon: log-before-ack,
-//	                                            fsync policies, torn-tail recovery,
-//	                                            checkpoint pruning — restart replays
-//	                                            to crash-exact state
+//	                                            group records, fsync policies,
+//	                                            torn-tail recovery, checkpoint
+//	                                            pruning — restart replays to
+//	                                            crash-exact state, concurrent
+//	                                            ingest included
 //	support                   internal/dyadic, internal/hash, internal/quantile,
 //	                          internal/gen, internal/exact, internal/tupleio —
 //	                          interval arithmetic, seeded universal hashing, GK

@@ -385,14 +385,26 @@ func (s *Summary) leafFor(lv *level, y uint64) *bucket {
 		}
 		if b.closed && !b.iv.Single() {
 			// Closed leaf: split into the two dyadic children and
-			// continue into the one containing y.
+			// continue into the one containing y. The children start
+			// without sketches: the one this insertion descends into is
+			// attached on return below, and the sibling stays empty —
+			// zero counters, zero allocation — until a tuple actually
+			// lands in it. Roughly half of all split siblings are
+			// evicted or straddled without ever being touched, so the
+			// lazy attach removes the dominant steady-state allocation
+			// of the ingest path (it showed up as B/op growing with the
+			// shard count in BenchmarkShardedAdd: P summaries, each
+			// paying two sketches per split).
 			lc, rc := b.iv.Children()
 			b.left = &bucket{iv: lc}
 			b.right = &bucket{iv: rc}
-			s.attachSketch(b.left)
-			s.attachSketch(b.right)
 			lv.count += 2
 			continue
+		}
+		if b.sk == nil {
+			// First touch of a lazily-created leaf (or one restored from
+			// a snapshot taken before it was ever touched).
+			s.attachSketch(b)
 		}
 		return b
 	}
@@ -500,6 +512,10 @@ func (s *Summary) query0(c uint64) sketch.Sketch {
 // are excluded; Lemma 4 bounds the mass they can hide.
 func (s *Summary) queryLevel(lv *level, c uint64) sketch.Sketch {
 	out := s.maker.New()
+	// On a virgin level a sketchless bucket is the root, standing in for
+	// the shared whole-stream sketch; on a materialized level it is an
+	// untouched split sibling holding nothing at all.
+	virgin := lv.idx >= s.virginFrom
 	var inside func(b *bucket)
 	inside = func(b *bucket) {
 		if b == nil {
@@ -508,9 +524,7 @@ func (s *Summary) queryLevel(lv *level, c uint64) sketch.Sketch {
 		if b.sk != nil {
 			// Same-maker merges cannot fail.
 			_ = out.Merge(b.sk)
-		} else {
-			// A virgin level's root: its contents are the shared
-			// whole-stream sketch.
+		} else if virgin {
 			_ = out.Merge(s.shared)
 		}
 		inside(b.left)

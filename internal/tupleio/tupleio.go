@@ -73,31 +73,80 @@ func AppendCountedBatch(buf []byte, batch []core.Tuple) []byte {
 // claiming 2^40 records on a 10-byte body is rejected before a single
 // byte is allocated — the same hostile-allocation class as the
 // map-pre-size DoS bugs fixed in the merge-image decoders. The count
-// must match the records exactly.
+// must match the records exactly: a body holding more or fewer is an
+// error.
 func DecodeCounted(dst []core.Tuple, data []byte) ([]core.Tuple, error) {
+	dst, rest, err := DecodeCountedPrefix(dst, data)
+	if err != nil {
+		return dst, err
+	}
+	if len(rest) != 0 {
+		return dst[:0], fmt.Errorf("%w: %d trailing bytes after the counted records", ErrBadStream, len(rest))
+	}
+	return dst, nil
+}
+
+// DecodeCountedPrefix parses one counted batch from the front of data
+// and returns the remaining bytes, so a sequence of counted batches —
+// the corrd WAL's group-commit record — can be decoded member by member
+// from a single buffer. The allocation bounds are the same as
+// DecodeCounted's; the only difference is that trailing bytes are the
+// caller's, not an error.
+func DecodeCountedPrefix(dst []core.Tuple, data []byte) (batch []core.Tuple, rest []byte, err error) {
 	n, sz := binary.Uvarint(data)
 	if sz <= 0 {
-		return dst[:0], fmt.Errorf("%w: bad count header", ErrBadStream)
+		return dst[:0], data, fmt.Errorf("%w: bad count header", ErrBadStream)
 	}
 	data = data[sz:]
 	if n > MaxDecodeTuples {
-		return dst[:0], fmt.Errorf("%w: header claims %d tuples, cap is %d", ErrBadStream, n, MaxDecodeTuples)
+		return dst[:0], data, fmt.Errorf("%w: header claims %d tuples, cap is %d", ErrBadStream, n, MaxDecodeTuples)
 	}
 	if n > uint64(len(data)/minRecordBytes) {
-		return dst[:0], fmt.Errorf("%w: header claims %d tuples, body can hold at most %d",
+		return dst[:0], data, fmt.Errorf("%w: header claims %d tuples, body can hold at most %d",
 			ErrBadStream, n, len(data)/minRecordBytes)
 	}
 	if uint64(cap(dst)) < n {
 		dst = make([]core.Tuple, 0, n)
 	}
-	dst, err := Decode(dst, data)
-	if err != nil {
-		return dst, err
+	dst = dst[:0]
+	for uint64(len(dst)) < n {
+		t, rest, err := decodeRecord(data, len(dst))
+		if err != nil {
+			return dst[:0], data, err
+		}
+		data = rest
+		dst = append(dst, t)
 	}
-	if uint64(len(dst)) != n {
-		return dst[:0], fmt.Errorf("%w: header claims %d tuples, body holds %d", ErrBadStream, n, len(dst))
+	return dst, data, nil
+}
+
+// decodeRecord parses one x/y/w record — the single implementation of
+// the tuple wire grammar shared by every decode entry point, so the
+// HTTP-ingest path (Decode) and the WAL group-replay path
+// (DecodeCountedPrefix) can never diverge. idx is the record's position,
+// for error messages only.
+func decodeRecord(data []byte, idx int) (t core.Tuple, rest []byte, err error) {
+	var w uint64
+	var n int
+	if t.X, n = binary.Uvarint(data); n <= 0 {
+		return t, data, fmt.Errorf("%w: bad x at record %d", ErrBadStream, idx)
 	}
-	return dst, nil
+	data = data[n:]
+	if t.Y, n = binary.Uvarint(data); n <= 0 {
+		return t, data, fmt.Errorf("%w: bad y at record %d", ErrBadStream, idx)
+	}
+	data = data[n:]
+	if w, n = binary.Uvarint(data); n <= 0 {
+		return t, data, fmt.Errorf("%w: bad weight at record %d", ErrBadStream, idx)
+	}
+	data = data[n:]
+	if w > 1<<63-1 {
+		return t, data, fmt.Errorf("%w: weight overflows int64 at record %d", ErrBadStream, idx)
+	}
+	if t.W = int64(w); t.W == 0 {
+		t.W = 1
+	}
+	return t, data, nil
 }
 
 // Decode parses a complete binary tuple stream into dst (reusing its
@@ -111,27 +160,11 @@ func Decode(dst []core.Tuple, data []byte) ([]core.Tuple, error) {
 		if len(dst) >= MaxDecodeTuples {
 			return dst[:0], fmt.Errorf("%w: more than %d tuples in one body", ErrBadStream, MaxDecodeTuples)
 		}
-		var t core.Tuple
-		var w uint64
-		var n int
-		if t.X, n = binary.Uvarint(data); n <= 0 {
-			return dst[:0], fmt.Errorf("%w: bad x at record %d", ErrBadStream, len(dst))
+		t, rest, err := decodeRecord(data, len(dst))
+		if err != nil {
+			return dst[:0], err
 		}
-		data = data[n:]
-		if t.Y, n = binary.Uvarint(data); n <= 0 {
-			return dst[:0], fmt.Errorf("%w: bad y at record %d", ErrBadStream, len(dst))
-		}
-		data = data[n:]
-		if w, n = binary.Uvarint(data); n <= 0 {
-			return dst[:0], fmt.Errorf("%w: bad weight at record %d", ErrBadStream, len(dst))
-		}
-		data = data[n:]
-		if w > 1<<63-1 {
-			return dst[:0], fmt.Errorf("%w: weight overflows int64 at record %d", ErrBadStream, len(dst))
-		}
-		if t.W = int64(w); t.W == 0 {
-			t.W = 1
-		}
+		data = rest
 		dst = append(dst, t)
 	}
 	return dst, nil

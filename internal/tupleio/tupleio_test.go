@@ -130,3 +130,65 @@ func TestCountedAdversarialHeader(t *testing.T) {
 		t.Fatalf("truncated header accepted: %v", err)
 	}
 }
+
+// TestDecodeCountedPrefix: a buffer of concatenated counted batches —
+// the WAL's group-commit record body — decodes member by member, each
+// call returning exactly the remainder.
+func TestDecodeCountedPrefix(t *testing.T) {
+	batches := [][]core.Tuple{
+		{{X: 1, Y: 2, W: 3}, {X: 4, Y: 5, W: 1}},
+		{}, // an empty member is legal (an empty ingest body)
+		{{X: 1 << 40, Y: 7, W: 9}},
+	}
+	var buf []byte
+	for _, b := range batches {
+		buf = AppendCountedBatch(buf, b)
+	}
+	rest := buf
+	var dst []core.Tuple
+	for i, want := range batches {
+		var err error
+		dst, rest, err = DecodeCountedPrefix(dst, rest)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if len(dst) != len(want) {
+			t.Fatalf("member %d: %d tuples, want %d", i, len(dst), len(want))
+		}
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Fatalf("member %d tuple %d: %+v want %+v", i, j, dst[j], want[j])
+			}
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after the last member", len(rest))
+	}
+}
+
+// TestDecodeCountedPrefixAdversarial: the prefix decoder enforces the
+// same hostile-header bounds as DecodeCounted.
+func TestDecodeCountedPrefixAdversarial(t *testing.T) {
+	// Header claims 2^40 tuples over a tiny body.
+	huge := make([]byte, 0, 16)
+	huge = appendUvarint(huge, 1<<40)
+	huge = append(huge, 1, 2, 3)
+	if _, _, err := DecodeCountedPrefix(nil, huge); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("hostile count header: %v", err)
+	}
+	// Truncated mid-member: the second tuple is missing bytes.
+	var good []core.Tuple
+	good = append(good, core.Tuple{X: 300, Y: 300, W: 300})
+	buf := AppendCountedBatch(nil, append(good, core.Tuple{X: 1, Y: 1, W: 1}))
+	if _, _, err := DecodeCountedPrefix(nil, buf[:len(buf)-1]); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("truncated member: %v", err)
+	}
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}

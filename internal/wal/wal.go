@@ -101,6 +101,15 @@ const (
 	// record carries both effects (merge + round closed) so a crash can
 	// never replay them separately and double-apply the image.
 	RecordFoldback RecordType = 6
+	// RecordIngestGroup is one group-commit unit: uvarint member count
+	// followed by that many counted tupleio batches in commit order —
+	// the batches the service applied under a single critical section,
+	// drained with a single engine flush, and acknowledged behind this
+	// record's single fsync. The group boundary is part of the record so
+	// replay reproduces the worker batch boundaries of the live run
+	// exactly: apply every member batch, then flush once. A group of one
+	// is written as a plain RecordIngest instead.
+	RecordIngestGroup RecordType = 7
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -531,6 +540,22 @@ func (w *WAL) rotateLocked() error {
 // record is on stable storage when Append returns — this is the
 // durability barrier the service acknowledges behind.
 func (w *WAL) Append(typ RecordType, payload []byte) (uint64, error) {
+	return w.append(typ, payload, true)
+}
+
+// AppendNoSync writes one record without the SyncAlways inline fsync,
+// for callers that order the write inside a critical section but want
+// the durability barrier — an explicit Sync — outside it, so the fsync
+// overlaps other work instead of serializing it. The record is framed
+// and ordered exactly as Append would; it is simply not yet durable
+// under SyncAlways until the caller's Sync returns. Segment seals and
+// the background interval loop behave identically for both entry
+// points.
+func (w *WAL) AppendNoSync(typ RecordType, payload []byte) (uint64, error) {
+	return w.append(typ, payload, false)
+}
+
+func (w *WAL) append(typ RecordType, payload []byte, syncNow bool) (uint64, error) {
 	if len(payload) > MaxPayload {
 		return 0, fmt.Errorf("wal: payload %d bytes exceeds MaxPayload", len(payload))
 	}
@@ -576,7 +601,7 @@ func (w *WAL) Append(typ RecordType, payload []byte) (uint64, error) {
 	if cap(w.frame) > 1<<20 {
 		w.frame = nil // do not pin a rare huge push image
 	}
-	if w.opts.Sync == SyncAlways {
+	if syncNow && w.opts.Sync == SyncAlways {
 		if err := w.syncLocked(); err != nil {
 			return 0, err
 		}

@@ -427,3 +427,56 @@ func TestBadHeaderWithDataRefuses(t *testing.T) {
 		t.Fatalf("bad header over real data must refuse, got: %v", err)
 	}
 }
+
+// TestAppendNoSyncDurableAfterSync: AppendNoSync defers the SyncAlways
+// fsync to an explicit Sync — the group-commit shape, where the append
+// is ordered inside a critical section and the durability barrier runs
+// outside it. Records land with sequential LSNs, replay sees them, and
+// a reopen after Sync still has them.
+func TestAppendNoSyncDurableAfterSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(RecordIngest, []byte("synced-inline")); err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := w.AppendNoSync(RecordIngestGroup, []byte("deferred"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn2 != 2 {
+		t.Fatalf("LSN %d, want 2", lsn2)
+	}
+	fsBefore := w.Stats().Fsyncs
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Fsyncs; got != fsBefore+1 {
+		t.Fatalf("Sync issued %d fsyncs, want 1", got-fsBefore)
+	}
+	// A second Sync with nothing dirty is free.
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Fsyncs; got != fsBefore+1 {
+		t.Fatalf("idle Sync issued an fsync")
+	}
+	got := collect(t, w, 0)
+	if len(got) != 2 || got[1].typ != RecordIngestGroup || string(got[1].payload) != "deferred" {
+		t.Fatalf("replay: %+v", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got = collect(t, w2, 0)
+	if len(got) != 2 || string(got[1].payload) != "deferred" {
+		t.Fatalf("reopen replay: %+v", got)
+	}
+}

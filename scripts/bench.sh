@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Run the regression-tracked benchmark suite and write benchmarks/latest.txt.
+# Run the regression-tracked benchmark suite and write both
+# benchmarks/latest.txt (human-diffable) and benchmarks/latest.json
+# (machine-readable: per-benchmark ns/op, B/op, allocs/op plus the
+# machine disclosure and, when run, the service-level load reports).
 #
 # Workflow (see benchmarks/README.md):
-#   scripts/bench.sh          # generate benchmarks/latest.txt
+#   scripts/bench.sh          # generate benchmarks/latest.{txt,json}
 #   scripts/bench-update.sh   # promote latest.txt to baseline.txt
+#
+# BENCH_SKIP_LOAD=1 skips the service-level load benchmark (it builds
+# and runs a live corrd; see scripts/load-bench.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,5 +40,20 @@ BENCH_COUNT="${BENCH_COUNT:-1}"
     -count="$BENCH_COUNT" ./internal/wal/
 } | tee benchmarks/latest.txt
 
+# Service-level load benchmark: acknowledged-ingest throughput and query
+# latency against a live corrd with the WAL on — the end-to-end view the
+# microbenchmarks above cannot give (fsync amortization, lock contention).
+# When skipped, no -load args are passed, so a stale (possibly committed,
+# other-machine) load report is never folded into this run's latest.json.
+LOAD_ARGS=()
+if [ "${BENCH_SKIP_LOAD:-0}" != "1" ]; then
+  scripts/load-bench.sh
+  LOAD_ARGS=(-load ingest=benchmarks/service-load-ingest.json
+             -load mixed=benchmarks/service-load-mixed.json)
+fi
+
+go run ./cmd/benchjson -in benchmarks/latest.txt -out benchmarks/latest.json \
+  ${LOAD_ARGS[@]+"${LOAD_ARGS[@]}"}
+
 echo
-echo "Wrote benchmarks/latest.txt — review, then run scripts/bench-update.sh to promote as baseline."
+echo "Wrote benchmarks/latest.txt and latest.json — review, then run scripts/bench-update.sh to promote as baseline."

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Service-level load benchmark: start a corrd with the WAL on
+# (-wal-fsync=always — the durability configuration the group-commit
+# pipeline is built for) and drive it with corrgen's concurrent load
+# mode, in two phases:
+#
+#   ingest  8 concurrent ingest clients, no queries — the acknowledged-
+#           ingest headline (fsync + drain amortization; on hardware
+#           with fast fsync this phase is CPU-bound and roughly flat,
+#           but fsyncs-per-request drops to the group-commit ratio).
+#   mixed   the same ingest with 4 hot multi-cutoff query loops and a
+#           500ms query staleness budget — the serving scenario where
+#           the epoch cache keeps queries from taxing ingest with one
+#           cross-shard merge per query (the pre-group-commit server
+#           collapses here: every query held the ingest lock for a
+#           full merge).
+#
+# Reports land in benchmarks/service-load-{ingest,mixed}.json; promote
+# them to benchmarks/service-baseline-{ingest,mixed}.json to make
+# scripts/load-compare.sh (and CI) print a before/after table.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${LOAD_ADDR:-127.0.0.1:17090}"
+BASE="http://$ADDR"
+N="${LOAD_N:-100000}"
+CLIENTS="${LOAD_CLIENTS:-8}"
+QUERY_CLIENTS="${LOAD_QUERY_CLIENTS:-4}"
+CHUNK="${LOAD_CHUNK:-512}"
+MAX_STALE="${LOAD_QUERY_MAX_STALE:-500ms}"
+OUT_PREFIX="${LOAD_OUT_PREFIX:-benchmarks/service-load}"
+WORK="$(mktemp -d)"
+
+cleanup() {
+  [ -n "${CORRD_PID:-}" ] && kill "$CORRD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+mkdir -p benchmarks
+go build -o "$WORK/corrd" ./cmd/corrd
+go build -o "$WORK/corrgen" ./cmd/corrgen
+
+start_corrd() { # extra corrd flags in "$@"
+  rm -rf "$WORK/wal" "$WORK/corrd.snapshot"
+  "$WORK/corrd" -addr "$ADDR" -agg f2 -eps 0.15 -delta 0.1 \
+    -ymax 1000000 -maxn 1048576 -maxx 500001 -seed 42 -shards 2 \
+    -snapshot "$WORK/corrd.snapshot" -snapshot-interval 1h \
+    -wal-dir "$WORK/wal" -wal-fsync always "$@" >"$WORK/corrd.log" 2>&1 &
+  CORRD_PID=$!
+  for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "corrd did not start:" >&2; cat "$WORK/corrd.log" >&2; exit 1
+}
+
+stop_corrd() {
+  kill -TERM "$CORRD_PID" 2>/dev/null || true
+  wait "$CORRD_PID" 2>/dev/null || true
+  CORRD_PID=""
+}
+
+echo "== phase 1: ingest-only ($CLIENTS clients, fsync=always)"
+start_corrd
+"$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -chunk "$CHUNK" -clients "$CLIENTS" \
+  -load-json "${OUT_PREFIX}-ingest.json"
+curl -fsS "$BASE/metrics" | grep -E '^corrd_(ingest_requests_total|ingest_groups_total|wal_fsyncs_total)' || true
+stop_corrd
+
+echo "== phase 2: mixed ($CLIENTS ingest + $QUERY_CLIENTS query clients, -query-max-stale $MAX_STALE)"
+start_corrd -query-max-stale "$MAX_STALE"
+"$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -chunk "$CHUNK" -clients "$CLIENTS" \
+  -query-clients "$QUERY_CLIENTS" -query-cutoffs 250000,500000,750000 \
+  -load-json "${OUT_PREFIX}-mixed.json"
+curl -fsS "$BASE/metrics" | grep -E '^corrd_(ingest_requests_total|ingest_groups_total|wal_fsyncs_total|query_cache_(hits|rebuilds)_total)' || true
+stop_corrd
+
+echo "Wrote ${OUT_PREFIX}-ingest.json and ${OUT_PREFIX}-mixed.json"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Print a before/after table for the service-level load benchmark:
+# benchmarks/service-baseline-{ingest,mixed}.json (the recorded pre-change
+# numbers) against benchmarks/service-load-{ingest,mixed}.json (the run
+# scripts/load-bench.sh just produced). Used by CI's bench job; exits 0
+# even without baselines so fresh clones are not penalized.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+field() { # $1 file, $2 json key -> number (0 if absent)
+  sed -n 's/.*"'"$2"'": *\([0-9.][0-9.]*\).*/\1/p' "$1" | head -1
+}
+
+compare_phase() { # $1 phase name
+  local base="benchmarks/service-baseline-$1.json"
+  local cur="benchmarks/service-load-$1.json"
+  if [[ ! -f "$base" || ! -f "$cur" ]]; then
+    echo "($1: no baseline/current pair to compare)"
+    return 0
+  fi
+  echo "== service load: $1 (before -> after)"
+  printf '%-24s %14s %14s %10s\n' metric before after change
+  for key in ingest_req_per_sec acked_tuples_per_sec ingest_p50_ms ingest_p99_ms query_p50_ms query_p99_ms queries_per_sec; do
+    local b c
+    b=$(field "$base" "$key"); c=$(field "$cur" "$key")
+    [[ -z "$b" || -z "$c" ]] && continue
+    awk -v k="$key" -v b="$b" -v c="$c" 'BEGIN {
+      if (b + 0 == 0 && c + 0 == 0) exit
+      ratio = (b + 0 > 0) ? c / b : 0
+      printf "%-24s %14.2f %14.2f %9.2fx\n", k, b, c, ratio
+    }'
+  done
+}
+
+compare_phase ingest
+compare_phase mixed

@@ -36,16 +36,17 @@ func (s *Server) routes() {
 // by the next large request instead.
 const maxPooledBuffer = 4 << 20
 
-// putDecodeState recycles d unless a large request inflated it.
+// putDecodeState recycles d unless a large request inflated it. The
+// job's tuple reference is always dropped: it aliases d.tuples, and
+// leaving it set would keep an oversized backing array alive through
+// the pool even after the trim below released d.tuples itself.
 func (s *Server) putDecodeState(d *decodeState) {
+	d.job.tuples, d.job.err = nil, nil
 	if cap(d.body) > maxPooledBuffer {
 		d.body = nil
 	}
 	if cap(d.tuples)*24 > maxPooledBuffer { // 24 bytes per Tuple
 		d.tuples = nil
-	}
-	if cap(d.wal) > maxPooledBuffer {
-		d.wal = nil
 	}
 	s.dec.Put(d)
 }
@@ -132,49 +133,45 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Engine apply and WAL append share one critical section so the
-	// log replays in apply order; under fsync=always the Append is the
-	// durability barrier the 200 below acknowledges. With a WAL the
-	// engine is also drained before the ack: the shard workers' batch
-	// boundaries become a pure function of the request sequence, which
-	// is what lets replay — the same sequence — rebuild bit-identical
-	// state no matter when snapshots or queries barriered the original
-	// run (see wal.go).
-	s.mu.Lock()
-	err = s.eng.AddBatch(d.tuples)
-	var flushErr, walErr error
-	if err == nil && s.wal != nil {
-		if flushErr = s.eng.Flush(); flushErr == nil {
-			walErr = s.logIngest(d)
-		}
+	// Hand the decoded batch to the commit pipeline and wait for its
+	// group to commit: the committer applies the whole group's members
+	// under one driver-lock critical section, drains the engine once,
+	// and makes them durable behind one WAL fsync — so under concurrent
+	// clients the per-request ack cost is the group cost divided by the
+	// group size (see pipeline.go). The reply below is sent only after
+	// that group-wide durability barrier.
+	d.job.tuples, d.job.err, d.job.kind = d.tuples, nil, ingestOK
+	if err := s.enqueueIngest(&d.job); err != nil {
+		s.metrics.ingestErrors.Inc()
+		s.httpError(w, http.StatusServiceUnavailable, err)
+		return
 	}
-	s.mu.Unlock()
-	if err != nil {
+	<-d.job.done
+	switch d.job.kind {
+	case ingestErrValidate:
 		// AddBatch fails only on synchronous validation (y bound,
 		// weight) — the batch was rejected atomically, so this is the
 		// client's error; a closed engine is the exception.
 		s.metrics.ingestErrors.Inc()
 		status := http.StatusBadRequest
-		if errors.Is(err, shard.ErrClosed) {
+		if errors.Is(d.job.err, shard.ErrClosed) {
 			status = http.StatusServiceUnavailable
 		}
-		s.httpError(w, status, err)
+		s.httpError(w, status, d.job.err)
 		return
-	}
-	if flushErr != nil {
-		// A worker rejected part of the batch (or the engine died):
+	case ingestErrEngine:
+		// A worker rejected part of the group (or the engine died):
 		// not logged, not acknowledged.
 		s.metrics.ingestErrors.Inc()
-		s.httpError(w, statusForEngine(flushErr), flushErr)
+		s.httpError(w, statusForEngine(d.job.err), d.job.err)
 		return
-	}
-	if walErr != nil {
-		// The engine holds the batch but the log does not: the tuples
+	case ingestErrWAL:
+		// The engine holds the group but the log does not: the tuples
 		// were never acknowledged, so a crash dropping them is within
 		// contract — but tell the client the write is not durable.
 		s.metrics.ingestErrors.Inc()
 		s.metrics.walAppendErrors.Inc()
-		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", walErr))
+		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", d.job.err))
 		return
 	}
 	s.metrics.tuplesIngested.Add(uint64(len(d.tuples)))
@@ -235,6 +232,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	var walErr error
 	if err == nil {
 		walErr = s.logPush(d.body)
+		s.bumpEpochLocked()
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -257,11 +255,20 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleQuery answers GET /v1/query?op=le|ge&c=N. The c parameter may
-// repeat (?op=le&c=10&c=100&c=1000): all cutoffs are answered over one
-// engine barrier and one shard merge (QueryLEBatch/QueryGEBatch) and
-// returned together, so a drill-down loop pays one round trip and one
-// merge instead of one of each per cutoff. A single c keeps the
-// original wire shape; multiple return {"op":...,"results":[...]}.
+// repeat (?op=le&c=10&c=100&c=1000): all cutoffs are answered together,
+// so a drill-down loop pays one round trip instead of one per cutoff. A
+// single c keeps the original wire shape; multiple return
+// {"op":...,"results":[...]}.
+//
+// Queries are served from the epoch cache: a merged summary rebuilt
+// (one barrier + one shard merge, under the driver lock) only when the
+// engine state has actually moved since the cache was built, and read
+// without the driver lock otherwise. Repeated queries against unmoved
+// state cost zero merges and never block ingest; under sustained ingest
+// the rebuild happens at most once per committed group, shared by every
+// query that arrives within the epoch. Read-your-writes holds: an
+// acknowledged ingest bumped the epoch before its ack, so a later query
+// sees a stale cache and rebuilds.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	op := q.Get("op")
@@ -295,17 +302,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		cutoffs[i] = c
 	}
-	// One batched engine call: the shard merge composes once and every
-	// cutoff queries the composed summary.
+	// Serve from the cached merged summary, rebuilding it first if the
+	// epoch moved. queryMu serializes queries among themselves (the
+	// cached summary's query path uses pooled scratch); the driver lock
+	// is taken only for the rebuild, so evaluation never blocks ingest.
 	estimates := make([]float64, len(cutoffs))
-	s.mu.Lock()
+	s.queryMu.Lock()
+	stale := !s.cacheValid || s.cacheEpoch != s.epoch.Load()
+	if stale && s.cacheValid && s.cfg.QueryMaxStale > 0 &&
+		time.Since(s.cacheBuilt) < s.cfg.QueryMaxStale {
+		// The state moved, but the cache is within the configured
+		// staleness budget: keep serving it, so a hot query loop costs
+		// at most one rebuild per window instead of one per commit.
+		stale = false
+	}
+	if stale {
+		s.mu.Lock()
+		err := s.eng.RefreshCached()
+		epoch := s.epoch.Load() // stable while mu is held: bumps happen under mu
+		s.mu.Unlock()
+		if err != nil {
+			s.queryMu.Unlock()
+			s.metrics.queryErrors.Inc()
+			s.httpError(w, statusForQuery(err), err)
+			return
+		}
+		s.cacheEpoch, s.cacheValid, s.cacheBuilt = epoch, true, time.Now()
+		s.metrics.queryCacheRebuilds.Inc()
+	} else {
+		s.metrics.queryCacheHits.Inc()
+	}
 	var err error
 	if op == "le" {
-		err = s.eng.QueryLEBatch(cutoffs, estimates)
+		err = s.eng.CachedQueryLEBatch(cutoffs, estimates)
 	} else {
-		err = s.eng.QueryGEBatch(cutoffs, estimates)
+		err = s.eng.CachedQueryGEBatch(cutoffs, estimates)
 	}
-	s.mu.Unlock()
+	s.queryMu.Unlock()
 	if err != nil {
 		s.metrics.queryErrors.Inc()
 		s.httpError(w, statusForQuery(err), err)
@@ -382,11 +415,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Restored:       s.restored,
 		LastSnapshot:   s.metrics.lastSnapshotUnix.Load(),
 		UptimeSeconds:  time.Since(s.metrics.start).Seconds(),
+
+		IngestGroups:       s.metrics.ingestGroups.Load(),
+		IngestGroupReqs:    s.metrics.ingestGroupMembers.Load(),
+		QueryCacheHits:     s.metrics.queryCacheHits.Load(),
+		QueryCacheRebuilds: s.metrics.queryCacheRebuilds.Load(),
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		st.WALEnabled = true
 		st.WALFsync = s.cfg.walFsync()
+		st.WALFsyncs = ws.Fsyncs
 		st.WALSegments = ws.Segments
 		st.WALAppendedBytes = ws.AppendedBytes
 		st.WALLastLSN = ws.LastLSN

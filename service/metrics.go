@@ -77,6 +77,16 @@ type metrics struct {
 	ingestRequests counter
 	ingestErrors   counter
 
+	// Group commit: groups committed and the requests they carried —
+	// requests/groups is the live amortization factor (how many acks
+	// each fsync + engine drain bought).
+	ingestGroups       counter
+	ingestGroupMembers counter
+
+	// Epoch cache: queries served without a merge vs rebuilds paid.
+	queryCacheHits     counter
+	queryCacheRebuilds counter
+
 	pushesMerged counter
 	pushErrors   counter
 
@@ -163,6 +173,10 @@ func (m *metrics) write(w io.Writer, es engineStats, ws *wal.Stats) {
 	c("corrd_tuples_ingested_total", "Tuples accepted through /v1/ingest.", m.tuplesIngested.Load())
 	c("corrd_ingest_requests_total", "Requests to /v1/ingest.", m.ingestRequests.Load())
 	c("corrd_ingest_errors_total", "Rejected /v1/ingest requests.", m.ingestErrors.Load())
+	c("corrd_ingest_groups_total", "Commit groups applied (each pays one engine drain and, with a WAL, one fsync).", m.ingestGroups.Load())
+	c("corrd_ingest_group_requests_total", "Ingest requests carried by commit groups (divide by groups for the amortization factor).", m.ingestGroupMembers.Load())
+	c("corrd_query_cache_hits_total", "Queries served from the epoch cache without a shard merge.", m.queryCacheHits.Load())
+	c("corrd_query_cache_rebuilds_total", "Epoch-cache rebuilds (one barrier + shard merge each).", m.queryCacheRebuilds.Load())
 	c("corrd_pushes_merged_total", "Site summary images merged through /v1/push.", m.pushesMerged.Load())
 	c("corrd_push_errors_total", "Rejected /v1/push requests.", m.pushErrors.Load())
 	fmt.Fprintf(w, "# HELP corrd_queries_served_total Queries answered, by direction.\n")

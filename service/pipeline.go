@@ -1,0 +1,227 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/tupleio"
+	"github.com/streamagg/correlated/internal/wal"
+)
+
+// Group commit: the serving core's answer to "every acknowledged ingest
+// pays its own fsync and its own engine drain". Ingest handlers no
+// longer touch the engine; they decode, enqueue an ingestJob, and block
+// until the committer — a single goroutine owning the ingest side of the
+// driver lock — has committed the group their job rode in. The committer
+// drains everything queued (up to the group caps), applies the member
+// batches in queue order under one critical section, drains the engine
+// once, appends one WAL record for the whole group (one fsync under
+// -wal-fsync=always), and only then wakes the waiters with their
+// outcomes. Under K concurrent clients the fsync and drain cost is paid
+// once per group instead of once per request — the queue refills while
+// the previous group is fsyncing, so the pipeline stays full without any
+// timer or artificial batching delay; a lone client degenerates to
+// groups of one and keeps its old latency.
+//
+// Crash-exactness is preserved because the group boundary itself is
+// durable: the group's single WAL record (RecordIngestGroup, or a plain
+// RecordIngest for a group of one) carries the member batches in commit
+// order, and replay re-applies them and then flushes once — the same
+// worker batch boundaries as the live run, which is what keeps recovered
+// state byte-identical (see wal.go).
+
+// errShuttingDown rejects ingest that arrives after Close began.
+var errShuttingDown = errors.New("service: shutting down")
+
+// ingestErrKind classifies a committed job's outcome for HTTP mapping.
+type ingestErrKind uint8
+
+const (
+	ingestOK          ingestErrKind = iota
+	ingestErrValidate               // AddBatch rejected the member (client's error)
+	ingestErrEngine                 // the group flush surfaced an engine error
+	ingestErrWAL                    // the group's WAL append failed (not durable)
+)
+
+// ingestJob is one ingest request in flight through the commit
+// pipeline. The done channel (capacity 1, reused across requests via the
+// decodeState pool) carries the happens-before edge from the committer's
+// writes of err/kind to the handler's reads.
+type ingestJob struct {
+	tuples []correlated.Tuple
+	err    error
+	kind   ingestErrKind
+	done   chan struct{}
+}
+
+// commitPipeline is the queue between ingest handlers and the committer.
+type commitPipeline struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*ingestJob
+	closed bool
+}
+
+// maxGroupTuples caps the tuple volume of one commit group so a group's
+// WAL record stays far below wal.MaxPayload and the critical section
+// stays short; the member that crosses the cap waits for the next group.
+const maxGroupTuples = 1 << 20
+
+// defaultGroupMax is the member-count cap per group when
+// Config.IngestGroupMax is unset.
+const defaultGroupMax = 256
+
+// enqueueIngest hands a job to the committer; it fails only when the
+// server is shutting down. The handler then blocks on j.done.
+func (s *Server) enqueueIngest(j *ingestJob) error {
+	p := &s.pipe
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errShuttingDown
+	}
+	p.queue = append(p.queue, j)
+	if len(p.queue) == 1 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// closePipeline stops accepting new ingest and wakes the committer so it
+// drains what is already queued (the engine is still open: queued
+// requests are committed and acknowledged, not dropped) and exits.
+func (s *Server) closePipeline() {
+	p := &s.pipe
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// committer is the single goroutine that owns ingest: take everything
+// queued (bounded by the group caps), commit it as one group, repeat.
+func (s *Server) committer() {
+	defer s.wg.Done()
+	p := &s.pipe
+	var group []*ingestJob
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return // closed and drained
+		}
+		n := len(p.queue)
+		if n > s.groupMax {
+			n = s.groupMax
+		}
+		take, total := 0, 0
+		for ; take < n; take++ {
+			total += len(p.queue[take].tuples)
+			if take > 0 && total > maxGroupTuples {
+				break
+			}
+		}
+		group = append(group[:0], p.queue[:take]...)
+		rest := copy(p.queue, p.queue[take:])
+		for i := rest; i < len(p.queue); i++ {
+			p.queue[i] = nil
+		}
+		p.queue = p.queue[:rest]
+		p.mu.Unlock()
+		s.commitGroup(group)
+	}
+}
+
+// commitGroup applies, drains, and logs one group under a single
+// critical section of the driver lock, then wakes every member with its
+// outcome. Members that fail the engine's synchronous validation are
+// rejected individually and excluded from the group record; a flush or
+// WAL failure is group-wide (those members were applied together, so
+// they are un-acknowledged together).
+func (s *Server) commitGroup(group []*ingestJob) {
+	s.mu.Lock()
+	applied := 0
+	for _, j := range group {
+		if err := s.eng.AddBatch(j.tuples); err != nil {
+			j.err, j.kind = err, ingestErrValidate
+			continue
+		}
+		j.kind = ingestOK
+		applied++
+	}
+	var flushErr, walErr error
+	if applied > 0 && s.wal != nil {
+		// One drain pins the group's worker batch boundaries, one append
+		// orders the group in the log. The append is deliberately not
+		// the fsync: that happens below, outside the driver lock, so the
+		// next group's decode and apply (and any query-cache rebuild)
+		// overlap this group's disk wait instead of queueing behind it.
+		if flushErr = s.eng.Flush(); flushErr == nil {
+			walErr = s.logIngestGroup(group)
+		}
+	}
+	if applied > 0 {
+		s.bumpEpochLocked()
+	}
+	s.mu.Unlock()
+	if applied > 0 && flushErr == nil && walErr == nil && s.walSyncAlways {
+		// The group-wide durability barrier the acks below stand behind:
+		// one fsync for the whole group. (Under fsync=interval/off the
+		// ack never promised durability, so there is nothing to wait on.)
+		walErr = s.wal.Sync()
+	}
+	if applied > 0 && flushErr == nil && walErr == nil {
+		s.metrics.ingestGroups.Inc()
+		s.metrics.ingestGroupMembers.Add(uint64(applied))
+	}
+	for _, j := range group {
+		if j.kind == ingestOK {
+			if flushErr != nil {
+				j.err, j.kind = flushErr, ingestErrEngine
+			} else if walErr != nil {
+				j.err, j.kind = walErr, ingestErrWAL
+			}
+		}
+		j.done <- struct{}{}
+	}
+}
+
+// logIngestGroup appends the group's applied members as one WAL record:
+// the counted batch itself for a group of one (the pre-group wire form,
+// byte-compatible with old logs), or a RecordIngestGroup carrying the
+// member batches in commit order. Callers hold s.mu.
+func (s *Server) logIngestGroup(group []*ingestJob) error {
+	buf := s.groupBuf[:0]
+	members := 0
+	for _, j := range group {
+		if j.kind == ingestOK {
+			members++
+		}
+	}
+	typ := wal.RecordIngest
+	if members != 1 {
+		typ = wal.RecordIngestGroup
+		buf = binary.AppendUvarint(buf, uint64(members))
+	}
+	for _, j := range group {
+		if j.kind == ingestOK {
+			buf = tupleio.AppendCountedBatch(buf, j.tuples)
+		}
+	}
+	_, err := s.wal.AppendNoSync(typ, buf)
+	if cap(buf) > maxPooledBuffer {
+		buf = nil // do not pin a rare huge group
+	}
+	s.groupBuf = buf
+	return err
+}
+
+// bumpEpochLocked advances the state epoch; callers hold s.mu. Every
+// engine mutation bumps it, which is what invalidates the query cache.
+func (s *Server) bumpEpochLocked() { s.epoch.Add(1) }

@@ -60,6 +60,9 @@ type Engine interface {
 	QueryGE(c uint64) (float64, error)
 	QueryLEBatch(cutoffs []uint64, out []float64) error
 	QueryGEBatch(cutoffs []uint64, out []float64) error
+	RefreshCached() error
+	CachedQueryLEBatch(cutoffs []uint64, out []float64) error
+	CachedQueryGEBatch(cutoffs []uint64, out []float64) error
 	Count() (uint64, error)
 	Space() (int64, error)
 	Flush() error
@@ -90,6 +93,23 @@ type Config struct {
 	// BatchSize overrides the shard handoff granularity; 0 keeps the
 	// shard package default.
 	BatchSize int
+	// IngestGroupMax caps how many queued ingest requests one commit
+	// group may carry (the group shares one WAL fsync and one engine
+	// drain); <= 0 means 256. See pipeline.go.
+	IngestGroupMax int
+	// QueryMaxStale bounds how old the epoch-cached merged summary may
+	// be before a query forces a rebuild. 0 (the default) rebuilds
+	// whenever the engine state moved since the cache was built —
+	// every query sees every acknowledged write. A positive value lets
+	// queries keep serving the existing cache for up to that long even
+	// though the state moved, capping the rebuild rate at one per
+	// window no matter how hot the query side runs: under sustained
+	// ingest each rebuild is a full cross-shard merge holding the
+	// driver lock, so a hot query loop with QueryMaxStale=0 taxes
+	// ingest with one merge per committed group. Estimates are
+	// approximate by construction; operators who can absorb a bounded
+	// staleness window buy back the entire merge tax.
+	QueryMaxStale time.Duration
 
 	// SnapshotPath enables durability: the engine state is persisted
 	// there on every SnapshotInterval tick and at shutdown, and
@@ -176,13 +196,13 @@ func newEngine(cfg *Config) (Engine, error) {
 }
 
 // decodeState is one pooled set of ingest scratch buffers: the raw
-// body, the decoded tuple batch, and the WAL record encode buffer,
-// recycled across requests so the steady-state ingest path does not
-// allocate per request.
+// body, the decoded tuple batch, and the commit-pipeline job (whose
+// done channel is reused), recycled across requests so the steady-state
+// ingest path does not allocate per request.
 type decodeState struct {
 	body   []byte
 	tuples []correlated.Tuple
-	wal    []byte
+	job    ingestJob
 }
 
 // Server is one corrd instance. Create it with New, serve its Handler,
@@ -194,19 +214,42 @@ type Server struct {
 	logger  *log.Logger
 
 	// mu is the engine driver lock: the shard engine is single-driver
-	// by contract, so every handler takes the mutex around engine
-	// calls. The parallelism lives inside the engine (P workers), not
-	// across handlers. WAL appends for a request happen in the same
-	// critical section as its engine apply, so log order always equals
-	// apply order (what makes replay crash-exact).
+	// by contract, so every engine mutation — a commit group applied by
+	// the committer, a push merge, a snapshot marshal — happens under
+	// it. Ingest handlers never take it themselves: they queue into the
+	// commit pipeline (pipe) and the committer goroutine commits whole
+	// groups under one critical section (see pipeline.go). WAL appends
+	// happen in the same critical section as their engine apply, so log
+	// order always equals apply order (what makes replay crash-exact).
+	// Queries do not take mu either, except to rebuild the epoch cache
+	// (below) when the state has moved.
 	mu       sync.Mutex
 	eng      Engine
 	restored bool
 
+	// pipe, committer state: ingest group commit (pipeline.go).
+	pipe     commitPipeline
+	groupMax int
+	groupBuf []byte // committer-owned WAL group encode scratch
+
+	// epoch counts engine state changes (bumped under mu); the query
+	// path caches the merged summary keyed by it, so repeated queries
+	// against unmoved state touch neither mu nor the shard workers.
+	// queryMu serializes cache rebuilds and cached-summary reads —
+	// queries against each other, never against ingest.
+	epoch      atomic.Uint64
+	queryMu    sync.Mutex
+	cacheEpoch uint64    // under queryMu
+	cacheValid bool      // under queryMu
+	cacheBuilt time.Time // under queryMu; for the QueryMaxStale window
+
 	// wal is the durable-ingest log (nil without Config.WALDir);
 	// walReplayed counts state records replayed at the last startup.
-	wal         *wal.WAL
-	walReplayed uint64
+	// walSyncAlways mirrors the parsed fsync policy so the commit
+	// pipeline knows whether acks need an explicit group fsync.
+	wal           *wal.WAL
+	walReplayed   uint64
+	walSyncAlways bool
 
 	// xferMu serializes whole state transfers — a snapshot, or a full
 	// delta-push round (marshal, reset, ship, snapshot-after-ack) — so
@@ -240,21 +283,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
+	if cfg.IngestGroupMax <= 0 {
+		cfg.IngestGroupMax = defaultGroupMax
+	}
 	eng, err := newEngine(&cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		eng:     eng,
-		logger:  cfg.Logger,
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		eng:      eng,
+		logger:   cfg.Logger,
+		groupMax: cfg.IngestGroupMax,
+		done:     make(chan struct{}),
 	}
 	if s.logger == nil {
 		s.logger = log.New(io.Discard, "", 0)
 	}
-	s.dec.New = func() any { return &decodeState{} }
+	s.pipe.cond = sync.NewCond(&s.pipe.mu)
+	s.dec.New = func() any { return &decodeState{job: ingestJob{done: make(chan struct{}, 1)}} }
 	if cfg.WALDir != "" {
 		if err := s.openWAL(); err != nil {
 			eng.Close()
@@ -282,6 +330,8 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.routes()
+	s.wg.Add(1)
+	go s.committer()
 	if cfg.SnapshotPath != "" {
 		s.wg.Add(1)
 		go s.snapshotLoop(cfg.SnapshotInterval)
@@ -332,6 +382,10 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.closing.Store(true)
 	close(s.done)
+	// New ingest is refused from here; the committer drains and commits
+	// what is already queued before it exits, so nothing accepted into
+	// the pipeline goes unacknowledged.
+	s.closePipeline()
 	s.wg.Wait()
 	var errs []error
 	if s.pushc != nil {
@@ -425,6 +479,7 @@ func (s *Server) pushOnce() error {
 				err = errors.Join(err, fmt.Errorf("fold back after failed reset log, %d tuples dropped: %w", n, mergeErr))
 			}
 		}
+		s.bumpEpochLocked() // the engine was reset (and possibly refilled)
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -441,6 +496,7 @@ func (s *Server) pushOnce() error {
 			if walErr := s.logFoldback(img); walErr != nil {
 				s.logf("wal: log fold-back: %v", walErr)
 			}
+			s.bumpEpochLocked()
 		}
 		s.mu.Unlock()
 		if mergeErr != nil {

@@ -1,0 +1,438 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/wal"
+)
+
+// The tests here pin the concurrent serving core: the commit pipeline's
+// group boundaries must stay a pure function of the log (crash-exact
+// recovery under concurrency — recovered bytes equal pre-crash bytes),
+// and the epoch-cached read path must never corrupt state while ingest,
+// pushes, snapshots, and queries overlap. Every stream keeps its
+// distinct y count under Alpha, so the singleton level holds exact
+// per-y state and query answers are float-exact against a serial
+// oracle regardless of arrival order or shard partition.
+
+// TestWALCrashRecoveryExactConcurrent is the tentpole's acceptance
+// contract under concurrency: 8 clients ingest in parallel (their
+// requests landing in whatever commit groups the pipeline forms), the
+// server is killed without warning, and the restart — restore snapshot,
+// replay the group records — rebuilds the exact bytes of the pre-crash
+// state, per-shard form included. The group boundary is durable in the
+// log, so replay flushes exactly where the live run flushed.
+func TestWALCrashRecoveryExactConcurrent(t *testing.T) {
+	const ingesters = 8
+	cfg := walConfig(t, 2)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	ctx := context.Background()
+
+	ingest := func(s *httptest.Server, snapshotAfter func(i int)) {
+		var wg sync.WaitGroup
+		for i := 0; i < ingesters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cl := client.New(s.URL, client.WithChunkSize(256))
+				stream := testStream(1_000, uint64(100+i))
+				for off := 0; off < len(stream); off += 250 {
+					end := min(off+250, len(stream))
+					if err := cl.AddBatch(ctx, stream[off:end]); err != nil {
+						t.Error(err)
+						return
+					}
+					if snapshotAfter != nil {
+						snapshotAfter(i)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	// Interleave an explicit snapshot from one goroutine mid-stream so
+	// recovery exercises restore-then-replay-suffix, not pure replay.
+	var snapOnce sync.Once
+	ingest(ts, func(i int) {
+		snapOnce.Do(func() {
+			if err := svc.Snapshot(); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every request is acknowledged, so every group is committed and the
+	// engine is drained (WAL mode flushes per group): capture the exact
+	// pre-crash bytes as the recovery oracle.
+	preMerged, err := svc.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preShards, err := svc.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(ts, svc)
+
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if svc2.walReplayed == 0 {
+		t.Fatal("restart replayed no WAL records")
+	}
+	gotMerged, err := svc2.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotMerged, preMerged) {
+		t.Fatalf("recovered merged summary differs from pre-crash state (%d vs %d bytes)",
+			len(gotMerged), len(preMerged))
+	}
+	gotShards, err := svc2.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotShards, preShards) {
+		t.Fatalf("recovered per-shard state differs from pre-crash state (%d vs %d bytes): group replay moved a worker batch boundary",
+			len(gotShards), len(preShards))
+	}
+
+	// Value-level serial oracle: the singleton level's composition is a
+	// sum of per-y sketches, independent of arrival order and shard
+	// partition, so the recovered server must answer float-exactly like
+	// one offline summary fed every acknowledged batch serially. (Whole-
+	// marshal byte identity against an offline oracle is not defined
+	// here: which dyadic levels materialize depends on per-shard mass,
+	// which the concurrent arrival order perturbs.)
+	offline, err := correlated.NewF2Summary(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ingesters; i++ {
+		if err := offline.AddBatch(testStream(1_000, uint64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := svc2.Engine().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(ingesters)*1_000 {
+		t.Fatalf("recovered count %d, want %d", n, ingesters*1_000)
+	}
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	cl2 := client.New(ts2.URL)
+	for _, c := range []uint64{0, 20, 80, 150, 250, distinctY, 1 << 15} {
+		want, err1 := offline.QueryLE(c)
+		got, err2 := cl2.QueryLE(ctx, c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("c=%d: %v / %v", c, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("c=%d: recovered server %v, serial oracle %v", c, got, want)
+		}
+	}
+}
+
+// TestServiceStressRace drives one WAL-enabled server with everything at
+// once — 6 concurrent ingesters, multi-cutoff query loops, site pushes,
+// and a hot snapshot ticker — and then asserts the final state matches a
+// serial oracle over the same acknowledged batches and images: exact
+// count, and float-exact query answers in both directions (the singleton
+// level's composition is a sum of per-y sketches, so it is independent
+// of ingest order and shard partition — byte-identity of the whole
+// marshal additionally requires the dyadic levels to stay virgin, which
+// only the smaller crash-exactness streams guarantee). A kill -9 and
+// recovery at the end must reproduce the pre-crash bytes exactly. Run
+// under -race (the CI race job does) this is the serving core's
+// interleaving torture test.
+func TestServiceStressRace(t *testing.T) {
+	o := testOptions()
+	cfg := walConfig(t, 2)
+	cfg.SnapshotInterval = 25 * time.Millisecond // hot ticker, real xfer contention
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	ctx := context.Background()
+
+	const (
+		ingesters        = 6
+		batchesPerClient = 6
+		batchSize        = 150
+		pushers          = 2
+		pushesEach       = 3
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Query loops: multi-cutoff, continuously, against the epoch cache.
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := client.New(ts.URL)
+			cutoffs := []uint64{10, 50, 150, distinctY}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.QueryBatch(ctx, "le", cutoffs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var mu sync.Mutex
+	var ackedImages [][]byte
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cl := client.New(ts.URL)
+			for j := 0; j < pushesEach; j++ {
+				site, err := correlated.NewF2Summary(o)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := site.AddBatch(testStream(200, uint64(7000+p*100+j))); err != nil {
+					t.Error(err)
+					return
+				}
+				img, err := site.MarshalBinary()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := cl.Push(ctx, img); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				ackedImages = append(ackedImages, img)
+				mu.Unlock()
+			}
+		}(p)
+	}
+
+	var iwg sync.WaitGroup
+	for i := 0; i < ingesters; i++ {
+		iwg.Add(1)
+		go func(i int) {
+			defer iwg.Done()
+			cl := client.New(ts.URL, client.WithChunkSize(batchSize))
+			for j := 0; j < batchesPerClient; j++ {
+				if err := cl.AddBatch(ctx, testStream(batchSize, uint64(9000+i*100+j))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	iwg.Wait()
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Serial oracle: every acknowledged batch and image, applied to one
+	// offline summary, in an order unrelated to the server's.
+	offline, err := correlated.NewF2Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ackedTuples uint64
+	for i := 0; i < ingesters; i++ {
+		for j := 0; j < batchesPerClient; j++ {
+			if err := offline.AddBatch(testStream(batchSize, uint64(9000+i*100+j))); err != nil {
+				t.Fatal(err)
+			}
+			ackedTuples += batchSize
+		}
+	}
+	for _, img := range ackedImages {
+		if err := offline.MergeMarshaled(img); err != nil {
+			t.Fatal(err)
+		}
+		ackedTuples += 200
+	}
+	cl := client.New(ts.URL)
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != ackedTuples {
+		t.Fatalf("server holds %d tuples, oracle acknowledged %d", st.Count, ackedTuples)
+	}
+	cutoffs := []uint64{0, 10, 25, 50, 100, 150, 200, 250, distinctY, 1 << 15}
+	for _, c := range cutoffs {
+		wantLE, err1 := offline.QueryLE(c)
+		gotLE, err2 := cl.QueryLE(ctx, c)
+		wantGE, err3 := offline.QueryGE(c)
+		gotGE, err4 := cl.QueryGE(ctx, c)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			t.Fatalf("c=%d: %v %v %v %v", c, err1, err2, err3, err4)
+		}
+		if gotLE != wantLE || gotGE != wantGE {
+			t.Fatalf("c=%d: server (LE %v, GE %v) oracle (LE %v, GE %v)", c, gotLE, gotGE, wantLE, wantGE)
+		}
+	}
+
+	// And the whole thing survives a kill -9: the recovered bytes must
+	// reproduce the pre-crash state exactly (group replay).
+	pre, err := svc.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(ts, svc)
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	recovered, err := svc2.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recovered, pre) {
+		t.Fatalf("post-crash recovery differs from pre-crash state (%d vs %d bytes)", len(recovered), len(pre))
+	}
+	n2, err := svc2.Engine().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != ackedTuples {
+		t.Fatalf("recovered count %d, want %d", n2, ackedTuples)
+	}
+}
+
+// TestCommitGroupMixedValidation: a group with an invalid member rejects
+// exactly that member — the valid members commit, the group's WAL record
+// carries only them, and replay rebuilds the same state.
+func TestCommitGroupMixedValidation(t *testing.T) {
+	cfg := walConfig(t, 2)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good1 := testStream(300, 1)
+	good2 := testStream(300, 2)
+	bad := []correlated.Tuple{{X: 1, Y: cfg.Options.YMax + 10, W: 1}} // y beyond YMax
+	jobs := []*ingestJob{
+		{tuples: good1, done: make(chan struct{}, 1)},
+		{tuples: bad, done: make(chan struct{}, 1)},
+		{tuples: good2, done: make(chan struct{}, 1)},
+	}
+	svc.commitGroup(jobs)
+	for i, j := range jobs {
+		<-j.done
+		wantKind := ingestOK
+		if i == 1 {
+			wantKind = ingestErrValidate
+		}
+		if j.kind != wantKind {
+			t.Fatalf("job %d: kind %d, err %v", i, j.kind, j.err)
+		}
+	}
+	n, err := svc.eng.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 600 {
+		t.Fatalf("engine holds %d tuples, want 600", n)
+	}
+	pre, err := svc.eng.MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The log's view: exactly one group record with the two valid
+	// members, in commit order.
+	var types []wal.RecordType
+	if err := svc.wal.Replay(0, func(lsn uint64, typ wal.RecordType, payload []byte) error {
+		types = append(types, typ)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 1 || types[0] != wal.RecordIngestGroup {
+		t.Fatalf("log records %v, want one RecordIngestGroup", types)
+	}
+	svc.eng.Close()
+	svc.shutdownStorage()
+
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	got, err := svc2.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pre) {
+		t.Fatal("replayed group state differs from live state")
+	}
+}
+
+// TestQueryMaxStale: with a staleness budget the cache keeps serving
+// through state changes until the window expires, then catches up.
+func TestQueryMaxStale(t *testing.T) {
+	cfg := Config{Options: testOptions(), Shards: 1, QueryMaxStale: time.Hour}
+	svc, _, cl := newTestServer(t, cfg)
+	ctx := context.Background()
+	if err := cl.AddBatch(ctx, testStream(1_000, 61)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := cl.QueryLE(ctx, distinctY) // builds the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddBatch(ctx, testStream(1_000, 62)); err != nil {
+		t.Fatal(err)
+	}
+	within, err := cl.QueryLE(ctx, distinctY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within != first {
+		t.Fatalf("query inside the staleness window rebuilt: %v vs %v", within, first)
+	}
+	// Deterministic expiry: age the cache past the window by hand.
+	svc.queryMu.Lock()
+	svc.cacheBuilt = time.Now().Add(-2 * time.Hour)
+	svc.queryMu.Unlock()
+	after, err := cl.QueryLE(ctx, distinctY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == first {
+		t.Fatalf("query after the window still served the stale cache: %v", after)
+	}
+	if got := svc.metrics.queryCacheRebuilds.Load(); got != 2 {
+		t.Fatalf("rebuilds = %d, want 2 (initial build + post-expiry)", got)
+	}
+}

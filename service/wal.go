@@ -18,19 +18,22 @@ import (
 // interval to zero.
 //
 // Two invariants make recovery crash-exact. First, "log order == apply
-// order": the engine apply and the WAL append for one request happen
-// under the same critical section of the driver lock (s.mu), so the
-// replayer — which re-applies records through the very same engine
-// entry points (AddBatch, MergeMarshaled, Reset) — reconstructs the
-// identical sequence of engine calls. Second, "boundaries are a
-// function of the log": the shard summaries' state depends on where
-// worker batch handoffs fall, and untimed barriers (a snapshot tick, a
-// query) would move those boundaries in ways no log can reproduce — so
-// with the WAL on, every ingest request drains the engine before it is
-// acknowledged, pinning each worker batch to its request. Together with
-// the canonical marshaling ("equal state ⇒ equal bytes"), a recovered
-// server's /v1/summary is byte-identical to a crash-free run over the
-// same acknowledged requests.
+// order": the engine apply and the WAL append for one commit group (or
+// push) happen under the same critical section of the driver lock
+// (s.mu), so the replayer — which re-applies records through the very
+// same engine entry points (AddBatch, MergeMarshaled, Reset) —
+// reconstructs the identical sequence of engine calls. Second,
+// "boundaries are a function of the log": the shard summaries' state
+// depends on where worker batch handoffs fall, and untimed barriers (a
+// snapshot tick, a query) would move those boundaries in ways no log
+// can reproduce — so with the WAL on, every commit group drains the
+// engine before its members are acknowledged, and the group boundary
+// itself is durable: the group's one record carries its member batches
+// in commit order, and replay re-applies them and then flushes once,
+// exactly as the live group did. Together with the canonical marshaling
+// ("equal state ⇒ equal bytes"), a recovered server's /v1/summary is
+// byte-identical to a crash-free run over the same acknowledged
+// requests grouped the same way.
 //
 // Snapshots and the WAL compose rather than compete: the snapshot file
 // embeds the LSN it covers, a completed snapshot appends a checkpoint
@@ -72,21 +75,14 @@ func (s *Server) openWAL() error {
 		return fmt.Errorf("service: wal: %w", err)
 	}
 	s.wal = w
+	s.walSyncAlways = policy == wal.SyncAlways
 	return nil
 }
 
-// logIngest appends an accepted ingest batch to the WAL. Callers hold
-// s.mu, which is what makes the log position match the apply position.
-func (s *Server) logIngest(d *decodeState) error {
-	if s.wal == nil {
-		return nil
-	}
-	d.wal = tupleio.AppendCountedBatch(d.wal[:0], d.tuples)
-	_, err := s.wal.Append(wal.RecordIngest, d.wal)
-	return err
-}
-
 // logPush appends a merged push image to the WAL (callers hold s.mu).
+// Ingest is logged by the commit pipeline's logIngestGroup (pipeline.go):
+// one record per commit group, carrying the member batches in commit
+// order.
 func (s *Server) logPush(image []byte) error {
 	if s.wal == nil {
 		return nil
@@ -146,8 +142,33 @@ func (s *Server) replayWAL(covered uint64) error {
 			if err := s.eng.AddBatch(tuples); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}
-			// Drain per record, mirroring the live ingest path: worker
-			// batch boundaries replay exactly as they ran.
+			// Drain per record, mirroring the live commit of a group of
+			// one: worker batch boundaries replay exactly as they ran.
+			if err := s.eng.Flush(); err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+		case wal.RecordIngestGroup:
+			// One commit group: apply every member batch in commit
+			// order, then flush once — the same single drain the live
+			// group paid, so the worker batch boundaries (and therefore
+			// the recovered bytes) match the crashed run exactly.
+			n, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return fmt.Errorf("service: wal replay: record %d: bad group header", lsn)
+			}
+			rest := payload[sz:]
+			for i := uint64(0); i < n; i++ {
+				var err error
+				if tuples, rest, err = tupleio.DecodeCountedPrefix(tuples, rest); err != nil {
+					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+				}
+				if err := s.eng.AddBatch(tuples); err != nil {
+					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+				}
+			}
+			if len(rest) != 0 {
+				return fmt.Errorf("service: wal replay: record %d: %d trailing bytes after %d members", lsn, len(rest), n)
+			}
 			if err := s.eng.Flush(); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}

@@ -112,12 +112,21 @@ func WithMaxY(ymax uint64) Option {
 type Sharded[S Summary[S]] struct {
 	workers []*worker[S]
 	scratch S // pooled merge-then-query accumulator
-	ack     chan struct{}
-	next    int // round-robin routing cursor
-	push    int // round-robin cursor for MergeMarshaled targets
-	ymax    uint64
-	err     error // sticky first worker error
-	closed  bool
+	// cached is the reusable merged-summary for the epoch-cached read
+	// path: RefreshCached rebuilds it (driver-only, it barriers the
+	// workers), CachedQuery* answer from it without touching the workers
+	// at all — so a serving layer can answer repeated queries while the
+	// driver keeps ingesting. The field is deliberately disjoint from
+	// every driver-side code path except RefreshCached: CachedQuery*
+	// callers need only serialize against RefreshCached and each other,
+	// never against Add/Flush/Query on the driver.
+	cached S
+	ack    chan struct{}
+	next   int // round-robin routing cursor
+	push   int // round-robin cursor for MergeMarshaled targets
+	ymax   uint64
+	err    error // sticky first worker error
+	closed bool
 }
 
 // worker is one shard: a goroutine draining batches into its summary.
@@ -140,8 +149,9 @@ type job struct {
 // NewSharded builds an engine with `shards` workers, each owning a
 // summary from newSummary. Every summary must be built from identical
 // Options — same Seed included — or merges at query time will fail; the
-// typed constructors guarantee this. newSummary is called shards+1 times
-// (one extra for the query scratch summary).
+// typed constructors guarantee this. newSummary is called shards+2 times
+// (one extra for the query scratch summary, one for the cached merged
+// summary behind RefreshCached/CachedQuery*).
 func NewSharded[S Summary[S]](newSummary func() (S, error), shards int, opts ...Option) (*Sharded[S], error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: shards must be >= 1, got %d", shards)
@@ -159,6 +169,9 @@ func NewSharded[S Summary[S]](newSummary func() (S, error), shards int, opts ...
 	}
 	var err error
 	if e.scratch, err = newSummary(); err != nil {
+		return nil, err
+	}
+	if e.cached, err = newSummary(); err != nil {
 		return nil, err
 	}
 	for i := 0; i < shards; i++ {
@@ -359,6 +372,55 @@ func (e *Sharded[S]) QueryGEBatch(cutoffs []uint64, out []float64) error {
 	}
 	for i, c := range cutoffs {
 		v, err := e.scratch.QueryGE(c)
+		if err != nil {
+			return fmt.Errorf("c=%d: %w", c, err)
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// RefreshCached drains the workers and rebuilds the cached merged
+// summary — the same merge QueryLE performs into scratch, but into a
+// summary CachedQuery* can keep answering from after this call returns.
+// RefreshCached is a driver-side call (it barriers the workers) and must
+// additionally be serialized against CachedQuery*; the serving layer's
+// epoch cache provides both.
+func (e *Sharded[S]) RefreshCached() error {
+	if err := e.barrier(); err != nil {
+		return err
+	}
+	e.cached.Reset()
+	for _, wk := range e.workers {
+		if err := e.cached.Merge(wk.sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CachedQueryLEBatch answers AGG{x : y <= c} for every cutoff from the
+// summary the last RefreshCached built, writing estimates into out
+// (len(out) must equal len(cutoffs)). Unlike QueryLEBatch it performs no
+// barrier and no merge — it never touches the workers — so it is safe to
+// run while the driver ingests, provided CachedQuery* calls and
+// RefreshCached are serialized among themselves. Before the first
+// RefreshCached it answers over the empty summary.
+func (e *Sharded[S]) CachedQueryLEBatch(cutoffs []uint64, out []float64) error {
+	for i, c := range cutoffs {
+		v, err := e.cached.QueryLE(c)
+		if err != nil {
+			return fmt.Errorf("c=%d: %w", c, err)
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// CachedQueryGEBatch is CachedQueryLEBatch for the GE direction.
+func (e *Sharded[S]) CachedQueryGEBatch(cutoffs []uint64, out []float64) error {
+	for i, c := range cutoffs {
+		v, err := e.cached.QueryGE(c)
 		if err != nil {
 			return fmt.Errorf("c=%d: %w", c, err)
 		}

@@ -217,6 +217,184 @@ func TestShardedRace(t *testing.T) {
 	}
 }
 
+// TestShardedHandoffBufferRecycling: the driver/worker handoff reuses a
+// fixed set of batch buffers — every buffer that comes back through a
+// worker's free channel is one of the originals, so steady-state ingest
+// allocates no new handoff storage no matter how many batches flow.
+func TestShardedHandoffBufferRecycling(t *testing.T) {
+	o := correlated.Options{
+		Eps: 0.25, Delta: 0.1, YMax: 1<<16 - 1,
+		MaxStreamLen: 1 << 20, MaxX: 1 << 12, Seed: 9,
+	}
+	const batch = 64
+	eng, err := NewF2(o, 2, WithBatchSize(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Record the identity (backing-array address) of every buffer in
+	// circulation: the pending buffer plus everything parked in free.
+	baseline := map[*correlated.Tuple]bool{}
+	record := func(m map[*correlated.Tuple]bool) {
+		for _, wk := range eng.workers {
+			m[&wk.pending[:1][0]] = true
+			for i := 0; i < len(wk.free); i++ {
+				b := <-wk.free
+				m[&b[:1][0]] = true
+				wk.free <- b
+			}
+		}
+	}
+	record(baseline)
+	want := len(eng.workers) * (spareBuffers + 1)
+	if len(baseline) != want {
+		t.Fatalf("expected %d distinct buffers in circulation, found %d", want, len(baseline))
+	}
+	rng := hash.New(77)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < batch*len(eng.workers)*4; i++ {
+			if err := eng.Add(rng.Uint64n(1<<12), rng.Uint64n(1<<16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := map[*correlated.Tuple]bool{}
+	record(after)
+	for p := range after {
+		if !baseline[p] {
+			t.Fatalf("a handoff buffer was reallocated instead of recycled (%d of %d foreign)", len(after)-len(baseline), len(after))
+		}
+	}
+}
+
+// TestShardedCachedQuery: RefreshCached captures the merged state and
+// CachedQuery* serve it — identical to the live QueryLE answers at the
+// refresh point — without flushing or touching later ingest until the
+// next refresh.
+func TestShardedCachedQuery(t *testing.T) {
+	o := correlated.Options{
+		Eps: 0.2, Delta: 0.1, YMax: 1<<16 - 1,
+		MaxStreamLen: 1 << 20, MaxX: 1 << 16, Alpha: 256, Seed: 5,
+		Predicate: correlated.Both,
+	}
+	eng, err := NewF2(o, 3, WithBatchSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rng := hash.New(41)
+	for i := 0; i < 10_000; i++ {
+		if err := eng.Add(rng.Uint64n(1<<16), rng.Uint64n(200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cutoffs := []uint64{0, 10, 100, 199, 1 << 15}
+	live := make([]float64, len(cutoffs))
+	if err := eng.QueryLEBatch(cutoffs, live); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RefreshCached(); err != nil {
+		t.Fatal(err)
+	}
+	cached := make([]float64, len(cutoffs))
+	if err := eng.CachedQueryLEBatch(cutoffs, cached); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cutoffs {
+		if cached[i] != live[i] {
+			t.Fatalf("c=%d: cached %v live %v", cutoffs[i], cached[i], live[i])
+		}
+	}
+	// More ingest does not bleed into the cache until the next refresh.
+	for i := 0; i < 5_000; i++ {
+		if err := eng.Add(rng.Uint64n(1<<16), rng.Uint64n(200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := make([]float64, len(cutoffs))
+	if err := eng.CachedQueryLEBatch(cutoffs, stale); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cutoffs {
+		if stale[i] != live[i] {
+			t.Fatalf("c=%d: cache moved without a refresh (%v vs %v)", cutoffs[i], stale[i], live[i])
+		}
+	}
+	if err := eng.RefreshCached(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]float64, len(cutoffs))
+	if err := eng.CachedQueryLEBatch(cutoffs, fresh); err != nil {
+		t.Fatal(err)
+	}
+	liveGE := make([]float64, len(cutoffs))
+	cachedGE := make([]float64, len(cutoffs))
+	if err := eng.QueryLEBatch(cutoffs, live); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.QueryGEBatch(cutoffs, liveGE); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CachedQueryGEBatch(cutoffs, cachedGE); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cutoffs {
+		if fresh[i] != live[i] || cachedGE[i] != liveGE[i] {
+			t.Fatalf("c=%d: refreshed cache diverges (LE %v/%v, GE %v/%v)",
+				cutoffs[i], fresh[i], live[i], cachedGE[i], liveGE[i])
+		}
+	}
+}
+
+// TestShardedCachedQueryConcurrentIngest: CachedQuery* may run while the
+// driver ingests (the service's epoch cache does exactly that); run
+// under -race this pins the no-shared-state contract between the cached
+// read path and the ingest path.
+func TestShardedCachedQueryConcurrentIngest(t *testing.T) {
+	o := correlated.Options{
+		Eps: 0.25, Delta: 0.1, YMax: 1<<16 - 1,
+		MaxStreamLen: 1 << 20, MaxX: 1 << 12, Seed: 3,
+	}
+	eng, err := NewF2(o, 2, WithBatchSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.New(55)
+	for i := 0; i < 5_000; i++ {
+		if err := eng.Add(rng.Uint64n(1<<12), rng.Uint64n(1<<16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.RefreshCached(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		out := make([]float64, 1)
+		for i := 0; i < 2_000; i++ {
+			if err := eng.CachedQueryLEBatch([]uint64{uint64(i % (1 << 16))}, out); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 40_000; i++ {
+		if err := eng.Add(rng.Uint64n(1<<12), rng.Uint64n(1<<16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestShardedFkAndSum: the generic engine works across summary types.
 func TestShardedFkAndSum(t *testing.T) {
 	o := correlated.Options{
