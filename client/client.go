@@ -58,13 +58,20 @@ type Stats struct {
 	// Group commit and epoch cache: requests/groups is the live fsync
 	// amortization factor, hits/(hits+rebuilds) the fraction of queries
 	// that skipped the shard merge entirely.
-	IngestGroups       uint64  `json:"ingest_groups,omitempty"`
-	IngestGroupReqs    uint64  `json:"ingest_group_requests,omitempty"`
-	QueryCacheHits     uint64  `json:"query_cache_hits,omitempty"`
-	QueryCacheRebuilds uint64  `json:"query_cache_rebuilds,omitempty"`
-	Restored           bool    `json:"restored_from_snapshot"`
-	LastSnapshot       int64   `json:"last_snapshot_unix"`
-	UptimeSeconds      float64 `json:"uptime_seconds"`
+	IngestGroups       uint64 `json:"ingest_groups,omitempty"`
+	IngestGroupReqs    uint64 `json:"ingest_group_requests,omitempty"`
+	QueryCacheHits     uint64 `json:"query_cache_hits,omitempty"`
+	QueryCacheRebuilds uint64 `json:"query_cache_rebuilds,omitempty"`
+
+	// Streaming-ingest transport counters (present when the server runs
+	// with -stream-addr and has seen stream traffic).
+	StreamConns      int64   `json:"stream_conns,omitempty"`
+	StreamConnsTotal uint64  `json:"stream_conns_total,omitempty"`
+	StreamFrames     uint64  `json:"stream_frames,omitempty"`
+	StreamTuples     uint64  `json:"stream_tuples,omitempty"`
+	Restored         bool    `json:"restored_from_snapshot"`
+	LastSnapshot     int64   `json:"last_snapshot_unix"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
 
 	// WAL fields are present when the server runs with -wal-dir.
 	WALEnabled       bool    `json:"wal_enabled,omitempty"`

@@ -21,6 +21,14 @@
 // being gated by fsync latency times request count. Queries are served
 // from an epoch-keyed merged-summary cache and do not block ingest.
 //
+// With -stream-addr set, the daemon also serves the persistent
+// length-framed streaming-ingest transport on that address: clients
+// (client.DialStream, corrgen -stream) hold one TCP connection, pump
+// counted tuple-batch frames back-to-back, and read per-frame acks that
+// carry the WAL group LSN — the wire-speed alternative to per-request
+// HTTP ingest, riding the same group-commit pipeline and the same
+// durability contract.
+//
 // Site — summarize a local stream and push merged images upstream every
 // -push-interval, resetting after each acknowledged push:
 //
@@ -47,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,20 +68,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7070", "listen address")
-		agg      = flag.String("agg", "f2", "aggregate: f2, fk, count, or sum")
-		k        = flag.Int("k", 3, "moment order for -agg fk")
-		eps      = flag.Float64("eps", 0.15, "target relative error ε ∈ (0,1)")
-		delta    = flag.Float64("delta", 0.1, "failure probability δ ∈ (0,1)")
-		ymax     = flag.Uint64("ymax", 1<<20-1, "largest y value")
-		maxn     = flag.Uint64("maxn", 1<<32, "stream length bound")
-		maxx     = flag.Uint64("maxx", 1<<32, "identifier bound (SUM/F0 sizing)")
-		seed     = flag.Uint64("seed", 1, "hash seed; must match across sites and coordinator")
-		pred     = flag.String("pred", "both", "query directions: le, ge, or both")
-		alpha    = flag.Int("alpha", 0, "per-level bucket capacity override (0 = derive)")
-		shards   = flag.Int("shards", 1, "parallel ingest shards")
-		groupMax = flag.Int("ingest-group-max", 256, "max ingest requests committed (and fsynced) as one group")
-		maxStale = flag.Duration("query-max-stale", 0, "serve queries from a cached merged summary up to this old (0 = rebuild whenever state moved)")
+		addr       = flag.String("addr", ":7070", "listen address")
+		streamAddr = flag.String("stream-addr", "", "streaming-ingest listen address (empty = disabled); serves the persistent length-framed transport")
+		agg        = flag.String("agg", "f2", "aggregate: f2, fk, count, or sum")
+		k          = flag.Int("k", 3, "moment order for -agg fk")
+		eps        = flag.Float64("eps", 0.15, "target relative error ε ∈ (0,1)")
+		delta      = flag.Float64("delta", 0.1, "failure probability δ ∈ (0,1)")
+		ymax       = flag.Uint64("ymax", 1<<20-1, "largest y value")
+		maxn       = flag.Uint64("maxn", 1<<32, "stream length bound")
+		maxx       = flag.Uint64("maxx", 1<<32, "identifier bound (SUM/F0 sizing)")
+		seed       = flag.Uint64("seed", 1, "hash seed; must match across sites and coordinator")
+		pred       = flag.String("pred", "both", "query directions: le, ge, or both")
+		alpha      = flag.Int("alpha", 0, "per-level bucket capacity override (0 = derive)")
+		shards     = flag.Int("shards", 1, "parallel ingest shards")
+		groupMax   = flag.Int("ingest-group-max", 256, "max ingest requests committed (and fsynced) as one group")
+		maxStale   = flag.Duration("query-max-stale", 0, "serve queries from a cached merged summary up to this old (0 = rebuild whenever state moved)")
 
 		snapshot     = flag.String("snapshot", "", "snapshot file path (empty = no durability)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
@@ -144,6 +154,20 @@ func main() {
 			roleOf(*pushTo), *addr, *agg, *shards)
 		errc <- httpSrv.ListenAndServe()
 	}()
+	if *streamAddr != "" {
+		ln, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corrd: stream listen: %v\n", err)
+			svc.Close()
+			os.Exit(1)
+		}
+		go func() {
+			logger.Printf("corrd: streaming ingest listening on %s", *streamAddr)
+			if err := svc.ServeStream(ln); err != nil {
+				errc <- fmt.Errorf("stream serve: %w", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

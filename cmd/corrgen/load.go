@@ -32,6 +32,7 @@ import (
 // loadReport is the machine-readable result of one load run.
 type loadReport struct {
 	Target       string  `json:"target"`
+	Transport    string  `json:"transport"` // "http" or "stream"
 	Dataset      string  `json:"dataset"`
 	Tuples       int     `json:"tuples"`
 	Chunk        int     `json:"chunk"`
@@ -60,6 +61,7 @@ type loadReport struct {
 // loadConfig carries the flag values the load mode needs.
 type loadConfig struct {
 	target       string
+	streamAddr   string // non-empty: ingest over the streaming transport
 	dataset      string
 	n            int
 	seed         uint64
@@ -69,6 +71,13 @@ type loadConfig struct {
 	queryClients int
 	cutoffs      []uint64
 	jsonPath     string
+}
+
+func (cfg *loadConfig) transport() string {
+	if cfg.streamAddr != "" {
+		return "stream"
+	}
+	return "http"
 }
 
 // parseCutoffs parses the -query-cutoffs comma list.
@@ -134,6 +143,103 @@ func loadClient(cfg *loadConfig) *client.Client {
 		client.WithHTTPClient(&http.Client{Timeout: 60 * time.Second, Transport: tr}))
 }
 
+// streamAckBuffer sizes the per-connection ack channel: deep enough
+// that the stream's internal ack reader never stalls behind the drain
+// goroutine's latency bookkeeping.
+const streamAckBuffer = 512
+
+// streamIngest drives one client's substream over the streaming
+// transport: a single persistent connection, frames pipelined up to the
+// window, a drain goroutine consuming acks. Latency is measured per
+// Send (one chunk, normally one frame): the drain matches in-order acks
+// back to Send timestamps by covered tuple count, so the numbers mean
+// "time from handing the chunk to the transport until the server
+// acknowledged its commit" — the streaming analogue of the HTTP
+// request latency, with pipelining instead of lockstep.
+func streamIngest(ctx context.Context, cfg *loadConfig, i int) (lats []time.Duration, reqs, nAcked int, err error) {
+	s, err := clientStream(cfg, i)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	st, err := client.DialStream(ctx, cfg.streamAddr, client.WithAckBuffer(streamAckBuffer))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	type sendMeta struct {
+		t0 time.Time
+		n  int
+	}
+	metas := make(chan sendMeta, 4096)
+	lats = make([]time.Duration, 0, s.Len()/cfg.chunk+1)
+	drained := make(chan error, 1)
+	go func() {
+		var derr error
+		remaining := 0 // tuples of the pending Send not yet covered by acks
+		var t0 time.Time
+		for a := range st.Acks() {
+			if aerr := a.Err(); aerr != nil && derr == nil {
+				derr = aerr
+			} else if aerr == nil {
+				nAcked += a.Tuples
+			}
+			for n := a.Tuples; n > 0; {
+				if remaining == 0 {
+					m := <-metas // pushed right after the Send the ack covers
+					remaining, t0 = m.n, m.t0
+				}
+				if n < remaining {
+					remaining -= n
+					break
+				}
+				n -= remaining
+				remaining = 0
+				lats = append(lats, time.Since(t0))
+			}
+		}
+		drained <- derr
+	}()
+
+	batch := make([]correlated.Tuple, 0, cfg.chunk)
+	flush := func() error {
+		t0 := time.Now()
+		n := len(batch)
+		if err := st.Send(batch); err != nil {
+			return err
+		}
+		metas <- sendMeta{t0: t0, n: n}
+		reqs++
+		batch = batch[:0]
+		return nil
+	}
+	var sendErr error
+	for sendErr == nil {
+		t, ok := s.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, correlated.Tuple{X: t.X, Y: t.Y, W: 1})
+		if len(batch) == cfg.chunk {
+			sendErr = flush()
+		}
+	}
+	if sendErr == nil && len(batch) > 0 {
+		sendErr = flush()
+	}
+	// Close waits for every in-flight ack, then the ack channel closes
+	// and the drain reports the first non-OK outcome.
+	closeErr := st.Close()
+	drainErr := <-drained
+	switch {
+	case sendErr != nil:
+		err = sendErr
+	case drainErr != nil:
+		err = drainErr
+	case closeErr != nil:
+		err = closeErr
+	}
+	return lats, reqs, nAcked, err
+}
+
 // runLoad drives the concurrent load and prints (and optionally writes)
 // the report. Any client error aborts the whole run.
 func runLoad(cfg *loadConfig) error {
@@ -168,6 +274,17 @@ func runLoad(cfg *loadConfig) error {
 		ingestWG.Add(1)
 		go func(i int) {
 			defer ingestWG.Done()
+			if cfg.streamAddr != "" {
+				lats, reqs, nAcked, err := streamIngest(ctx, cfg, i)
+				if err != nil {
+					fail(fmt.Errorf("stream client %d: %w", i, err))
+					return
+				}
+				requests.Add(int64(reqs))
+				acked.Add(int64(nAcked))
+				ingestLats[i] = lats
+				return
+			}
 			cl := loadClient(cfg)
 			s, err := clientStream(cfg, i)
 			if err != nil {
@@ -249,6 +366,7 @@ func runLoad(cfg *loadConfig) error {
 
 	rep := loadReport{
 		Target:       cfg.target,
+		Transport:    cfg.transport(),
 		Dataset:      cfg.dataset,
 		Tuples:       cfg.n,
 		Chunk:        cfg.chunk,
@@ -275,8 +393,8 @@ func runLoad(cfg *loadConfig) error {
 	}
 
 	fmt.Fprintf(os.Stderr,
-		"corrgen load: %d clients acked %d tuples in %d requests over %v (%.0f req/s, %.0f tuples/s, ingest p50 %.2fms p99 %.2fms)\n",
-		rep.Clients, rep.AckedTuples, rep.IngestRequests, elapsed.Round(time.Millisecond),
+		"corrgen load (%s): %d clients acked %d tuples in %d requests over %v (%.0f req/s, %.0f tuples/s, ingest p50 %.2fms p99 %.2fms)\n",
+		rep.Transport, rep.Clients, rep.AckedTuples, rep.IngestRequests, elapsed.Round(time.Millisecond),
 		rep.IngestReqSec, rep.AckedTuplesSec, rep.IngestP50Ms, rep.IngestP99Ms)
 	if cfg.queryClients > 0 {
 		fmt.Fprintf(os.Stderr,

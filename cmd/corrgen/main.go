@@ -18,6 +18,12 @@
 // ingest. The run reports req/s, acked tuples/s, and ingest/query latency
 // percentiles, optionally as JSON with -load-json (see load.go and
 // scripts/load-bench.sh).
+//
+// With -stream host:port the ingest side switches to corrd's persistent
+// streaming transport (-stream-addr): one connection per client, frames
+// pipelined ahead of the server's acks, the wire-speed alternative to
+// HTTP. -target is still required for the health check and any query
+// clients.
 package main
 
 import (
@@ -36,13 +42,14 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "uniform", "uniform, zipf1, zipf2, or ethernet")
-		n       = flag.Int("n", 1_000_000, "number of tuples")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		xdom    = flag.Uint64("xdom", 500_001, "identifier domain size (not used by ethernet)")
-		ydom    = flag.Uint64("ydom", 1_000_001, "y domain size (not used by ethernet)")
-		target  = flag.String("target", "", "corrd base URL; send tuples there instead of stdout")
-		chunk   = flag.Int("chunk", 8192, "tuples per ingest request with -target")
+		dataset  = flag.String("dataset", "uniform", "uniform, zipf1, zipf2, or ethernet")
+		n        = flag.Int("n", 1_000_000, "number of tuples")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		xdom     = flag.Uint64("xdom", 500_001, "identifier domain size (not used by ethernet)")
+		ydom     = flag.Uint64("ydom", 1_000_001, "y domain size (not used by ethernet)")
+		target   = flag.String("target", "", "corrd base URL; send tuples there instead of stdout")
+		streamTo = flag.String("stream", "", "corrd -stream-addr host:port; ingest over the persistent streaming transport instead of HTTP")
+		chunk    = flag.Int("chunk", 8192, "tuples per ingest request with -target")
 
 		clients      = flag.Int("clients", 1, "concurrent ingest clients with -target (load mode when > 1)")
 		queryClients = flag.Int("query-clients", 0, "concurrent multi-cutoff query loops during the ingest")
@@ -67,14 +74,14 @@ func main() {
 	}
 
 	if *target != "" {
-		if *clients > 1 || *queryClients > 0 {
+		if *clients > 1 || *queryClients > 0 || *streamTo != "" {
 			cutoffs, err := parseCutoffs(*queryCutoffs)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
 				os.Exit(2)
 			}
 			cfg := &loadConfig{
-				target: *target, dataset: *dataset, n: *n, seed: *seed,
+				target: *target, streamAddr: *streamTo, dataset: *dataset, n: *n, seed: *seed,
 				xdom: *xdom, ydom: *ydom, chunk: max(*chunk, 1),
 				clients: max(*clients, 1), queryClients: *queryClients,
 				cutoffs: cutoffs, jsonPath: *loadJSON,

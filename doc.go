@@ -64,6 +64,14 @@
 //	                                            moved, served outside the ingest
 //	                                            lock; -query-max-stale bounds the
 //	                                            rebuild rate)
+//	streaming ingest          service, client   persistent length-framed ingest
+//	                                            transport (corrd -stream-addr):
+//	                                            counted tupleio frames pipelined
+//	                                            ahead of per-frame acks carrying
+//	                                            the WAL group LSN, pooled
+//	                                            zero-alloc server decode, and the
+//	                                            client.DialStream handle driving
+//	                                            it (corrgen -stream for load)
 //	durable ingest            internal/wal      segmented CRC32C write-ahead log
 //	                                            under the daemon: log-before-ack,
 //	                                            group records, fsync policies,

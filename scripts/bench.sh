@@ -38,6 +38,12 @@ BENCH_COUNT="${BENCH_COUNT:-1}"
   # /v1/ingest acknowledgement (fsync=always is the durability barrier).
   go test -run '^$' -bench 'BenchmarkWALAppend' -benchmem -benchtime=500x \
     -count="$BENCH_COUNT" ./internal/wal/
+  # Per-frame server decode paths, both transports: the streaming
+  # frame+batch decode and the HTTP body copy+decode, through the shared
+  # buffer pool. The contract is 0 allocs/op at steady state (also
+  # pinned by TestStreamDecodeZeroAlloc / TestHTTPIngestDecodeZeroAlloc).
+  go test -run '^$' -bench 'BenchmarkStreamDecode$|BenchmarkHTTPIngestDecode$' \
+    -benchmem -benchtime=100000x -count="$BENCH_COUNT" ./service/
 } | tee benchmarks/latest.txt
 
 # Service-level load benchmark: acknowledged-ingest throughput and query
@@ -49,7 +55,9 @@ LOAD_ARGS=()
 if [ "${BENCH_SKIP_LOAD:-0}" != "1" ]; then
   scripts/load-bench.sh
   LOAD_ARGS=(-load ingest=benchmarks/service-load-ingest.json
-             -load mixed=benchmarks/service-load-mixed.json)
+             -load mixed=benchmarks/service-load-mixed.json
+             -load stream=benchmarks/service-load-stream.json
+             -load stream-http=benchmarks/service-load-stream-http.json)
 fi
 
 go run ./cmd/benchjson -in benchmarks/latest.txt -out benchmarks/latest.json \

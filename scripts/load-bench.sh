@@ -2,7 +2,7 @@
 # Service-level load benchmark: start a corrd with the WAL on
 # (-wal-fsync=always — the durability configuration the group-commit
 # pipeline is built for) and drive it with corrgen's concurrent load
-# mode, in two phases:
+# mode, in three phases:
 #
 #   ingest  8 concurrent ingest clients, no queries — the acknowledged-
 #           ingest headline (fsync + drain amortization; on hardware
@@ -14,19 +14,32 @@
 #           cross-shard merge per query (the pre-group-commit server
 #           collapses here: every query held the ingest lock for a
 #           full merge).
+#   stream  the same tuples over the persistent length-framed streaming
+#           transport (corrd -stream-addr, corrgen -stream) next to an
+#           HTTP run at the same chunking — both at wire-speed
+#           granularity (small per-request batches, LOAD_STREAM_CHUNK).
+#           At large chunks both transports converge on the engine-
+#           apply ceiling; at fine granularity HTTP pays a request
+#           round trip per handful of tuples while the framed transport
+#           pipelines frames ahead of acks with pooled zero-alloc
+#           decode — that gap is the wire-speed headline
+#           scripts/load-compare.sh prints.
 #
-# Reports land in benchmarks/service-load-{ingest,mixed}.json; promote
-# them to benchmarks/service-baseline-{ingest,mixed}.json to make
-# scripts/load-compare.sh (and CI) print a before/after table.
+# Reports land in benchmarks/service-load-{ingest,mixed,stream,
+# stream-http}.json; promote them to the matching
+# benchmarks/service-baseline-*.json to make scripts/load-compare.sh
+# (and CI) print a before/after table.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${LOAD_ADDR:-127.0.0.1:17090}"
+STREAM_ADDR="${LOAD_STREAM_ADDR:-127.0.0.1:17091}"
 BASE="http://$ADDR"
 N="${LOAD_N:-100000}"
 CLIENTS="${LOAD_CLIENTS:-8}"
 QUERY_CLIENTS="${LOAD_QUERY_CLIENTS:-4}"
 CHUNK="${LOAD_CHUNK:-512}"
+STREAM_CHUNK="${LOAD_STREAM_CHUNK:-16}"
 MAX_STALE="${LOAD_QUERY_MAX_STALE:-500ms}"
 OUT_PREFIX="${LOAD_OUT_PREFIX:-benchmarks/service-load}"
 WORK="$(mktemp -d)"
@@ -78,4 +91,15 @@ start_corrd -query-max-stale "$MAX_STALE"
 curl -fsS "$BASE/metrics" | grep -E '^corrd_(ingest_requests_total|ingest_groups_total|wal_fsyncs_total|query_cache_(hits|rebuilds)_total)' || true
 stop_corrd
 
-echo "Wrote ${OUT_PREFIX}-ingest.json and ${OUT_PREFIX}-mixed.json"
+echo "== phase 3: stream vs HTTP at wire-speed granularity ($CLIENTS clients, $STREAM_CHUNK-tuple batches, fsync=always)"
+start_corrd -stream-addr "$STREAM_ADDR"
+"$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -chunk "$STREAM_CHUNK" -clients "$CLIENTS" \
+  -load-json "${OUT_PREFIX}-stream-http.json"
+"$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -stream "$STREAM_ADDR" -chunk "$STREAM_CHUNK" -clients "$CLIENTS" \
+  -load-json "${OUT_PREFIX}-stream.json"
+curl -fsS "$BASE/metrics" | grep -E '^corrd_(stream_(conns_total|frames_total|tuples_total)|ingest_groups_total|wal_fsyncs_total)' || true
+stop_corrd
+
+echo "Wrote ${OUT_PREFIX}-{ingest,mixed,stream,stream-http}.json"

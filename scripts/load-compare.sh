@@ -34,3 +34,17 @@ compare_phase() { # $1 phase name
 
 compare_phase ingest
 compare_phase mixed
+compare_phase stream
+
+# The wire-speed headline: streamed acked tuples/s over HTTP acked
+# tuples/s from the same run — both ingest-only at the same small
+# per-request batch size, fsync=always (load-bench.sh phase 3).
+if [[ -f benchmarks/service-load-stream-http.json && -f benchmarks/service-load-stream.json ]]; then
+  h=$(field benchmarks/service-load-stream-http.json acked_tuples_per_sec)
+  s=$(field benchmarks/service-load-stream.json acked_tuples_per_sec)
+  if [[ -n "$h" && -n "$s" ]]; then
+    awk -v h="$h" -v s="$s" 'BEGIN {
+      if (h + 0 > 0) printf "== stream vs HTTP ingest-only: %.0f vs %.0f acked tuples/s (%.2fx)\n", s, h, s / h
+    }'
+  fi
+fi

@@ -9,6 +9,9 @@
 #   6. WAL crash-exactness: kill -9 a -wal-dir daemon mid-ingest and
 #      prove the restarted /v1/summary is byte-identical to a
 #      crash-free oracle run over the same acknowledged batches
+#   7. streaming ingest: corrgen -stream clients and an HTTP generator
+#      against one daemon, kill -9 mid-stream, prove whole-frame
+#      recovery and byte-identical successive recoveries
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -130,10 +133,10 @@ WAL_N=200000
 SUMMARY_FLAGS=(-agg f2 -eps 0.15 -delta 0.1 -ymax 1000000 -maxn 1048576 \
   -maxx 500001 -seed 42 -shards 2)
 
-start_wal_corrd() { # $1 addr, $2 name (state dirs keyed off it)
+start_wal_corrd() { # $1 addr, $2 name (state dirs keyed off it), extra flags in "${@:3}"
   "$WORK/corrd" -addr "$1" "${SUMMARY_FLAGS[@]}" \
     -snapshot "$WORK/$2.snapshot" -snapshot-interval 2s \
-    -wal-dir "$WORK/$2-wal" -wal-fsync always >>"$LOG" 2>&1 &
+    -wal-dir "$WORK/$2-wal" -wal-fsync always "${@:3}" >>"$LOG" 2>&1 &
   for _ in $(seq 1 50); do
     if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
     sleep 0.2
@@ -256,6 +259,66 @@ if ! cmp -s "$WORK/conc1.summary" "$WORK/conc2.summary"; then
   exit 1
 fi
 echo "two successive recoveries are byte-identical ($(wc -c <"$WORK/conc1.summary") bytes)"
+kill -TERM "$WAL_PID"; wait "$WAL_PID" || true
+WAL_PID=""
+
+echo "== streaming ingest crash-exactness (corrgen -stream + HTTP, kill -9 mid-stream)"
+# Mixed transports against one durable daemon: four corrgen clients pump
+# the persistent length-framed transport while an HTTP generator runs
+# alongside, then the daemon dies mid-stream. Every acknowledged unit —
+# HTTP chunk or stream frame — is exactly 2048 tuples, so the recovered
+# count must divide by 2048, and two successive recoveries of the same
+# log must produce byte-identical summaries (streamed frames ride the
+# same group-commit WAL records as HTTP batches).
+STRM_ADDR="127.0.0.1:17077"; SBASE="http://$STRM_ADDR"
+STRM_INGEST="127.0.0.1:17078"
+STRM_N=204800   # 4 clients x 25 frames x 2048 tuples
+start_wal_corrd "$STRM_ADDR" "walstream" -stream-addr "$STRM_INGEST"
+WAL_PID=$!
+"$WORK/corrgen" -dataset uniform -n "$STRM_N" -seed 31 -xdom 100001 -ydom 1000001 \
+  -target "$SBASE" -stream "$STRM_INGEST" -chunk 2048 -clients 4 >/dev/null 2>&1 &
+STRM_GEN=$!
+"$WORK/corrgen" -dataset uniform -n 65536 -seed 32 -xdom 100001 -ydom 1000001 \
+  -target "$SBASE" -chunk 2048 >/dev/null 2>&1 &
+HTTP_GEN=$!
+for _ in $(seq 1 100); do
+  SINGESTED=$(curl -fsS "$SBASE/v1/stats" 2>/dev/null | grep -o '"count":[0-9]*' | cut -d: -f2 || echo 0)
+  [ "${SINGESTED:-0}" -ge 30000 ] && break
+  sleep 0.1
+done
+kill -9 "$WAL_PID"; wait "$WAL_PID" 2>/dev/null || true
+WAL_PID=""
+for pid in "$STRM_GEN" "$HTTP_GEN"; do kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; done
+
+start_wal_corrd "$STRM_ADDR" "walstream" -stream-addr "$STRM_INGEST"
+WAL_PID=$!
+SM=$(curl -fsS "$SBASE/v1/stats" | grep -o '"count":[0-9]*' | cut -d: -f2)
+if [ "$SM" -lt 30000 ]; then
+  echo "FAIL: stream recovery count $SM lost acknowledged ingest" >&2; exit 1
+fi
+if [ $((SM % 2048)) -ne 0 ]; then
+  echo "FAIL: stream recovery count $SM is not a whole number of acknowledged frames/chunks" >&2; exit 1
+fi
+echo "recovered $SM acknowledged tuples after kill -9 mid-stream"
+# The recovered daemon still serves the streaming transport.
+"$WORK/corrgen" -dataset uniform -n 2048 -seed 33 -xdom 100001 -ydom 1000001 \
+  -target "$SBASE" -stream "$STRM_INGEST" -chunk 2048 -clients 1 >/dev/null
+curl -fsS "$SBASE/metrics" -o "$WORK/stream-metrics.txt"
+grep -q 'corrd_stream_tuples_total 2048' "$WORK/stream-metrics.txt" \
+  || { echo "FAIL: stream metrics missing after recovery" >&2; exit 1; }
+curl -fsS -o "$WORK/stream1.summary" "$SBASE/v1/summary"
+kill -9 "$WAL_PID"; wait "$WAL_PID" 2>/dev/null || true
+WAL_PID=""
+
+start_wal_corrd "$STRM_ADDR" "walstream"
+WAL_PID=$!
+curl -fsS -o "$WORK/stream2.summary" "$SBASE/v1/summary"
+if ! cmp -s "$WORK/stream1.summary" "$WORK/stream2.summary"; then
+  echo "FAIL: two recoveries of the mixed HTTP+stream log diverged" >&2
+  ls -l "$WORK/stream1.summary" "$WORK/stream2.summary" >&2
+  exit 1
+fi
+echo "two successive recoveries of the mixed-transport log are byte-identical ($(wc -c <"$WORK/stream1.summary") bytes)"
 kill -TERM "$WAL_PID"; wait "$WAL_PID" || true
 WAL_PID=""
 echo "service smoke test PASSED"

@@ -42,6 +42,7 @@ const maxPooledBuffer = 4 << 20
 // the pool even after the trim below released d.tuples itself.
 func (s *Server) putDecodeState(d *decodeState) {
 	d.job.tuples, d.job.err = nil, nil
+	d.job.lsn, d.streamSeq = 0, 0
 	if cap(d.body) > maxPooledBuffer {
 		d.body = nil
 	}
@@ -420,6 +421,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IngestGroupReqs:    s.metrics.ingestGroupMembers.Load(),
 		QueryCacheHits:     s.metrics.queryCacheHits.Load(),
 		QueryCacheRebuilds: s.metrics.queryCacheRebuilds.Load(),
+
+		StreamConns:      s.metrics.streamConns.Load(),
+		StreamConnsTotal: s.metrics.streamConnsTotal.Load(),
+		StreamFrames:     s.metrics.streamFrames.Load(),
+		StreamTuples:     s.metrics.streamTuples.Load(),
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()

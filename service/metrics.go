@@ -25,10 +25,12 @@ func (c *counter) Inc()         { c.v.Add(1) }
 func (c *counter) Add(n uint64) { c.v.Add(n) }
 func (c *counter) Load() uint64 { return c.v.Load() }
 
-// gauge is a settable instantaneous value.
+// gauge is a settable instantaneous value; Add covers up/down counts
+// like live connections.
 type gauge struct{ v atomic.Int64 }
 
 func (g *gauge) Set(n int64) { g.v.Store(n) }
+func (g *gauge) Add(d int64) { g.v.Add(d) }
 func (g *gauge) Load() int64 { return g.v.Load() }
 
 // fgauge is a float-valued gauge (bit-stored for atomicity).
@@ -86,6 +88,15 @@ type metrics struct {
 	// Epoch cache: queries served without a merge vs rebuilds paid.
 	queryCacheHits     counter
 	queryCacheRebuilds counter
+
+	// Streaming ingest (the -stream-addr transport): live and lifetime
+	// connections, frames decoded and enqueued, tuples they carried,
+	// and frames rejected (bad hello, protocol desync, bad payload).
+	streamConns       gauge
+	streamConnsTotal  counter
+	streamFrames      counter
+	streamTuples      counter
+	streamFrameErrors counter
 
 	pushesMerged counter
 	pushErrors   counter
@@ -177,6 +188,11 @@ func (m *metrics) write(w io.Writer, es engineStats, ws *wal.Stats) {
 	c("corrd_ingest_group_requests_total", "Ingest requests carried by commit groups (divide by groups for the amortization factor).", m.ingestGroupMembers.Load())
 	c("corrd_query_cache_hits_total", "Queries served from the epoch cache without a shard merge.", m.queryCacheHits.Load())
 	c("corrd_query_cache_rebuilds_total", "Epoch-cache rebuilds (one barrier + shard merge each).", m.queryCacheRebuilds.Load())
+	g("corrd_stream_conns", "Live streaming-ingest connections.", m.streamConns.Load())
+	c("corrd_stream_conns_total", "Streaming-ingest connections accepted.", m.streamConnsTotal.Load())
+	c("corrd_stream_frames_total", "Stream frames decoded and committed through the ingest pipeline.", m.streamFrames.Load())
+	c("corrd_stream_tuples_total", "Tuples accepted over the streaming transport.", m.streamTuples.Load())
+	c("corrd_stream_frame_errors_total", "Stream frames rejected (bad hello, desync, malformed payload).", m.streamFrameErrors.Load())
 	c("corrd_pushes_merged_total", "Site summary images merged through /v1/push.", m.pushesMerged.Load())
 	c("corrd_push_errors_total", "Rejected /v1/push requests.", m.pushErrors.Load())
 	fmt.Fprintf(w, "# HELP corrd_queries_served_total Queries answered, by direction.\n")

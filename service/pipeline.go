@@ -43,16 +43,20 @@ const (
 	ingestErrValidate               // AddBatch rejected the member (client's error)
 	ingestErrEngine                 // the group flush surfaced an engine error
 	ingestErrWAL                    // the group's WAL append failed (not durable)
+	ingestErrShutdown               // the server is draining; never committed (stream acks only)
 )
 
 // ingestJob is one ingest request in flight through the commit
 // pipeline. The done channel (capacity 1, reused across requests via the
 // decodeState pool) carries the happens-before edge from the committer's
-// writes of err/kind to the handler's reads.
+// writes of err/kind/lsn to the handler's reads. lsn is the WAL LSN of
+// the group record the job's batch rode in (0 without a WAL) — what a
+// stream ack reports back to the client.
 type ingestJob struct {
 	tuples []correlated.Tuple
 	err    error
 	kind   ingestErrKind
+	lsn    uint64
 	done   chan struct{}
 }
 
@@ -156,6 +160,7 @@ func (s *Server) commitGroup(group []*ingestJob) {
 		applied++
 	}
 	var flushErr, walErr error
+	var groupLSN uint64
 	if applied > 0 && s.wal != nil {
 		// One drain pins the group's worker batch boundaries, one append
 		// orders the group in the log. The append is deliberately not
@@ -163,7 +168,7 @@ func (s *Server) commitGroup(group []*ingestJob) {
 		// next group's decode and apply (and any query-cache rebuild)
 		// overlap this group's disk wait instead of queueing behind it.
 		if flushErr = s.eng.Flush(); flushErr == nil {
-			walErr = s.logIngestGroup(group)
+			groupLSN, walErr = s.logIngestGroup(group)
 		}
 	}
 	if applied > 0 {
@@ -186,17 +191,20 @@ func (s *Server) commitGroup(group []*ingestJob) {
 				j.err, j.kind = flushErr, ingestErrEngine
 			} else if walErr != nil {
 				j.err, j.kind = walErr, ingestErrWAL
+			} else {
+				j.lsn = groupLSN
 			}
 		}
 		j.done <- struct{}{}
 	}
 }
 
-// logIngestGroup appends the group's applied members as one WAL record:
-// the counted batch itself for a group of one (the pre-group wire form,
-// byte-compatible with old logs), or a RecordIngestGroup carrying the
-// member batches in commit order. Callers hold s.mu.
-func (s *Server) logIngestGroup(group []*ingestJob) error {
+// logIngestGroup appends the group's applied members as one WAL record
+// and returns its LSN: the counted batch itself for a group of one (the
+// pre-group wire form, byte-compatible with old logs), or a
+// RecordIngestGroup carrying the member batches in commit order.
+// Callers hold s.mu.
+func (s *Server) logIngestGroup(group []*ingestJob) (uint64, error) {
 	buf := s.groupBuf[:0]
 	members := 0
 	for _, j := range group {
@@ -214,12 +222,12 @@ func (s *Server) logIngestGroup(group []*ingestJob) error {
 			buf = tupleio.AppendCountedBatch(buf, j.tuples)
 		}
 	}
-	_, err := s.wal.AppendNoSync(typ, buf)
+	lsn, err := s.wal.AppendNoSync(typ, buf)
 	if cap(buf) > maxPooledBuffer {
 		buf = nil // do not pin a rare huge group
 	}
 	s.groupBuf = buf
-	return err
+	return lsn, err
 }
 
 // bumpEpochLocked advances the state epoch; callers hold s.mu. Every

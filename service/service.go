@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -196,13 +197,16 @@ func newEngine(cfg *Config) (Engine, error) {
 }
 
 // decodeState is one pooled set of ingest scratch buffers: the raw
-// body, the decoded tuple batch, and the commit-pipeline job (whose
-// done channel is reused), recycled across requests so the steady-state
-// ingest path does not allocate per request.
+// body (or stream frame payload), the decoded tuple batch, and the
+// commit-pipeline job (whose done channel is reused), recycled across
+// requests so the steady-state ingest path does not allocate per
+// request. The HTTP handlers and the stream readers share one pool —
+// the same buffers serve both transports (the PR's pooling audit).
 type decodeState struct {
-	body   []byte
-	tuples []correlated.Tuple
-	job    ingestJob
+	body      []byte
+	tuples    []correlated.Tuple
+	streamSeq uint64 // stream transport only: the frame's client seq
+	job       ingestJob
 }
 
 // Server is one corrd instance. Create it with New, serve its Handler,
@@ -261,6 +265,14 @@ type Server struct {
 
 	dec   sync.Pool // *decodeState
 	pushc *client.Client
+
+	// streamMu guards the streaming-ingest transport's registries
+	// (stream.go): the listeners ServeStream runs on and the live
+	// connections, so Close can stop accepts and expire reads exactly
+	// once per conn without racing registration.
+	streamMu    sync.Mutex
+	streamLns   []net.Listener
+	streamConns map[net.Conn]struct{}
 
 	done     chan struct{}
 	wg       sync.WaitGroup
@@ -382,6 +394,11 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.closing.Store(true)
 	close(s.done)
+	// Stream transport first: stop accepting connections and expire the
+	// live readers so they enqueue nothing new after the pipeline closes
+	// below — their in-flight frames still commit and ack before each
+	// conn's goroutines (tracked in wg) exit.
+	s.closeStreams()
 	// New ingest is refused from here; the committer drains and commits
 	// what is already queued before it exits, so nothing accepted into
 	// the pipeline goes unacknowledged.
