@@ -82,6 +82,23 @@ type Stats struct {
 	WALLastLSN       uint64  `json:"wal_last_lsn,omitempty"`
 	WALReplayRecords uint64  `json:"wal_replay_records,omitempty"`
 	WALReplaySeconds float64 `json:"wal_replay_seconds,omitempty"`
+
+	// Multi-tenant registry aggregates; the engine fields above (count,
+	// space, shards) always describe one tenant — the default without
+	// ?tenant=, the named one with it.
+	Tenants     int   `json:"tenants,omitempty"`
+	TenantsLive int   `json:"tenants_live,omitempty"`
+	TenantBytes int64 `json:"tenant_bytes,omitempty"`
+
+	// Per-tenant view (?tenant=): which namespace the engine fields and
+	// the Tenant* counters below describe. TenantSpills/TenantRestores
+	// are server-wide without ?tenant=, that tenant's with it.
+	Tenant               string `json:"tenant,omitempty"`
+	TenantTuplesIngested uint64 `json:"tenant_tuples_ingested,omitempty"`
+	TenantPushesMerged   uint64 `json:"tenant_pushes_merged,omitempty"`
+	TenantQueriesServed  uint64 `json:"tenant_queries_served,omitempty"`
+	TenantSpills         uint64 `json:"tenant_spills,omitempty"`
+	TenantRestores       uint64 `json:"tenant_restores,omitempty"`
 }
 
 // QueryResult is the /v1/query response for a single cutoff.
@@ -155,15 +172,38 @@ func WithRetryBackoff(base, max time.Duration) Option {
 	}
 }
 
+// WithTenant scopes every request to one of the daemon's keyed
+// namespaces: ingest and push address (and, subject to the server's
+// caps, create) that tenant, queries, stats, and summaries read it. The
+// default is the empty key — the default tenant, which is also where
+// every request from a pre-tenant client lands.
+func WithTenant(name string) Option {
+	return func(c *Client) { c.tenant = name }
+}
+
 // Client talks to one corrd base URL.
 type Client struct {
 	base        string
 	hc          *http.Client
 	chunk       int
+	tenant      string
 	retries     int
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	bufs        sync.Pool // *[]byte encode buffers
+}
+
+// endpoint joins a path (optionally already carrying a query string)
+// with the client's tenant scope.
+func (c *Client) endpoint(path string) string {
+	if c.tenant == "" {
+		return path
+	}
+	sep := "?"
+	if strings.ContainsRune(path, '?') {
+		sep = "&"
+	}
+	return path + sep + "tenant=" + url.QueryEscape(c.tenant)
 }
 
 // New builds a client for a base URL like "http://localhost:7070". The
@@ -198,7 +238,7 @@ func (c *Client) AddBatch(ctx context.Context, batch []correlated.Tuple) error {
 			end = len(batch)
 		}
 		*bp = tupleio.AppendBatch((*bp)[:0], batch[off:end])
-		if err := c.post(ctx, "/v1/ingest", tupleio.ContentType, *bp, nil); err != nil {
+		if err := c.post(ctx, c.endpoint("/v1/ingest"), tupleio.ContentType, *bp, nil); err != nil {
 			return fmt.Errorf("after %d of %d tuples: %w", off, len(batch), err)
 		}
 	}
@@ -209,7 +249,7 @@ func (c *Client) AddBatch(ctx context.Context, batch []correlated.Tuple) error {
 // shard engine's MarshalMerged — to POST /v1/push, the paper's
 // site→coordinator path.
 func (c *Client) Push(ctx context.Context, image []byte) error {
-	return c.post(ctx, "/v1/push", "application/octet-stream", image, nil)
+	return c.post(ctx, c.endpoint("/v1/push"), "application/octet-stream", image, nil)
 }
 
 // QueryLE estimates AGG{x : y <= cutoff} on the server.
@@ -225,7 +265,7 @@ func (c *Client) QueryGE(ctx context.Context, cutoff uint64) (float64, error) {
 func (c *Client) query(ctx context.Context, op string, cutoff uint64) (float64, error) {
 	var res QueryResult
 	q := url.Values{"op": {op}, "c": {strconv.FormatUint(cutoff, 10)}}
-	if err := c.get(ctx, "/v1/query?"+q.Encode(), &res); err != nil {
+	if err := c.get(ctx, c.endpoint("/v1/query?"+q.Encode()), &res); err != nil {
 		return 0, err
 	}
 	return res.Estimate, nil
@@ -245,22 +285,23 @@ func (c *Client) QueryBatch(ctx context.Context, op string, cutoffs []uint64) ([
 	q := url.Values{"op": {op}, "c": cs}
 	if len(cutoffs) == 1 {
 		var res QueryResult
-		if err := c.get(ctx, "/v1/query?"+q.Encode(), &res); err != nil {
+		if err := c.get(ctx, c.endpoint("/v1/query?"+q.Encode()), &res); err != nil {
 			return nil, err
 		}
 		return []QueryResult{res}, nil
 	}
 	var res MultiQueryResult
-	if err := c.get(ctx, "/v1/query?"+q.Encode(), &res); err != nil {
+	if err := c.get(ctx, c.endpoint("/v1/query?"+q.Encode()), &res); err != nil {
 		return nil, err
 	}
 	return res.Results, nil
 }
 
-// Stats fetches the server's /v1/stats.
+// Stats fetches the server's /v1/stats (the tenant's view when the
+// client is tenant-scoped).
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var s Stats
-	err := c.get(ctx, "/v1/stats", &s)
+	err := c.get(ctx, c.endpoint("/v1/stats"), &s)
 	return s, err
 }
 
@@ -269,7 +310,7 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 // MergeMarshaled or UnmarshalBinary on an identically configured
 // summary.
 func (c *Client) Summary(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/summary", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.endpoint("/v1/summary"), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -409,4 +450,12 @@ func apiError(resp *http.Response) error {
 func IsIncompatible(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.Status == http.StatusConflict
+}
+
+// IsTenantRejected reports whether err is a governance cap refusing to
+// create a tenant: the count cap (HTTP 429) or the memory cap (413).
+func IsTenantRejected(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) &&
+		(ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusRequestEntityTooLarge)
 }

@@ -67,6 +67,8 @@ func (a Ack) Err() error {
 		return fmt.Errorf("client: frame %d applied but not durable (WAL append failed)", a.Seq)
 	case tupleio.AckShutdown:
 		return fmt.Errorf("client: frame %d refused, server shutting down", a.Seq)
+	case tupleio.AckTenant:
+		return fmt.Errorf("client: frame %d refused by a tenant governance cap", a.Seq)
 	default:
 		return fmt.Errorf("client: frame %d: unknown ack status %d", a.Seq, a.Status)
 	}
@@ -79,6 +81,7 @@ type streamConfig struct {
 	window      int
 	ackBuf      int
 	dialTimeout time.Duration
+	tenant      string
 }
 
 // WithStreamWindow caps how many frames may be in flight (sent,
@@ -104,6 +107,17 @@ func WithAckBuffer(n int) StreamOption {
 	}
 }
 
+// WithStreamTenant scopes every frame on the stream to the named
+// tenant: the handshake negotiates the keyed frame format and each
+// frame carries the tenant prefix. An empty name keeps the legacy
+// counted format (the default tenant). Invalid names are rejected at
+// dial time, before any connection is opened.
+func WithStreamTenant(name string) StreamOption {
+	return func(c *streamConfig) {
+		c.tenant = name
+	}
+}
+
 // WithDialTimeout bounds the TCP connect plus handshake; d <= 0 is
 // ignored. The default is 10s.
 func WithDialTimeout(d time.Duration) StreamOption {
@@ -122,6 +136,7 @@ type Stream struct {
 	bw       *bufio.Writer
 	maxFrame uint32
 	window   int
+	tenant   string // non-empty: keyed frames, prefixed with this name
 
 	acks chan Ack // nil unless WithAckBuffer
 
@@ -150,6 +165,13 @@ func DialStream(ctx context.Context, addr string, opts ...StreamOption) (*Stream
 	for _, o := range opts {
 		o(&cfg)
 	}
+	var format uint8 = tupleio.StreamFormatCounted
+	if cfg.tenant != "" {
+		if err := tupleio.ValidateTenant([]byte(cfg.tenant)); err != nil {
+			return nil, fmt.Errorf("client: stream tenant: %w", err)
+		}
+		format = tupleio.StreamFormatKeyed
+	}
 	dctx := ctx
 	if cfg.dialTimeout > 0 {
 		var cancel context.CancelFunc
@@ -164,7 +186,7 @@ func DialStream(ctx context.Context, addr string, opts ...StreamOption) (*Stream
 	if dl, ok := dctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	}
-	hello := tupleio.AppendHello(make([]byte, 0, tupleio.HelloSize), tupleio.StreamFormatCounted)
+	hello := tupleio.AppendHello(make([]byte, 0, tupleio.HelloSize), format)
 	if _, err := conn.Write(hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: stream hello: %w", err)
@@ -193,6 +215,7 @@ func DialStream(ctx context.Context, addr string, opts ...StreamOption) (*Stream
 		sizes:    make([]int, 0, cfg.window),
 		hdr:      make([]byte, 0, tupleio.FrameHeaderSize),
 	}
+	s.tenant = cfg.tenant
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.ackBuf > 0 {
 		s.acks = make(chan Ack, cfg.ackBuf)
@@ -247,8 +270,14 @@ func (s *Stream) Send(batch []correlated.Tuple) error {
 		n := len(batch)
 		// A tuple encodes to at most 27 bytes (3 uvarint64s) and the
 		// counted batch carries a <=10-byte count prefix; keep every
-		// frame under the server's cap with that worst case.
-		maxT := (int(s.maxFrame) - 10) / 27
+		// frame under the server's cap with that worst case. A keyed
+		// frame also spends its tenant prefix (uvarint length, <=2
+		// bytes for the 128-byte name cap, plus the name itself).
+		overhead := 10
+		if s.tenant != "" {
+			overhead += 2 + len(s.tenant)
+		}
+		maxT := (int(s.maxFrame) - overhead) / 27
 		if maxT < 1 {
 			maxT = 1
 		}
@@ -286,7 +315,11 @@ func (s *Stream) sendFrame(batch []correlated.Tuple) error {
 	// waiting for the next Send to push it out. The length is patched
 	// in after the payload is encoded (its size is not known before).
 	buf := tupleio.AppendFrameHeader(s.hdr[:0], seq, 0)
-	buf = tupleio.AppendCountedBatch(buf, batch)
+	if s.tenant != "" {
+		buf = tupleio.AppendKeyedBatch(buf, s.tenant, batch)
+	} else {
+		buf = tupleio.AppendCountedBatch(buf, batch)
+	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(buf)-tupleio.FrameHeaderSize))
 	s.hdr = buf
 	if _, err := s.bw.Write(buf); err != nil {

@@ -29,6 +29,13 @@
 // HTTP ingest, riding the same group-commit pipeline and the same
 // durability contract.
 //
+// Every ingest, push, and query endpoint accepts a ?tenant=NAME key
+// selecting one of N independent summaries behind the same daemon (the
+// streaming transport carries the key per frame); the WAL and snapshot
+// keep each tenant's recovery byte-exact. -max-tenants and
+// -max-tenant-bytes cap the namespace, and -tenant-idle-spill compacts
+// idle tenants to their marshaled images until their next touch.
+//
 // Site — summarize a local stream and push merged images upstream every
 // -push-interval, resetting after each acknowledged push:
 //
@@ -96,6 +103,10 @@ func main() {
 		pushInterval = flag.Duration("push-interval", 5*time.Second, "time between site pushes")
 
 		maxBody = flag.Int64("max-body", 64<<20, "request body cap in bytes")
+
+		maxTenants     = flag.Int("max-tenants", 0, "tenant count cap (0 = unlimited); creation past it gets HTTP 429")
+		maxTenantBytes = flag.Int64("max-tenant-bytes", 0, "aggregate tenant memory cap in bytes (0 = unlimited); creation past it gets HTTP 413")
+		tenantIdle     = flag.Duration("tenant-idle-spill", 0, "spill tenants idle longer than this to compact in-memory images (0 = never)")
 	)
 	flag.Parse()
 
@@ -133,6 +144,9 @@ func main() {
 		PushTo:           *pushTo,
 		PushInterval:     *pushInterval,
 		MaxBodyBytes:     *maxBody,
+		MaxTenants:       *maxTenants,
+		MaxTenantBytes:   *maxTenantBytes,
+		TenantIdleSpill:  *tenantIdle,
 		Logger:           logger,
 	})
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -37,6 +38,7 @@ type loadReport struct {
 	Tuples       int     `json:"tuples"`
 	Chunk        int     `json:"chunk"`
 	Clients      int     `json:"clients"`
+	Tenants      int     `json:"tenants,omitempty"`
 	QueryClients int     `json:"query_clients"`
 	QueryCutoffs int     `json:"query_cutoffs"`
 	Seconds      float64 `json:"seconds"`
@@ -71,6 +73,8 @@ type loadConfig struct {
 	queryClients int
 	cutoffs      []uint64
 	jsonPath     string
+	tenant       string // scope the whole run to one tenant ("" = default)
+	tenants      int    // > 1: fan the tuples out across this many tenants
 }
 
 func (cfg *loadConfig) transport() string {
@@ -100,14 +104,8 @@ func parseCutoffs(s string) ([]uint64, error) {
 	return out, nil
 }
 
-// clientStream builds the i-th client's substream: the same dataset
-// family, a per-client seed, and an even share of the tuple budget.
-func clientStream(cfg *loadConfig, i int) (gen.Stream, error) {
-	share := cfg.n / cfg.clients
-	if i < cfg.n%cfg.clients {
-		share++
-	}
-	seed := cfg.seed + uint64(i)*1_000_003
+// makeStream builds one substream of the configured dataset family.
+func makeStream(cfg *loadConfig, share int, seed uint64) (gen.Stream, error) {
 	switch cfg.dataset {
 	case "uniform":
 		return gen.Uniform(share, cfg.xdom, cfg.ydom, seed), nil
@@ -120,6 +118,31 @@ func clientStream(cfg *loadConfig, i int) (gen.Stream, error) {
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", cfg.dataset)
 	}
+}
+
+// clientStream builds the i-th client's substream: the same dataset
+// family, a per-client seed, and an even share of the tuple budget.
+func clientStream(cfg *loadConfig, i int) (gen.Stream, error) {
+	share := cfg.n / cfg.clients
+	if i < cfg.n%cfg.clients {
+		share++
+	}
+	return makeStream(cfg, share, cfg.seed+uint64(i)*1_000_003)
+}
+
+// tenantName is the canonical load-mode key for tenant index t.
+func tenantName(t int) string { return fmt.Sprintf("t%03d", t) }
+
+// tenantStream builds tenant t's substream in -tenants mode: the same
+// per-index seed scheme as clientStream, an even share of the budget.
+// A single-tenant oracle regenerates tenant t's exact stream with
+// -seed seed+t*1000003 -n share.
+func tenantStream(cfg *loadConfig, t int) (gen.Stream, error) {
+	share := cfg.n / cfg.tenants
+	if t < cfg.n%cfg.tenants {
+		share++
+	}
+	return makeStream(cfg, share, cfg.seed+uint64(t)*1_000_003)
 }
 
 // percentile returns the p-th percentile (0 < p <= 100) of sorted
@@ -137,10 +160,20 @@ func percentileMs(sorted []time.Duration, p float64) float64 {
 // transport's 2-idle-conns-per-host pruning would otherwise churn
 // connections and serialize what should be concurrent offered load).
 func loadClient(cfg *loadConfig) *client.Client {
+	return loadClientTenant(cfg, cfg.tenant)
+}
+
+// loadClientTenant is loadClient scoped to one tenant key.
+func loadClientTenant(cfg *loadConfig, tenant string) *client.Client {
 	tr := &http.Transport{MaxIdleConns: 4, MaxIdleConnsPerHost: 4}
-	return client.New(cfg.target,
+	opts := []client.Option{
 		client.WithChunkSize(cfg.chunk),
-		client.WithHTTPClient(&http.Client{Timeout: 60 * time.Second, Transport: tr}))
+		client.WithHTTPClient(&http.Client{Timeout: 60 * time.Second, Transport: tr}),
+	}
+	if tenant != "" {
+		opts = append(opts, client.WithTenant(tenant))
+	}
+	return client.New(cfg.target, opts...)
 }
 
 // streamAckBuffer sizes the per-connection ack channel: deep enough
@@ -161,7 +194,18 @@ func streamIngest(ctx context.Context, cfg *loadConfig, i int) (lats []time.Dura
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	st, err := client.DialStream(ctx, cfg.streamAddr, client.WithAckBuffer(streamAckBuffer))
+	return streamDrive(ctx, cfg, s, cfg.tenant)
+}
+
+// streamDrive pumps one substream over one streaming connection
+// (tenant-scoped when tenant is non-empty) and measures per-Send
+// commit latency.
+func streamDrive(ctx context.Context, cfg *loadConfig, s gen.Stream, tenant string) (lats []time.Duration, reqs, nAcked int, err error) {
+	opts := []client.StreamOption{client.WithAckBuffer(streamAckBuffer)}
+	if tenant != "" {
+		opts = append(opts, client.WithStreamTenant(tenant))
+	}
+	st, err := client.DialStream(ctx, cfg.streamAddr, opts...)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -240,6 +284,78 @@ func streamIngest(ctx context.Context, cfg *loadConfig, i int) (lats []time.Dura
 	return lats, reqs, nAcked, err
 }
 
+// ingestTenants drives client i's share of the -tenants fan-out: the
+// tenants t ≡ i (mod clients), each as its own substream over its own
+// tenant-scoped transport, one after the other — so the daemon sees
+// cfg.clients different tenants ingesting at any moment, rotating
+// through all cfg.tenants over the run.
+func ingestTenants(ctx context.Context, cfg *loadConfig, i int) (lats []time.Duration, reqs, nAcked int, err error) {
+	for t := i; t < cfg.tenants; t += cfg.clients {
+		s, serr := tenantStream(cfg, t)
+		if serr != nil {
+			return lats, reqs, nAcked, serr
+		}
+		var l []time.Duration
+		var r, a int
+		if cfg.streamAddr != "" {
+			l, r, a, err = streamDrive(ctx, cfg, s, tenantName(t))
+		} else {
+			l, r, a, err = httpDrive(ctx, cfg, s, tenantName(t))
+		}
+		lats = append(lats, l...)
+		reqs += r
+		nAcked += a
+		if err != nil {
+			return lats, reqs, nAcked, fmt.Errorf("tenant %s: %w", tenantName(t), err)
+		}
+	}
+	return lats, reqs, nAcked, nil
+}
+
+// httpDrive is streamDrive's HTTP analogue: chunked AddBatch calls on a
+// tenant-scoped client, one request's latency per chunk.
+func httpDrive(ctx context.Context, cfg *loadConfig, s gen.Stream, tenant string) (lats []time.Duration, reqs, nAcked int, err error) {
+	cl := loadClientTenant(cfg, tenant)
+	lats = make([]time.Duration, 0, s.Len()/cfg.chunk+1)
+	batch := make([]correlated.Tuple, 0, cfg.chunk)
+	flush := func() error {
+		t0 := time.Now()
+		if err := cl.AddBatch(ctx, batch); err != nil {
+			return err
+		}
+		lats = append(lats, time.Since(t0))
+		reqs++
+		nAcked += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		t, ok := s.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, correlated.Tuple{X: t.X, Y: t.Y, W: 1})
+		if len(batch) == cfg.chunk {
+			if err := flush(); err != nil {
+				return lats, reqs, nAcked, err
+			}
+		}
+	}
+	if len(batch) > 0 {
+		if err := flush(); err != nil {
+			return lats, reqs, nAcked, err
+		}
+	}
+	return lats, reqs, nAcked, nil
+}
+
+// isNotFound reports an HTTP 404 — in -tenants mode, a query racing the
+// tenant's first ingest.
+func isNotFound(err error) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
 // runLoad drives the concurrent load and prints (and optionally writes)
 // the report. Any client error aborts the whole run.
 func runLoad(cfg *loadConfig) error {
@@ -274,6 +390,17 @@ func runLoad(cfg *loadConfig) error {
 		ingestWG.Add(1)
 		go func(i int) {
 			defer ingestWG.Done()
+			if cfg.tenants > 1 {
+				lats, reqs, nAcked, err := ingestTenants(ctx, cfg, i)
+				if err != nil {
+					fail(fmt.Errorf("client %d: %w", i, err))
+					return
+				}
+				requests.Add(int64(reqs))
+				acked.Add(int64(nAcked))
+				ingestLats[i] = lats
+				return
+			}
 			if cfg.streamAddr != "" {
 				lats, reqs, nAcked, err := streamIngest(ctx, cfg, i)
 				if err != nil {
@@ -326,10 +453,19 @@ func runLoad(cfg *loadConfig) error {
 		go func(q int) {
 			defer queryWG.Done()
 			cl := loadClient(cfg)
+			if cfg.tenants > 1 {
+				// Each query loop hammers one tenant of the fan-out.
+				cl = loadClientTenant(cfg, tenantName(q%cfg.tenants))
+			}
 			var lats []time.Duration
 			for ingesting.Load() {
 				t0 := time.Now()
 				if _, err := cl.QueryBatch(ctx, "le", cfg.cutoffs); err != nil {
+					if cfg.tenants > 1 && isNotFound(err) {
+						// The tenant's first ingest has not landed yet.
+						time.Sleep(time.Millisecond)
+						continue
+					}
 					fail(fmt.Errorf("query client %d: %w", q, err))
 					return
 				}
@@ -390,6 +526,9 @@ func runLoad(cfg *loadConfig) error {
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 		CPUs:   runtime.NumCPU(),
+	}
+	if cfg.tenants > 1 {
+		rep.Tenants = cfg.tenants
 	}
 
 	fmt.Fprintf(os.Stderr,

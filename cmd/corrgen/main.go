@@ -55,6 +55,9 @@ func main() {
 		queryClients = flag.Int("query-clients", 0, "concurrent multi-cutoff query loops during the ingest")
 		queryCutoffs = flag.String("query-cutoffs", "250000,500000,750000", "comma-separated cutoffs for -query-clients")
 		loadJSON     = flag.String("load-json", "", "write the load-mode report as JSON to this file")
+
+		tenant  = flag.String("tenant", "", "tenant key scoping every request (with -target)")
+		tenants = flag.Int("tenants", 1, "load mode: fan the tuples out across this many tenants t000..tNNN (forces load mode when > 1)")
 	)
 	flag.Parse()
 
@@ -74,7 +77,7 @@ func main() {
 	}
 
 	if *target != "" {
-		if *clients > 1 || *queryClients > 0 || *streamTo != "" {
+		if *clients > 1 || *queryClients > 0 || *streamTo != "" || *tenants > 1 {
 			cutoffs, err := parseCutoffs(*queryCutoffs)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
@@ -85,6 +88,7 @@ func main() {
 				xdom: *xdom, ydom: *ydom, chunk: max(*chunk, 1),
 				clients: max(*clients, 1), queryClients: *queryClients,
 				cutoffs: cutoffs, jsonPath: *loadJSON,
+				tenant: *tenant, tenants: max(*tenants, 1),
 			}
 			if err := runLoad(cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
@@ -92,7 +96,7 @@ func main() {
 			}
 			return
 		}
-		if err := stream(s, *target, *chunk); err != nil {
+		if err := stream(s, *target, *chunk, *tenant); err != nil {
 			fmt.Fprintf(os.Stderr, "corrgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -119,12 +123,17 @@ func main() {
 }
 
 // stream drives the generated tuples into a corrd daemon in chunked
-// batches, reporting throughput on stderr.
-func stream(s gen.Stream, target string, chunk int) error {
+// batches (scoped to tenant when non-empty), reporting throughput on
+// stderr.
+func stream(s gen.Stream, target string, chunk int, tenant string) error {
 	if chunk < 1 {
 		chunk = 1
 	}
-	cl := client.New(target, client.WithChunkSize(chunk))
+	opts := []client.Option{client.WithChunkSize(chunk)}
+	if tenant != "" {
+		opts = append(opts, client.WithTenant(tenant))
+	}
+	cl := client.New(target, opts...)
 	ctx := context.Background()
 	if err := cl.Healthy(ctx); err != nil {
 		return fmt.Errorf("target %s not healthy: %w", target, err)

@@ -72,6 +72,16 @@
 //	                                            zero-alloc server decode, and the
 //	                                            client.DialStream handle driving
 //	                                            it (corrgen -stream for load)
+//	multi-tenancy             service, client   keyed namespaces (?tenant=,
+//	                                            keyed stream frames): one engine
+//	                                            per tenant behind the shared WAL
+//	                                            and group-commit pipeline,
+//	                                            tenant-tagged log records and
+//	                                            snapshot framing for per-tenant
+//	                                            crash-exact recovery, count and
+//	                                            memory governance caps (429/413),
+//	                                            idle-tenant spill to compact
+//	                                            images with restore-on-touch
 //	durable ingest            internal/wal      segmented CRC32C write-ahead log
 //	                                            under the daemon: log-before-ack,
 //	                                            group records, fsync policies,

@@ -1,0 +1,113 @@
+package tupleio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/core"
+)
+
+func TestKeyedBatchRoundTrip(t *testing.T) {
+	batch := []core.Tuple{{X: 1, Y: 2, W: 3}, {X: 1 << 60, Y: 9, W: 1}}
+	for _, tenant := range []string{"", "a", "tenant-042", strings.Repeat("k", MaxTenantLen)} {
+		wire := AppendKeyedBatch(nil, tenant, batch)
+		name, got, err := DecodeKeyed(nil, wire)
+		if err != nil {
+			t.Fatalf("tenant %q: %v", tenant, err)
+		}
+		if string(name) != tenant {
+			t.Fatalf("tenant %q decoded as %q", tenant, name)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("tenant %q: %d tuples, want %d", tenant, len(got), len(batch))
+		}
+		for i := range got {
+			if got[i] != batch[i] {
+				t.Fatalf("tenant %q tuple %d: %+v want %+v", tenant, i, got[i], batch[i])
+			}
+		}
+	}
+}
+
+// TestKeyedDecodeHostile: hostile tenant-name lengths and bytes are
+// rejected before anything is sliced or allocated, and truncation at
+// any point inside the tenant field is ErrBadStream.
+func TestKeyedDecodeHostile(t *testing.T) {
+	batch := []core.Tuple{{X: 1, Y: 2, W: 1}}
+
+	// Length claim over the cap, with and without the bytes present.
+	over := binary.AppendUvarint(nil, MaxTenantLen+1)
+	over = append(over, bytes.Repeat([]byte{'x'}, MaxTenantLen+1)...)
+	over = AppendCountedBatch(over, batch)
+	if _, _, err := DecodeKeyed(nil, over); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("over-cap tenant length: %v", err)
+	}
+	huge := binary.AppendUvarint(nil, 1<<40)
+	if _, _, err := DecodeKeyed(nil, huge); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("giant tenant length: %v", err)
+	}
+
+	// Length claiming more bytes than remain.
+	short := binary.AppendUvarint(nil, 20)
+	short = append(short, []byte("only-5b")...)
+	if _, _, err := DecodeKeyed(nil, short); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("tenant length past the data: %v", err)
+	}
+
+	// Control bytes in the key.
+	evil := AppendTenant(nil, "bad\nname")
+	evil = AppendCountedBatch(evil, batch)
+	if _, _, err := DecodeKeyed(nil, evil); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("control byte in tenant: %v", err)
+	}
+
+	// Truncation at every cut point inside the tenant prefix.
+	wire := AppendKeyedBatch(nil, "truncate-me", batch)
+	prefixLen := len(AppendTenant(nil, "truncate-me"))
+	for cut := 0; cut <= prefixLen; cut++ {
+		if _, _, err := DecodeKeyed(nil, wire[:cut]); !errors.Is(err, ErrBadStream) {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+	}
+
+	// Trailing bytes after the counted batch.
+	if _, _, err := DecodeKeyed(nil, append(bytes.Clone(wire), 0)); !errors.Is(err, ErrBadStream) {
+		t.Fatal("trailing byte accepted")
+	}
+
+	// ValidateTenant itself: the empty key is the default tenant and is
+	// valid; DEL and anything below 0x20 are not.
+	if err := ValidateTenant(nil); err != nil {
+		t.Fatalf("empty tenant: %v", err)
+	}
+	for _, b := range []byte{0x00, 0x1f, 0x7f} {
+		if err := ValidateTenant([]byte{'a', b}); !errors.Is(err, ErrBadStream) {
+			t.Fatalf("control byte 0x%02x accepted: %v", b, err)
+		}
+	}
+}
+
+// TestKeyedDecodeAllocs pins the keyed decode path's steady state: with
+// a reused tuple buffer, decoding a keyed frame payload allocates
+// nothing — the tenant key aliases the input and the counted decode
+// reuses dst, exactly like the unkeyed hot path.
+func TestKeyedDecodeAllocs(t *testing.T) {
+	batch := make([]core.Tuple, 256)
+	for i := range batch {
+		batch[i] = core.Tuple{X: uint64(i), Y: uint64(i * 3), W: 1}
+	}
+	wire := AppendKeyedBatch(nil, "alloc-test-tenant", batch)
+	dst := make([]core.Tuple, 0, len(batch))
+	allocs := testing.AllocsPerRun(100, func() {
+		name, out, err := DecodeKeyed(dst, wire)
+		if err != nil || len(name) == 0 || len(out) != len(batch) {
+			t.Fatalf("decode: %q %d %v", name, len(out), err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("keyed decode allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -43,8 +43,13 @@ const (
 	// StreamVersion is the protocol version this codec speaks.
 	StreamVersion = 1
 	// StreamFormatCounted says frame payloads are counted tuple
-	// batches (AppendCountedBatch) — the only format defined so far.
+	// batches (AppendCountedBatch), all addressed to the server's
+	// default tenant.
 	StreamFormatCounted = 1
+	// StreamFormatKeyed says frame payloads are keyed batches
+	// (AppendKeyedBatch): a tenant prefix then the counted batch, so
+	// one connection can feed any number of the daemon's tenants.
+	StreamFormatKeyed = 2
 
 	// HelloSize, HelloReplySize, FrameHeaderSize, and AckSize are the
 	// fixed wire sizes; readers use them to size scratch buffers once
@@ -92,6 +97,10 @@ const (
 	// AckShutdown: the server is draining; the frame was not applied.
 	// Re-send on a new connection.
 	AckShutdown uint8 = 4
+	// AckTenant: the frame named a tenant the server refused to create
+	// (tenant-count or memory cap). The connection stays usable; frames
+	// for existing tenants keep committing.
+	AckTenant uint8 = 5
 )
 
 // AppendHello appends the client hello for the given payload format.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/streamagg/correlated/internal/core"
@@ -171,12 +172,24 @@ func TestFrameReaderTruncation(t *testing.T) {
 func FuzzStreamFrame(f *testing.F) {
 	seed := func(b []byte) { f.Add(b) }
 	seed(AppendHello(nil, StreamFormatCounted))
+	seed(AppendHello(nil, StreamFormatKeyed))
 	seed(AppendHelloReply(nil, HelloOK, 1<<20))
 	seed(AppendAck(nil, 1, 2, AckOK))
+	seed(AppendAck(nil, 1, 0, AckTenant))
 	payload := AppendCountedBatch(nil, []core.Tuple{{X: 1, Y: 2, W: 3}})
 	seed(append(AppendFrameHeader(nil, 1, uint32(len(payload))), payload...))
 	seed(AppendFrameHeader(nil, 1, 1<<31)) // hostile claim
 	seed([]byte{})
+	// Keyed (tenant-tagged) frames: a valid one, a key at the length
+	// cap, a truncated key, and a key length claiming past the payload.
+	keyed := AppendKeyedBatch(nil, "fuzz-tenant", []core.Tuple{{X: 1, Y: 2, W: 3}})
+	seed(append(AppendFrameHeader(nil, 1, uint32(len(keyed))), keyed...))
+	maxKey := AppendKeyedBatch(nil, strings.Repeat("k", MaxTenantLen), []core.Tuple{{X: 4, Y: 5, W: 1}})
+	seed(append(AppendFrameHeader(nil, 1, uint32(len(maxKey))), maxKey...))
+	cutKey := keyed[:4] // mid-tenant truncation
+	seed(append(AppendFrameHeader(nil, 1, uint32(len(cutKey))), cutKey...))
+	hostileKey := binary.AppendUvarint(nil, 1<<30)
+	seed(append(AppendFrameHeader(nil, 1, uint32(len(hostileKey))), hostileKey...))
 
 	const frameCap = 1 << 16
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -210,6 +223,20 @@ func FuzzStreamFrame(f *testing.F) {
 			buf = out
 			if len(out) == 0 || len(out) > frameCap {
 				t.Fatalf("accepted frame of %d bytes (cap %d)", len(out), frameCap)
+			}
+			// A payload the keyed decoder accepts must round-trip: the
+			// key and tuples re-encode to bytes the decoder accepts
+			// with the same key and count.
+			if name, ktuples, kerr := DecodeKeyed(nil, out); kerr == nil {
+				re := AppendKeyedBatch(nil, string(name), ktuples)
+				name2, again, err := DecodeKeyed(nil, re)
+				if err != nil {
+					t.Fatalf("re-encoded keyed payload rejected: %v", err)
+				}
+				if !bytes.Equal(name, name2) || len(again) != len(ktuples) {
+					t.Fatalf("keyed round trip changed key/count: %q/%d -> %q/%d",
+						name, len(ktuples), name2, len(again))
+				}
 			}
 			var derr error
 			tuples, derr = DecodeCounted(tuples, out)

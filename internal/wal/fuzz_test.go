@@ -45,6 +45,23 @@ func FuzzWALReplay(f *testing.F) {
 		w.Append(RecordReset, nil)
 		w.Checkpoint(2)
 	}))
+	// Tenant-tagged records: a keyed group (member count, then
+	// tenant-prefixed counted batches) and a keyed push (tenant prefix,
+	// then an image), plus a group whose second member truncates inside
+	// the tenant field — the WAL is payload-agnostic, so mutations of
+	// these explore replay's keyed-decode frontier downstream.
+	f.Add(seed(func(w *WAL) {
+		group := []byte{2}                             // member count
+		group = append(group, 2, 't', 'a', 1, 5, 6, 1) // tenant "ta", 1 tuple
+		group = append(group, 2, 't', 'b', 1, 7, 8, 1) // tenant "tb", 1 tuple
+		w.Append(RecordKeyedIngestGroup, group)
+		push := append([]byte{3, 'k', 'e', 'y'}, bytes.Repeat([]byte{5}, 40)...)
+		w.Append(RecordKeyedPush, push)
+	}))
+	f.Add(seed(func(w *WAL) {
+		torn := []byte{2, 2, 't', 'a', 1, 5, 6, 1, 120} // 120-byte key claim, no bytes
+		w.Append(RecordKeyedIngestGroup, torn)
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {

@@ -110,6 +110,17 @@ const (
 	// exactly: apply every member batch, then flush once. A group of one
 	// is written as a plain RecordIngest instead.
 	RecordIngestGroup RecordType = 7
+	// RecordKeyedIngestGroup is a group-commit unit touching at least
+	// one non-default tenant: uvarint member count followed by that many
+	// keyed batches (tupleio.AppendKeyedBatch — tenant prefix then the
+	// counted batch) in commit order. A group whose members all address
+	// the default tenant is written in the legacy forms above, so
+	// single-tenant logs stay byte-identical to pre-tenant ones.
+	RecordKeyedIngestGroup RecordType = 8
+	// RecordKeyedPush is a push image for a non-default tenant: a
+	// tupleio tenant prefix followed by the marshaled summary image.
+	// Default-tenant pushes keep the legacy RecordPush form.
+	RecordKeyedPush RecordType = 9
 )
 
 // SyncPolicy selects when appends reach stable storage.

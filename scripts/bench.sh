@@ -57,7 +57,8 @@ if [ "${BENCH_SKIP_LOAD:-0}" != "1" ]; then
   LOAD_ARGS=(-load ingest=benchmarks/service-load-ingest.json
              -load mixed=benchmarks/service-load-mixed.json
              -load stream=benchmarks/service-load-stream.json
-             -load stream-http=benchmarks/service-load-stream-http.json)
+             -load stream-http=benchmarks/service-load-stream-http.json
+             -load tenants=benchmarks/service-load-tenants.json)
 fi
 
 go run ./cmd/benchjson -in benchmarks/latest.txt -out benchmarks/latest.json \

@@ -24,9 +24,15 @@
 #           pipelines frames ahead of acks with pooled zero-alloc
 #           decode — that gap is the wire-speed headline
 #           scripts/load-compare.sh prints.
+#   tenants the mixed workload fanned out over LOAD_TENANTS keyed
+#           namespaces (corrgen -tenants): every chunk and query
+#           carries a tenant key, the daemon keeps one engine per
+#           namespace behind the shared WAL, and query clients rotate
+#           across tenants — the multi-tenant serving headline (keyed
+#           routing + per-tenant flush cost on top of group commit).
 #
 # Reports land in benchmarks/service-load-{ingest,mixed,stream,
-# stream-http}.json; promote them to the matching
+# stream-http,tenants}.json; promote them to the matching
 # benchmarks/service-baseline-*.json to make scripts/load-compare.sh
 # (and CI) print a before/after table.
 set -euo pipefail
@@ -41,6 +47,7 @@ QUERY_CLIENTS="${LOAD_QUERY_CLIENTS:-4}"
 CHUNK="${LOAD_CHUNK:-512}"
 STREAM_CHUNK="${LOAD_STREAM_CHUNK:-16}"
 MAX_STALE="${LOAD_QUERY_MAX_STALE:-500ms}"
+TENANTS="${LOAD_TENANTS:-64}"
 OUT_PREFIX="${LOAD_OUT_PREFIX:-benchmarks/service-load}"
 WORK="$(mktemp -d)"
 
@@ -102,4 +109,13 @@ start_corrd -stream-addr "$STREAM_ADDR"
 curl -fsS "$BASE/metrics" | grep -E '^corrd_(stream_(conns_total|frames_total|tuples_total)|ingest_groups_total|wal_fsyncs_total)' || true
 stop_corrd
 
-echo "Wrote ${OUT_PREFIX}-{ingest,mixed,stream,stream-http}.json"
+echo "== phase 4: multi-tenant mixed load ($TENANTS tenants over $CLIENTS clients + $QUERY_CLIENTS query clients)"
+start_corrd -query-max-stale "$MAX_STALE" -max-tenants $((TENANTS + 8))
+"$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -chunk "$CHUNK" -clients "$CLIENTS" -tenants "$TENANTS" \
+  -query-clients "$QUERY_CLIENTS" -query-cutoffs 250000,500000,750000 \
+  -load-json "${OUT_PREFIX}-tenants.json"
+curl -fsS "$BASE/metrics" | grep -E '^corrd_(tenants|tenant_bytes|tenant_created_total|ingest_groups_total|wal_fsyncs_total)' || true
+stop_corrd
+
+echo "Wrote ${OUT_PREFIX}-{ingest,mixed,stream,stream-http,tenants}.json"

@@ -12,6 +12,10 @@
 #   7. streaming ingest: corrgen -stream clients and an HTTP generator
 #      against one daemon, kill -9 mid-stream, prove whole-frame
 #      recovery and byte-identical successive recoveries
+#   8. multi-tenant crash-exactness: concurrent keyed namespaces over
+#      one WAL, kill -9 mid-ingest, prove every tenant's recovered
+#      summary is byte-identical to its own crash-free oracle, and
+#      that the tenant-count governance cap refuses a new namespace
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -319,6 +323,81 @@ if ! cmp -s "$WORK/stream1.summary" "$WORK/stream2.summary"; then
   exit 1
 fi
 echo "two successive recoveries of the mixed-transport log are byte-identical ($(wc -c <"$WORK/stream1.summary") bytes)"
+kill -TERM "$WAL_PID"; wait "$WAL_PID" || true
+WAL_PID=""
+
+echo "== multi-tenant crash-exact recovery (4 keyed namespaces, kill -9)"
+# Four concurrent generators, one per keyed namespace (?tenant=tNNN),
+# all sharing one WAL. Within a tenant ingest is sequential (one awaited
+# request at a time), so each tenant's acknowledged prefix is a
+# deterministic chunk sequence: a crash-free oracle daemon driven with
+# the same per-tenant prefix must match byte for byte — per tenant.
+MT_ADDR="127.0.0.1:17079"; MBASE="http://$MT_ADDR"
+MTO_ADDR="127.0.0.1:17080"; MOBASE="http://$MTO_ADDR"
+MT_TENANTS=4
+start_wal_corrd "$MT_ADDR" "walmt" -max-tenants $((MT_TENANTS + 1))
+WAL_PID=$!
+GEN_PIDS=()
+for t in $(seq 0 $((MT_TENANTS - 1))); do
+  "$WORK/corrgen" -dataset uniform -n 200000 -seed $((41 + t)) -xdom 100001 \
+    -ydom 1000001 -target "$MBASE" -tenant "$(printf 't%03d' "$t")" \
+    -chunk 2048 >/dev/null 2>&1 &
+  GEN_PIDS+=($!)
+done
+# Wait until the slowest tenant has several acknowledged chunks, so the
+# kill lands mid-ingest for every namespace.
+for _ in $(seq 1 200); do
+  MT_MIN=999999999
+  for t in $(seq 0 $((MT_TENANTS - 1))); do
+    TC=$(curl -fsS "$MBASE/v1/stats?tenant=$(printf 't%03d' "$t")" 2>/dev/null \
+      | grep -o '"count":[0-9]*' | cut -d: -f2 || echo 0)
+    [ "${TC:-0}" -lt "$MT_MIN" ] && MT_MIN=${TC:-0}
+  done
+  [ "$MT_MIN" -ge 8192 ] && break
+  sleep 0.1
+done
+kill -9 "$WAL_PID"; wait "$WAL_PID" 2>/dev/null || true
+WAL_PID=""
+for pid in "${GEN_PIDS[@]}"; do kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; done
+
+start_wal_corrd "$MT_ADDR" "walmt" -max-tenants $((MT_TENANTS + 1))
+WAL_PID=$!
+MT_SEEN=$(curl -fsS "$MBASE/v1/stats" | grep -o '"tenants":[0-9]*' | cut -d: -f2)
+if [ "$MT_SEEN" != "$((MT_TENANTS + 1))" ]; then
+  echo "FAIL: recovery registered $MT_SEEN tenants, want $((MT_TENANTS + 1)) (default included)" >&2; exit 1
+fi
+start_wal_corrd "$MTO_ADDR" "mtoracle"
+ORACLE_PID=$!
+for t in $(seq 0 $((MT_TENANTS - 1))); do
+  NAME=$(printf 't%03d' "$t")
+  TM=$(curl -fsS "$MBASE/v1/stats?tenant=$NAME" | grep -o '"count":[0-9]*' | cut -d: -f2)
+  if [ "${TM:-0}" -lt 8192 ] || [ $((TM % 2048)) -ne 0 ]; then
+    echo "FAIL: tenant $NAME recovered count ${TM:-0} is not a whole chunk sequence" >&2; exit 1
+  fi
+  "$WORK/corrgen" -dataset uniform -n "$TM" -seed $((41 + t)) -xdom 100001 \
+    -ydom 1000001 -target "$MOBASE" -tenant "$NAME" -chunk 2048
+  curl -fsS -o "$WORK/mt-$NAME.rec" "$MBASE/v1/summary?tenant=$NAME"
+  curl -fsS -o "$WORK/mt-$NAME.ora" "$MOBASE/v1/summary?tenant=$NAME"
+  if ! cmp -s "$WORK/mt-$NAME.rec" "$WORK/mt-$NAME.ora"; then
+    echo "FAIL: tenant $NAME recovered summary differs from its crash-free oracle" >&2
+    ls -l "$WORK/mt-$NAME.rec" "$WORK/mt-$NAME.ora" >&2; exit 1
+  fi
+  echo "tenant $NAME: $TM tuples recovered, summary byte-identical to its oracle"
+done
+# The recovered registry sits exactly at the -max-tenants cap, so a new
+# namespace must be refused with 429 (and counted) while existing
+# tenants keep serving.
+MT_CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: text/csv' \
+  --data-binary '1,2' "$MBASE/v1/ingest?tenant=overcap")
+[ "$MT_CODE" = "429" ] || { echo "FAIL: over-cap tenant got $MT_CODE, want 429" >&2; exit 1; }
+curl -fsS "$MBASE/metrics" -o "$WORK/mt-metrics.txt"
+grep -q "corrd_tenants $((MT_TENANTS + 1))" "$WORK/mt-metrics.txt" \
+  || { echo "FAIL: corrd_tenants gauge missing/wrong" >&2; exit 1; }
+grep -q 'corrd_tenant_rejected_total{reason="limit"} 1' "$WORK/mt-metrics.txt" \
+  || { echo "FAIL: tenant rejection not counted" >&2; exit 1; }
+echo "over-cap namespace refused with 429; all $MT_TENANTS tenants crash-exact"
+kill -TERM "$ORACLE_PID"; wait "$ORACLE_PID" || true
+ORACLE_PID=""
 kill -TERM "$WAL_PID"; wait "$WAL_PID" || true
 WAL_PID=""
 echo "service smoke test PASSED"

@@ -41,7 +41,7 @@ const maxPooledBuffer = 4 << 20
 // leaving it set would keep an oversized backing array alive through
 // the pool even after the trim below released d.tuples itself.
 func (s *Server) putDecodeState(d *decodeState) {
-	d.job.tuples, d.job.err = nil, nil
+	d.job.tuples, d.job.err, d.job.tn = nil, nil, nil
 	d.job.lsn, d.streamSeq = 0, 0
 	if cap(d.body) > maxPooledBuffer {
 		d.body = nil
@@ -70,6 +70,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusForTenant maps tenant-creation failures: the governance caps
+// get their typed statuses (429 for the count cap, 413 for the memory
+// cap), an invalid key is the client's error.
+func statusForTenant(err error) int {
+	switch {
+	case errors.Is(err, ErrTenantLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrTenantMemory):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, tupleio.ErrBadStream):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeTenant resolves the request's ?tenant= key for a write path
+// (ingest, push), creating the tenant subject to the governance caps;
+// on failure it writes the typed rejection itself and returns nil.
+func (s *Server) writeTenant(w http.ResponseWriter, r *http.Request) *tenant {
+	name := r.URL.Query().Get("tenant")
+	t, err := s.getOrCreateTenant([]byte(name), false)
+	if err != nil {
+		s.httpError(w, statusForTenant(err), err)
+		return nil
+	}
+	return t
+}
+
+// readTenant resolves ?tenant= for a read path (query, summary, stats):
+// reads never create a namespace, so an unknown key is a plain 404.
+func (s *Server) readTenant(w http.ResponseWriter, r *http.Request) *tenant {
+	name := r.URL.Query().Get("tenant")
+	t := s.tenantByName(name)
+	if t == nil {
+		s.httpError(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", name))
+		return nil
+	}
+	return t
 }
 
 // readBody drains the request body into dst (reusing its capacity),
@@ -134,14 +175,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	tn := s.writeTenant(w, r)
+	if tn == nil {
+		s.metrics.ingestErrors.Inc()
+		return
+	}
 	// Hand the decoded batch to the commit pipeline and wait for its
 	// group to commit: the committer applies the whole group's members
-	// under one driver-lock critical section, drains the engine once,
-	// and makes them durable behind one WAL fsync — so under concurrent
-	// clients the per-request ack cost is the group cost divided by the
-	// group size (see pipeline.go). The reply below is sent only after
-	// that group-wide durability barrier.
+	// under one driver-lock critical section, drains each touched
+	// tenant's engine once, and makes them durable behind one WAL fsync —
+	// so under concurrent clients the per-request ack cost is the group
+	// cost divided by the group size (see pipeline.go). The reply below
+	// is sent only after that group-wide durability barrier.
 	d.job.tuples, d.job.err, d.job.kind = d.tuples, nil, ingestOK
+	d.job.tn = tn
 	if err := s.enqueueIngest(&d.job); err != nil {
 		s.metrics.ingestErrors.Inc()
 		s.httpError(w, http.StatusServiceUnavailable, err)
@@ -176,6 +223,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.tuplesIngested.Add(uint64(len(d.tuples)))
+	tn.tuplesIngested.Add(uint64(len(d.tuples)))
 	writeJSON(w, http.StatusOK, map[string]uint64{"tuples": uint64(len(d.tuples))})
 }
 
@@ -228,12 +276,25 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, errors.New("empty push body"))
 		return
 	}
+	tn := s.writeTenant(w, r)
+	if tn == nil {
+		s.metrics.pushErrors.Inc()
+		return
+	}
 	s.mu.Lock()
-	err := s.eng.MergeMarshaled(d.body)
+	eng, engErr := s.ensureEngineLocked(tn)
+	if engErr != nil {
+		s.mu.Unlock()
+		s.metrics.pushErrors.Inc()
+		s.httpError(w, statusForEngine(engErr), engErr)
+		return
+	}
+	err := eng.MergeMarshaled(d.body)
 	var walErr error
 	if err == nil {
-		walErr = s.logPush(d.body)
-		s.bumpEpochLocked()
+		walErr = s.logPush(tn, d.body)
+		tn.epoch.Add(1)
+		tn.touch()
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -252,6 +313,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.pushesMerged.Inc()
+	tn.pushesMerged.Add(1)
 	writeJSON(w, http.StatusOK, map[string]bool{"merged": true})
 }
 
@@ -303,15 +365,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		cutoffs[i] = c
 	}
-	// Serve from the cached merged summary, rebuilding it first if the
-	// epoch moved. queryMu serializes queries among themselves (the
-	// cached summary's query path uses pooled scratch); the driver lock
-	// is taken only for the rebuild, so evaluation never blocks ingest.
+	tn := s.readTenant(w, r)
+	if tn == nil {
+		s.metrics.queryErrors.Inc()
+		return
+	}
+	// Serve from the tenant's cached merged summary, rebuilding it first
+	// if its epoch moved. queryMu serializes queries among themselves
+	// per tenant (the cached summary's query path uses pooled scratch);
+	// the driver lock is taken only for the rebuild — which also
+	// materializes a spilled tenant — so evaluation never blocks ingest.
+	// A spilled tenant always rebuilds: its spill invalidated the cache
+	// under this same queryMu.
 	estimates := make([]float64, len(cutoffs))
-	s.queryMu.Lock()
-	stale := !s.cacheValid || s.cacheEpoch != s.epoch.Load()
-	if stale && s.cacheValid && s.cfg.QueryMaxStale > 0 &&
-		time.Since(s.cacheBuilt) < s.cfg.QueryMaxStale {
+	var err error
+	tn.queryMu.Lock()
+	eng := tn.cacheEng
+	stale := !tn.cacheValid || tn.cacheEpoch != tn.epoch.Load()
+	if stale && tn.cacheValid && s.cfg.QueryMaxStale > 0 &&
+		time.Since(tn.cacheBuilt) < s.cfg.QueryMaxStale {
 		// The state moved, but the cache is within the configured
 		// staleness budget: keep serving it, so a hot query loop costs
 		// at most one rebuild per window instead of one per commit.
@@ -319,27 +391,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if stale {
 		s.mu.Lock()
-		err := s.eng.RefreshCached()
-		epoch := s.epoch.Load() // stable while mu is held: bumps happen under mu
+		eng, err = s.ensureEngineLocked(tn)
+		if err == nil {
+			err = eng.RefreshCached()
+		}
+		epoch := tn.epoch.Load() // stable while mu is held: bumps happen under mu
 		s.mu.Unlock()
 		if err != nil {
-			s.queryMu.Unlock()
+			tn.queryMu.Unlock()
 			s.metrics.queryErrors.Inc()
 			s.httpError(w, statusForQuery(err), err)
 			return
 		}
-		s.cacheEpoch, s.cacheValid, s.cacheBuilt = epoch, true, time.Now()
+		tn.cacheEpoch, tn.cacheValid, tn.cacheBuilt = epoch, true, time.Now()
+		tn.cacheEng = eng
 		s.metrics.queryCacheRebuilds.Inc()
 	} else {
 		s.metrics.queryCacheHits.Inc()
 	}
-	var err error
 	if op == "le" {
-		err = s.eng.CachedQueryLEBatch(cutoffs, estimates)
+		err = eng.CachedQueryLEBatch(cutoffs, estimates)
 	} else {
-		err = s.eng.CachedQueryGEBatch(cutoffs, estimates)
+		err = eng.CachedQueryGEBatch(cutoffs, estimates)
 	}
-	s.queryMu.Unlock()
+	tn.queryMu.Unlock()
+	tn.touch()
+	tn.queries.Add(uint64(len(cutoffs)))
 	if err != nil {
 		s.metrics.queryErrors.Inc()
 		s.httpError(w, statusForQuery(err), err)
@@ -390,20 +467,42 @@ func statusForEngine(err error) int {
 	return http.StatusInternalServerError
 }
 
-// handleStats reports the serving-state counters as JSON.
+// handleStats reports the serving-state counters as JSON. Without a
+// ?tenant= key the engine fields describe the default tenant (the
+// single-tenant wire shape, unchanged) plus registry-wide aggregates;
+// with one, the engine fields and per-tenant counters describe that
+// tenant — materializing it if it was spilled, like any other touch.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	tn := s.def
+	named := r.URL.Query().Has("tenant")
+	if named {
+		if tn = s.readTenant(w, r); tn == nil {
+			return
+		}
+	}
 	s.mu.Lock()
-	count, err := s.eng.Count()
+	eng, err := s.ensureEngineLocked(tn)
+	var count uint64
 	var space int64
 	if err == nil {
-		space, err = s.eng.Space()
+		count, err = eng.Count()
 	}
-	shards := s.eng.Shards()
+	if err == nil {
+		space, err = eng.Space()
+	}
+	var shards int
+	if err == nil {
+		shards = eng.Shards()
+	}
 	s.mu.Unlock()
 	if err != nil {
 		s.httpError(w, statusForEngine(err), err)
 		return
 	}
+	if named {
+		tn.touch()
+	}
+	total, live := s.tenantCounts()
 	st := client.Stats{
 		Role:           s.cfg.role(),
 		Aggregate:      s.cfg.aggregate(),
@@ -426,6 +525,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StreamConnsTotal: s.metrics.streamConnsTotal.Load(),
 		StreamFrames:     s.metrics.streamFrames.Load(),
 		StreamTuples:     s.metrics.streamTuples.Load(),
+
+		Tenants:        total,
+		TenantsLive:    live,
+		TenantBytes:    s.tenantBytes.Load(),
+		TenantSpills:   s.metrics.tenantsSpilled.Load(),
+		TenantRestores: s.metrics.tenantsRestored.Load(),
+	}
+	if named {
+		st.Tenant = tn.name
+		st.TenantTuplesIngested = tn.tuplesIngested.Load()
+		st.TenantPushesMerged = tn.pushesMerged.Load()
+		st.TenantQueriesServed = tn.queries.Load()
+		st.TenantSpills = tn.spills.Load()
+		st.TenantRestores = tn.restores.Load()
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
@@ -441,17 +554,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleSummary serves the engine's merged summary image — the same
+// handleSummary serves a tenant's merged summary image — the same
 // bytes a site would push, so a downstream coordinator (or an offline
-// tool) can pull instead of being pushed to.
+// tool) can pull instead of being pushed to. ?tenant= selects the
+// namespace; unknown keys are 404, and a spilled tenant materializes.
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	tn := s.readTenant(w, r)
+	if tn == nil {
+		return
+	}
 	s.mu.Lock()
-	img, err := s.eng.MarshalMerged()
+	eng, err := s.ensureEngineLocked(tn)
+	var img []byte
+	if err == nil {
+		img, err = eng.MarshalMerged()
+	}
 	s.mu.Unlock()
 	if err != nil {
 		s.httpError(w, statusForEngine(err), err)
 		return
 	}
+	tn.touch()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(img)))
 	w.Write(img)
@@ -472,19 +595,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var es engineStats
 	s.mu.Lock()
-	if n, err := s.eng.Count(); err == nil {
+	if n, err := s.def.eng.Count(); err == nil {
 		es.count = n
 	}
-	if sp, err := s.eng.Space(); err == nil {
+	if sp, err := s.def.eng.Space(); err == nil {
 		es.space = sp
 	}
-	es.shards = s.eng.Shards()
+	es.shards = s.def.eng.Shards()
 	s.mu.Unlock()
+	var ts tenantStats
+	ts.total, ts.live = s.tenantCounts()
+	ts.bytes = s.tenantBytes.Load()
 	var ws *wal.Stats
 	if s.wal != nil {
 		snap := s.wal.Stats()
 		ws = &snap
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, es, ws)
+	s.metrics.write(w, es, ts, ws)
 }

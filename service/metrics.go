@@ -118,6 +118,16 @@ type metrics struct {
 	walReplayRecords gauge      // state records replayed at the last startup
 	walReplaySeconds fgauge     // wall-clock duration of that replay
 
+	// Multi-tenant registry (tenant.go): namespace lifecycle and the
+	// governance caps' rejection counts.
+	tenantsCreated       counter
+	tenantsSpilled       counter
+	tenantsRestored      counter
+	tenantRejectedLimit  counter // creations refused by MaxTenants (429)
+	tenantRejectedMemory counter // creations refused by MaxTenantBytes (413)
+	tenantEnginesReused  counter // engines taken from the cross-tenant free list
+	tenantBytes          gauge   // sampled summed per-tenant footprint
+
 	handlers map[string]*histogram // request duration per handler
 }
 
@@ -146,11 +156,19 @@ func (m *metrics) observe(handler string, d time.Duration) {
 }
 
 // engineStats is the engine-derived part of the exposition, gathered
-// under the server's lock just before rendering.
+// under the server's lock just before rendering. It describes the
+// default tenant's engine (the single-tenant shape, unchanged).
 type engineStats struct {
 	count  uint64
 	space  int64
 	shards int
+}
+
+// tenantStats is the registry-derived part of the exposition.
+type tenantStats struct {
+	total int   // tenants registered (default included)
+	live  int   // tenants with a materialized engine
+	bytes int64 // sampled summed footprint
 }
 
 // writeHistogram renders one histogram series, optionally with a fixed
@@ -174,7 +192,7 @@ func writeHistogram(w io.Writer, name, labels string, h *histogram) {
 
 // write renders the Prometheus text exposition format. ws is nil when
 // the server runs without a WAL.
-func (m *metrics) write(w io.Writer, es engineStats, ws *wal.Stats) {
+func (m *metrics) write(w io.Writer, es engineStats, ts tenantStats, ws *wal.Stats) {
 	c := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -214,6 +232,17 @@ func (m *metrics) write(w io.Writer, es engineStats, ws *wal.Stats) {
 	g("corrd_engine_space", "Stored counters/tuples across shard summaries (Space).", es.space)
 	g("corrd_engine_shards", "Shard workers in the engine.", int64(es.shards))
 	g("corrd_uptime_seconds", "Seconds since the server was created.", int64(time.Since(m.start).Seconds()))
+	g("corrd_tenants", "Keyed namespaces registered (the default tenant included).", int64(ts.total))
+	g("corrd_tenants_live", "Tenants with a materialized engine (the rest are spilled images).", int64(ts.live))
+	g("corrd_tenant_bytes", "Sampled summed per-tenant footprint (the MaxTenantBytes input).", ts.bytes)
+	c("corrd_tenant_created_total", "Tenants created over this process's lifetime.", m.tenantsCreated.Load())
+	c("corrd_tenant_spills_total", "Idle tenants spilled to an in-memory image.", m.tenantsSpilled.Load())
+	c("corrd_tenant_restores_total", "Spilled tenants materialized back on touch.", m.tenantsRestored.Load())
+	fmt.Fprintf(w, "# HELP corrd_tenant_rejected_total Tenant creations refused by a governance cap, by reason.\n")
+	fmt.Fprintf(w, "# TYPE corrd_tenant_rejected_total counter\n")
+	fmt.Fprintf(w, "corrd_tenant_rejected_total{reason=\"limit\"} %d\n", m.tenantRejectedLimit.Load())
+	fmt.Fprintf(w, "corrd_tenant_rejected_total{reason=\"memory\"} %d\n", m.tenantRejectedMemory.Load())
+	c("corrd_tenant_engines_reused_total", "Tenant engines taken warm from the cross-tenant free list.", m.tenantEnginesReused.Load())
 
 	if ws != nil {
 		g("corrd_wal_segments", "WAL segment files on disk.", ws.Segments)

@@ -44,6 +44,7 @@ const (
 	ingestErrEngine                 // the group flush surfaced an engine error
 	ingestErrWAL                    // the group's WAL append failed (not durable)
 	ingestErrShutdown               // the server is draining; never committed (stream acks only)
+	ingestErrTenant                 // a governance cap refused the tenant (stream acks only)
 )
 
 // ingestJob is one ingest request in flight through the commit
@@ -51,9 +52,11 @@ const (
 // decodeState pool) carries the happens-before edge from the committer's
 // writes of err/kind/lsn to the handler's reads. lsn is the WAL LSN of
 // the group record the job's batch rode in (0 without a WAL) — what a
-// stream ack reports back to the client.
+// stream ack reports back to the client. tn is the tenant the batch
+// addresses; nil means the default tenant.
 type ingestJob struct {
 	tuples []correlated.Tuple
+	tn     *tenant
 	err    error
 	kind   ingestErrKind
 	lsn    uint64
@@ -148,33 +151,74 @@ func (s *Server) committer() {
 // rejected individually and excluded from the group record; a flush or
 // WAL failure is group-wide (those members were applied together, so
 // they are un-acknowledged together).
+//
+// A group may span tenants: each member applies to its own tenant's
+// engine, and each touched tenant flushes exactly once, in first-touch
+// order — the keyed group record preserves member order, so replay
+// re-applies the same per-tenant AddBatch sequence and flushes the same
+// tenants in the same order. Worker batch boundaries stay a pure
+// function of the log, now per tenant. One WAL append and one fsync
+// still cover the whole group, however many tenants it touched.
 func (s *Server) commitGroup(group []*ingestJob) {
 	s.mu.Lock()
 	applied := 0
+	touched := s.touchedBuf[:0]
 	for _, j := range group {
-		if err := s.eng.AddBatch(j.tuples); err != nil {
+		if j.tn == nil {
+			j.tn = s.def
+		}
+		eng, err := s.ensureEngineLocked(j.tn)
+		if err != nil {
+			j.err, j.kind = err, ingestErrEngine
+			continue
+		}
+		if err := eng.AddBatch(j.tuples); err != nil {
 			j.err, j.kind = err, ingestErrValidate
 			continue
 		}
 		j.kind = ingestOK
 		applied++
+		if !j.tn.inGroup {
+			j.tn.inGroup = true
+			touched = append(touched, j.tn)
+		}
 	}
 	var flushErr, walErr error
 	var groupLSN uint64
 	if applied > 0 && s.wal != nil {
-		// One drain pins the group's worker batch boundaries, one append
-		// orders the group in the log. The append is deliberately not
-		// the fsync: that happens below, outside the driver lock, so the
-		// next group's decode and apply (and any query-cache rebuild)
-		// overlap this group's disk wait instead of queueing behind it.
-		if flushErr = s.eng.Flush(); flushErr == nil {
+		// One drain per touched tenant pins the group's worker batch
+		// boundaries, one append orders the group in the log. The append
+		// is deliberately not the fsync: that happens below, outside the
+		// driver lock, so the next group's decode and apply (and any
+		// query-cache rebuild) overlap this group's disk wait instead of
+		// queueing behind it.
+		for _, t := range touched {
+			if flushErr = t.eng.Flush(); flushErr != nil {
+				break
+			}
+		}
+		if flushErr == nil {
 			groupLSN, walErr = s.logIngestGroup(group)
 		}
 	}
-	if applied > 0 {
-		s.bumpEpochLocked()
+	sample := s.cfg.MaxTenantBytes > 0
+	for _, t := range touched {
+		t.inGroup = false
+		t.epoch.Add(1)
+		t.touch()
+		if sample && flushErr == nil {
+			// The engine just drained for the group flush, so Space is a
+			// cheap walk; the sample feeds the MaxTenantBytes cap.
+			if sp, err := t.eng.Space(); err == nil {
+				t.space.Store(sp)
+			}
+		}
 	}
+	s.touchedBuf = touched[:0]
 	s.mu.Unlock()
+	if sample && applied > 0 {
+		s.recomputeFootprint()
+	}
 	if applied > 0 && flushErr == nil && walErr == nil && s.walSyncAlways {
 		// The group-wide durability barrier the acks below stand behind:
 		// one fsync for the whole group. (Under fsync=interval/off the
@@ -200,26 +244,48 @@ func (s *Server) commitGroup(group []*ingestJob) {
 }
 
 // logIngestGroup appends the group's applied members as one WAL record
-// and returns its LSN: the counted batch itself for a group of one (the
-// pre-group wire form, byte-compatible with old logs), or a
-// RecordIngestGroup carrying the member batches in commit order.
-// Callers hold s.mu.
+// and returns its LSN. A group entirely on the default tenant keeps the
+// legacy forms — the counted batch itself for a group of one, a
+// RecordIngestGroup for more — so single-tenant deployments write logs
+// byte-identical to pre-tenant corrd (and old logs replay unchanged). A
+// group touching any keyed tenant writes one RecordKeyedIngestGroup:
+// the member count, then each member as a tenant-prefixed counted batch
+// in commit order. Callers hold s.mu.
 func (s *Server) logIngestGroup(group []*ingestJob) (uint64, error) {
 	buf := s.groupBuf[:0]
-	members := 0
+	members, keyed := 0, false
 	for _, j := range group {
 		if j.kind == ingestOK {
 			members++
+			if j.tn != s.def {
+				keyed = true
+			}
 		}
 	}
-	typ := wal.RecordIngest
-	if members != 1 {
+	var typ wal.RecordType
+	switch {
+	case keyed:
+		typ = wal.RecordKeyedIngestGroup
+		buf = binary.AppendUvarint(buf, uint64(members))
+		for _, j := range group {
+			if j.kind == ingestOK {
+				buf = tupleio.AppendKeyedBatch(buf, j.tn.name, j.tuples)
+			}
+		}
+	case members == 1:
+		typ = wal.RecordIngest
+		for _, j := range group {
+			if j.kind == ingestOK {
+				buf = tupleio.AppendCountedBatch(buf, j.tuples)
+			}
+		}
+	default:
 		typ = wal.RecordIngestGroup
 		buf = binary.AppendUvarint(buf, uint64(members))
-	}
-	for _, j := range group {
-		if j.kind == ingestOK {
-			buf = tupleio.AppendCountedBatch(buf, j.tuples)
+		for _, j := range group {
+			if j.kind == ingestOK {
+				buf = tupleio.AppendCountedBatch(buf, j.tuples)
+			}
 		}
 	}
 	lsn, err := s.wal.AppendNoSync(typ, buf)
@@ -229,7 +295,3 @@ func (s *Server) logIngestGroup(group []*ingestJob) (uint64, error) {
 	s.groupBuf = buf
 	return lsn, err
 }
-
-// bumpEpochLocked advances the state epoch; callers hold s.mu. Every
-// engine mutation bumps it, which is what invalidates the query cache.
-func (s *Server) bumpEpochLocked() { s.epoch.Add(1) }

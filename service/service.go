@@ -137,10 +137,27 @@ type Config struct {
 	WALSegmentBytes int64
 
 	// PushTo switches the server into the site role: the base URL of
-	// the coordinator to push merged summary images to.
+	// the coordinator to push merged summary images to. The site role
+	// pushes the default tenant's summary only; keyed tenants are a
+	// coordinator-side namespace (see tenant.go).
 	PushTo string
 	// PushInterval defaults to 5s when PushTo is set.
 	PushInterval time.Duration
+
+	// MaxTenants caps how many keyed namespaces the daemon will hold
+	// (the default tenant counts); ingest or push naming a new tenant
+	// past the cap is rejected with HTTP 429 (AckTenant on the stream).
+	// 0 means unlimited.
+	MaxTenants int
+	// MaxTenantBytes caps the summed per-tenant memory footprint
+	// (sampled at commit and spill time); creating a tenant past it is
+	// rejected with HTTP 413. 0 means unlimited.
+	MaxTenantBytes int64
+	// TenantIdleSpill, when positive, spills tenants untouched for at
+	// least that long: the engine is marshaled to an in-memory image
+	// and parked on the cross-tenant free list, and the next touch
+	// restores it bit-identically. 0 disables idle spill.
+	TenantIdleSpill time.Duration
 
 	// MaxBodyBytes caps request bodies; 0 means 64 MiB.
 	MaxBodyBytes int64
@@ -217,35 +234,36 @@ type Server struct {
 	mux     *http.ServeMux
 	logger  *log.Logger
 
-	// mu is the engine driver lock: the shard engine is single-driver
+	// mu is the engine driver lock: the shard engines are single-driver
 	// by contract, so every engine mutation — a commit group applied by
-	// the committer, a push merge, a snapshot marshal — happens under
-	// it. Ingest handlers never take it themselves: they queue into the
-	// commit pipeline (pipe) and the committer goroutine commits whole
-	// groups under one critical section (see pipeline.go). WAL appends
-	// happen in the same critical section as their engine apply, so log
-	// order always equals apply order (what makes replay crash-exact).
-	// Queries do not take mu either, except to rebuild the epoch cache
-	// (below) when the state has moved.
+	// the committer, a push merge, a snapshot marshal, a tenant spill
+	// or restore — happens under it, across all tenants. Ingest
+	// handlers never take it themselves: they queue into the commit
+	// pipeline (pipe) and the committer goroutine commits whole groups
+	// under one critical section (see pipeline.go). WAL appends happen
+	// in the same critical section as their engine apply, so log order
+	// always equals apply order (what makes replay crash-exact).
+	// Queries do not take mu either, except to rebuild a tenant's
+	// epoch cache (tenant.go) when that tenant's state has moved.
 	mu       sync.Mutex
-	eng      Engine
 	restored bool
 
-	// pipe, committer state: ingest group commit (pipeline.go).
-	pipe     commitPipeline
-	groupMax int
-	groupBuf []byte // committer-owned WAL group encode scratch
+	// Tenant registry (tenant.go): def is the default (empty-key)
+	// tenant, whose engine never spills; tenants maps every key
+	// (including "") to its namespace; engFree parks reset engines for
+	// cross-tenant reuse. regMu is the innermost lock — never acquire
+	// mu or a tenant's queryMu while holding it.
+	regMu       sync.RWMutex
+	tenants     map[string]*tenant
+	def         *tenant
+	engFree     []Engine
+	tenantBytes atomic.Int64 // footprint sample for the MaxTenantBytes cap
 
-	// epoch counts engine state changes (bumped under mu); the query
-	// path caches the merged summary keyed by it, so repeated queries
-	// against unmoved state touch neither mu nor the shard workers.
-	// queryMu serializes cache rebuilds and cached-summary reads —
-	// queries against each other, never against ingest.
-	epoch      atomic.Uint64
-	queryMu    sync.Mutex
-	cacheEpoch uint64    // under queryMu
-	cacheValid bool      // under queryMu
-	cacheBuilt time.Time // under queryMu; for the QueryMaxStale window
+	// pipe, committer state: ingest group commit (pipeline.go).
+	pipe       commitPipeline
+	groupMax   int
+	groupBuf   []byte    // committer-owned WAL group encode scratch
+	touchedBuf []*tenant // committer-owned touched-tenant scratch
 
 	// wal is the durable-ingest log (nil without Config.WALDir);
 	// walReplayed counts state records replayed at the last startup.
@@ -305,11 +323,13 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		metrics:  newMetrics(),
-		eng:      eng,
 		logger:   cfg.Logger,
 		groupMax: cfg.IngestGroupMax,
 		done:     make(chan struct{}),
 	}
+	s.def = &tenant{eng: eng}
+	s.def.touch()
+	s.tenants = map[string]*tenant{"": s.def}
 	if s.logger == nil {
 		s.logger = log.New(io.Discard, "", 0)
 	}
@@ -330,17 +350,18 @@ func New(cfg Config) (*Server, error) {
 		var err error
 		if covered, err = s.restoreSnapshot(); err != nil {
 			s.shutdownStorage()
-			eng.Close()
+			s.closeEngines()
 			return nil, err
 		}
 	}
 	if s.wal != nil {
 		if err := s.replayWAL(covered); err != nil {
 			s.shutdownStorage()
-			eng.Close()
+			s.closeEngines()
 			return nil, err
 		}
 	}
+	s.recomputeFootprint()
 	s.routes()
 	s.wg.Add(1)
 	go s.committer()
@@ -353,6 +374,10 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.pushLoop(cfg.PushInterval)
 	}
+	if cfg.TenantIdleSpill > 0 {
+		s.wg.Add(1)
+		go s.spillLoop(cfg.TenantIdleSpill)
+	}
 	return s, nil
 }
 
@@ -363,10 +388,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Restored reports whether startup state came from a snapshot.
 func (s *Server) Restored() bool { return s.restored }
 
-// Engine exposes the underlying engine for in-process use (examples,
-// tests). Serialize access with the same care as any shard engine; the
-// server's handlers take their own lock.
-func (s *Server) Engine() Engine { return s.eng }
+// Engine exposes the default tenant's engine for in-process use
+// (examples, tests). Serialize access with the same care as any shard
+// engine; the server's handlers take their own lock.
+func (s *Server) Engine() Engine { return s.def.eng }
 
 func (s *Server) logf(format string, args ...any) { s.logger.Printf("corrd: "+format, args...) }
 
@@ -378,6 +403,33 @@ func (s *Server) shutdownStorage() {
 			s.logf("wal close: %v", err)
 		}
 	}
+}
+
+// closeEngines closes every live tenant engine and the free list (used
+// on construction failures and at the tail of Close).
+func (s *Server) closeEngines() []error {
+	var errs []error
+	s.mu.Lock()
+	for _, t := range s.tenantList() {
+		if t.eng == nil {
+			continue
+		}
+		if err := t.eng.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("tenant %q: %w", t.name, err))
+		}
+		t.eng = nil
+	}
+	s.mu.Unlock()
+	s.regMu.Lock()
+	free := s.engFree
+	s.engFree = nil
+	s.regMu.Unlock()
+	for _, e := range free {
+		if err := e.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
 }
 
 // Close shuts the server down gracefully: stop the background loops,
@@ -411,18 +463,19 @@ func (s *Server) Close() error {
 		}
 	}
 	s.mu.Lock()
-	if err := s.eng.Flush(); err != nil {
-		errs = append(errs, err)
+	for _, t := range s.tenantList() {
+		if t.eng == nil {
+			continue // spilled: already flushed and marshaled
+		}
+		if err := t.eng.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("tenant %q flush: %w", t.name, err))
+		}
 	}
 	s.mu.Unlock()
 	if err := s.Snapshot(); err != nil {
 		errs = append(errs, err)
 	}
-	s.mu.Lock()
-	if err := s.eng.Close(); err != nil {
-		errs = append(errs, err)
-	}
-	s.mu.Unlock()
+	errs = append(errs, s.closeEngines()...)
 	if s.wal != nil {
 		if err := s.wal.Close(); err != nil {
 			errs = append(errs, err)
@@ -472,18 +525,19 @@ func (s *Server) pushLoop(interval time.Duration) {
 func (s *Server) pushOnce() error {
 	s.xferMu.Lock()
 	defer s.xferMu.Unlock()
+	def := s.def
 	s.mu.Lock()
-	n, err := s.eng.Count()
+	n, err := def.eng.Count()
 	if err == nil && n == 0 {
 		s.mu.Unlock()
 		return nil // nothing accumulated since the last push
 	}
 	var img []byte
 	if err == nil {
-		img, err = s.eng.MarshalMerged()
+		img, err = def.eng.MarshalMerged()
 	}
 	if err == nil {
-		err = s.eng.Reset()
+		err = def.eng.Reset()
 	}
 	if err == nil {
 		if err = s.logReset(img); err != nil {
@@ -492,11 +546,11 @@ func (s *Server) pushOnce() error {
 			// keeps the data, and ship nothing this tick. The WAL sees
 			// neither a reset nor a merge — consistent, since the two
 			// cancel out.
-			if mergeErr := s.eng.MergeMarshaled(img); mergeErr != nil {
+			if mergeErr := def.eng.MergeMarshaled(img); mergeErr != nil {
 				err = errors.Join(err, fmt.Errorf("fold back after failed reset log, %d tuples dropped: %w", n, mergeErr))
 			}
 		}
-		s.bumpEpochLocked() // the engine was reset (and possibly refilled)
+		def.epoch.Add(1) // the engine was reset (and possibly refilled)
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -505,7 +559,7 @@ func (s *Server) pushOnce() error {
 	if err := s.pushc.Push(context.Background(), img); err != nil {
 		s.metrics.pushSendErrors.Inc()
 		s.mu.Lock()
-		mergeErr := s.eng.MergeMarshaled(img)
+		mergeErr := def.eng.MergeMarshaled(img)
 		if mergeErr == nil {
 			// One record carries the merge and closes the round; if the
 			// append fails the round stays open and replay's end-of-log
@@ -513,7 +567,7 @@ func (s *Server) pushOnce() error {
 			if walErr := s.logFoldback(img); walErr != nil {
 				s.logf("wal: log fold-back: %v", walErr)
 			}
-			s.bumpEpochLocked()
+			def.epoch.Add(1)
 		}
 		s.mu.Unlock()
 		if mergeErr != nil {

@@ -737,9 +737,9 @@ func TestWALInFlightPushFoldsBack(t *testing.T) {
 	// what pushOnce does before shipping — then "crash" before any
 	// fold-back or ack is logged.
 	site.mu.Lock()
-	img, err := site.eng.MarshalMerged()
+	img, err := site.def.eng.MarshalMerged()
 	if err == nil {
-		err = site.eng.Reset()
+		err = site.def.eng.Reset()
 	}
 	if err == nil {
 		err = site.logReset(img)

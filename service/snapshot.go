@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
+
+	"github.com/streamagg/correlated/internal/tupleio"
 )
 
 // Durability: the engine's snapshot form (per-shard framed, see
@@ -22,10 +25,16 @@ import (
 // marker to the WAL, which prunes every sealed segment the snapshot
 // made redundant.
 
-// snapshotMagic prefixes the wrapped snapshot file format. Legacy files
+// snapshotMagic prefixes the single-tenant wrapped snapshot file
+// format; snapshotMagicV2 prefixes the multi-tenant one. Legacy files
 // (raw engine bytes, which start with the shard framing version 0x01)
-// can never collide with it and are still restorable.
-var snapshotMagic = []byte("corrdsn1")
+// can never collide with either and are still restorable. A daemon
+// holding only the default tenant writes the v1 form, so single-tenant
+// deployments keep byte-identical snapshot files across this change.
+var (
+	snapshotMagic   = []byte("corrdsn1")
+	snapshotMagicV2 = []byte("corrdsn2")
+)
 
 // encodeSnapshotFile wraps the engine image with the covered WAL LSN.
 func encodeSnapshotFile(covered uint64, engine []byte) []byte {
@@ -47,6 +56,81 @@ func decodeSnapshotFile(data []byte) (covered uint64, engine []byte, err error) 
 		return 0, nil, errors.New("service: snapshot header truncated")
 	}
 	return covered, rest[n:], nil
+}
+
+// tenantImage is one tenant's marshaled engine state inside a
+// multi-tenant snapshot.
+type tenantImage struct {
+	name  string
+	image []byte
+}
+
+// encodeSnapshotFileV2 wraps N tenant images with the covered WAL LSN:
+//
+//	"corrdsn2" uvarint(covered) uvarint(count)
+//	  count × ( uvarint(len(name)) name uvarint(len(image)) image )
+//
+// The tenant-name prefix is the same keyed grammar the WAL and the
+// stream speak (tupleio.AppendTenant).
+func encodeSnapshotFileV2(covered uint64, images []tenantImage) []byte {
+	size := len(snapshotMagicV2) + 2*binary.MaxVarintLen64
+	for _, ti := range images {
+		size += 2*binary.MaxVarintLen64 + len(ti.name) + len(ti.image)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapshotMagicV2...)
+	buf = binary.AppendUvarint(buf, covered)
+	buf = binary.AppendUvarint(buf, uint64(len(images)))
+	for _, ti := range images {
+		buf = tupleio.AppendTenant(buf, ti.name)
+		buf = binary.AppendUvarint(buf, uint64(len(ti.image)))
+		buf = append(buf, ti.image...)
+	}
+	return buf
+}
+
+// decodeSnapshotFileV2 parses a multi-tenant snapshot. Every length
+// claim is bounded by the bytes actually present before slicing — the
+// decoder discipline of the rest of the codec — and tenant keys must
+// pass the wire validation. The returned images alias data.
+func decodeSnapshotFileV2(data []byte) (covered uint64, images []tenantImage, err error) {
+	rest := data[len(snapshotMagicV2):]
+	covered, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, errors.New("service: snapshot header truncated")
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, errors.New("service: snapshot tenant count truncated")
+	}
+	rest = rest[n:]
+	if count > uint64(len(rest)) {
+		// Each entry needs at least one byte; a hostile count is
+		// rejected before any allocation sized by it.
+		return 0, nil, fmt.Errorf("service: snapshot claims %d tenants in %d bytes", count, len(rest))
+	}
+	images = make([]tenantImage, 0, count)
+	for i := uint64(0); i < count; i++ {
+		name, r, err := tupleio.DecodeTenantPrefix(rest)
+		if err != nil {
+			return 0, nil, fmt.Errorf("service: snapshot tenant %d: %w", i, err)
+		}
+		sz, n := binary.Uvarint(r)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("service: snapshot tenant %d (%q): image length truncated", i, name)
+		}
+		r = r[n:]
+		if sz > uint64(len(r)) {
+			return 0, nil, fmt.Errorf("service: snapshot tenant %d (%q): image claims %d bytes, %d remain", i, name, sz, len(r))
+		}
+		images = append(images, tenantImage{name: string(name), image: r[:sz]})
+		rest = r[sz:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("service: snapshot has %d trailing bytes after %d tenants", len(rest), count)
+	}
+	return covered, images, nil
 }
 
 // writeFileAtomic writes data to path by writing a sibling temp file,
@@ -102,9 +186,28 @@ func (s *Server) snapshotLocked() error {
 	if s.cfg.SnapshotPath == "" {
 		return nil
 	}
+	// Deterministic tenant order: sorted by key, so equal state writes
+	// equal snapshot bytes regardless of creation order.
+	tenants := s.tenantList()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
 	s.mu.Lock()
-	data, err := s.eng.MarshalBinary()
+	var err error
 	var covered uint64
+	images := make([]tenantImage, 0, len(tenants))
+	for _, t := range tenants {
+		ti := tenantImage{name: t.name}
+		if t.eng != nil {
+			if ti.image, err = t.eng.MarshalBinary(); err != nil {
+				err = fmt.Errorf("tenant %q: %w", t.name, err)
+				break
+			}
+		} else {
+			// Spilled: the pending image IS the marshaled state —
+			// untouched since the spill, consistent by construction.
+			ti.image = t.pending
+		}
+		images = append(images, ti)
+	}
 	if err == nil && s.wal != nil {
 		covered = s.wal.LastLSN()
 	}
@@ -113,13 +216,26 @@ func (s *Server) snapshotLocked() error {
 		s.metrics.snapshotErrors.Inc()
 		return fmt.Errorf("service: snapshot marshal: %w", err)
 	}
-	if err := writeFileAtomic(s.cfg.SnapshotPath, encodeSnapshotFile(covered, data)); err != nil {
+	// A daemon holding only the default tenant writes the v1 form so
+	// single-tenant snapshot files stay byte-identical to pre-tenant
+	// corrd (and restorable by it).
+	var file []byte
+	if len(images) == 1 && images[0].name == "" {
+		file = encodeSnapshotFile(covered, images[0].image)
+	} else {
+		file = encodeSnapshotFileV2(covered, images)
+	}
+	if err := writeFileAtomic(s.cfg.SnapshotPath, file); err != nil {
 		s.metrics.snapshotErrors.Inc()
 		return fmt.Errorf("service: snapshot write: %w", err)
 	}
+	var dataLen int64
+	for _, ti := range images {
+		dataLen += int64(len(ti.image))
+	}
 	s.metrics.snapshotsWritten.Inc()
 	s.metrics.lastSnapshotUnix.Set(time.Now().Unix())
-	s.metrics.snapshotBytes.Set(int64(len(data)))
+	s.metrics.snapshotBytes.Set(dataLen)
 	if s.wal != nil {
 		if err := s.wal.Checkpoint(covered); err != nil {
 			// The snapshot is durable; a failed checkpoint only delays
@@ -130,11 +246,13 @@ func (s *Server) snapshotLocked() error {
 	return nil
 }
 
-// restoreSnapshot loads the snapshot file into the fresh engine at
-// startup and returns the WAL LSN the snapshot covers. A missing file
-// is a clean first boot; anything else that fails is fatal (a daemon
-// must not silently serve an empty state over data it was asked to
-// remember).
+// restoreSnapshot loads the snapshot file at startup and returns the
+// WAL LSN the snapshot covers. A missing file is a clean first boot;
+// anything else that fails is fatal (a daemon must not silently serve
+// an empty state over data it was asked to remember). In the
+// multi-tenant form the default tenant restores eagerly (its engine
+// already exists); every keyed tenant registers spilled and
+// materializes lazily on first touch.
 func (s *Server) restoreSnapshot() (covered uint64, err error) {
 	data, err := os.ReadFile(s.cfg.SnapshotPath)
 	if errors.Is(err, os.ErrNotExist) {
@@ -143,11 +261,33 @@ func (s *Server) restoreSnapshot() (covered uint64, err error) {
 	if err != nil {
 		return 0, fmt.Errorf("service: snapshot read: %w", err)
 	}
+	var dataLen int64
+	if bytes.HasPrefix(data, snapshotMagicV2) {
+		covered, images, err := decodeSnapshotFileV2(data)
+		if err != nil {
+			return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+		}
+		for _, ti := range images {
+			if ti.name == "" {
+				if err := s.def.eng.UnmarshalBinary(ti.image); err != nil {
+					return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+				}
+			} else {
+				// Copy out of the file buffer: the pending image may
+				// outlive this function by the tenant's whole idle life.
+				s.addRestoredTenant(ti.name, bytes.Clone(ti.image))
+			}
+			dataLen += int64(len(ti.image))
+		}
+		s.restored = true
+		s.metrics.snapshotBytes.Set(dataLen)
+		return covered, nil
+	}
 	covered, engine, err := decodeSnapshotFile(data)
 	if err != nil {
 		return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
 	}
-	if err := s.eng.UnmarshalBinary(engine); err != nil {
+	if err := s.def.eng.UnmarshalBinary(engine); err != nil {
 		return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
 	}
 	s.restored = true

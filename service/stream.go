@@ -169,9 +169,10 @@ func (s *Server) serveStreamConn(c net.Conn) {
 		return // not even our protocol; reply with nothing
 	case version != tupleio.StreamVersion:
 		status = tupleio.HelloBadVersion
-	case format != tupleio.StreamFormatCounted:
+	case format != tupleio.StreamFormatCounted && format != tupleio.StreamFormatKeyed:
 		status = tupleio.HelloBadFormat
 	}
+	keyed := format == tupleio.StreamFormatKeyed
 	reply := tupleio.AppendHelloReply(nil, status, s.streamMaxFrame())
 	if _, err := c.Write(reply); err != nil || status != tupleio.HelloOK {
 		if status != tupleio.HelloOK {
@@ -216,7 +217,30 @@ func (s *Server) serveStreamConn(c net.Conn) {
 		}
 		expect = seq
 		d.streamSeq = seq
-		d.tuples, err = tupleio.DecodeCounted(d.tuples, d.body)
+		var tn *tenant
+		if keyed {
+			// Keyed frame: tenant prefix, then the counted batch. The
+			// decoded key aliases d.body, which stays untouched until the
+			// commit — and the registry lookup indexes by the bytes
+			// without allocating; only an actual tenant creation copies.
+			var name []byte
+			name, d.tuples, err = tupleio.DecodeKeyed(d.tuples, d.body)
+			if err == nil {
+				tn, err = s.getOrCreateTenant(name, false)
+				if err != nil && !errors.Is(err, tupleio.ErrBadStream) {
+					// A governance cap refused the tenant: nack with the
+					// typed status and keep the connection — frames for
+					// existing tenants keep committing.
+					s.metrics.streamFrameErrors.Inc()
+					d.job.err, d.job.kind, d.job.lsn = err, ingestErrTenant, 0
+					d.job.done <- struct{}{}
+					inflight <- d
+					continue
+				}
+			}
+		} else {
+			d.tuples, err = tupleio.DecodeCounted(d.tuples, d.body)
+		}
 		if err != nil {
 			// Framing is intact — only this payload is bad. Nack it
 			// and keep the connection: the sender's other frames are
@@ -228,6 +252,7 @@ func (s *Server) serveStreamConn(c net.Conn) {
 			continue
 		}
 		d.job.tuples, d.job.err, d.job.kind, d.job.lsn = d.tuples, nil, ingestOK, 0
+		d.job.tn = tn
 		if err := s.enqueueIngest(&d.job); err != nil {
 			d.job.err, d.job.kind = err, ingestErrShutdown
 			d.job.done <- struct{}{}
@@ -261,9 +286,14 @@ func (s *Server) streamAcker(c net.Conn, inflight <-chan *decodeState, done chan
 			status = tupleio.AckWAL
 		case ingestErrShutdown:
 			status = tupleio.AckShutdown
+		case ingestErrTenant:
+			status = tupleio.AckTenant
 		default:
 			s.metrics.streamFrames.Inc()
 			s.metrics.streamTuples.Add(uint64(len(d.job.tuples)))
+			if d.job.tn != nil {
+				d.job.tn.tuplesIngested.Add(uint64(len(d.job.tuples)))
+			}
 		}
 		ack := tupleio.AppendAck(buf[:0], d.streamSeq, d.job.lsn, status)
 		_, werr := bw.Write(ack)

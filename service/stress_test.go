@@ -358,14 +358,14 @@ func TestCommitGroupMixedValidation(t *testing.T) {
 			t.Fatalf("job %d: kind %d, err %v", i, j.kind, j.err)
 		}
 	}
-	n, err := svc.eng.Count()
+	n, err := svc.def.eng.Count()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 600 {
 		t.Fatalf("engine holds %d tuples, want 600", n)
 	}
-	pre, err := svc.eng.MarshalMerged()
+	pre, err := svc.def.eng.MarshalMerged()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func TestCommitGroupMixedValidation(t *testing.T) {
 	if len(types) != 1 || types[0] != wal.RecordIngestGroup {
 		t.Fatalf("log records %v, want one RecordIngestGroup", types)
 	}
-	svc.eng.Close()
+	svc.def.eng.Close()
 	svc.shutdownStorage()
 
 	svc2, err := New(cfg)
@@ -422,9 +422,9 @@ func TestQueryMaxStale(t *testing.T) {
 		t.Fatalf("query inside the staleness window rebuilt: %v vs %v", within, first)
 	}
 	// Deterministic expiry: age the cache past the window by hand.
-	svc.queryMu.Lock()
-	svc.cacheBuilt = time.Now().Add(-2 * time.Hour)
-	svc.queryMu.Unlock()
+	svc.def.queryMu.Lock()
+	svc.def.cacheBuilt = time.Now().Add(-2 * time.Hour)
+	svc.def.queryMu.Unlock()
 	after, err := cl.QueryLE(ctx, distinctY)
 	if err != nil {
 		t.Fatal(err)

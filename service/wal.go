@@ -80,14 +80,27 @@ func (s *Server) openWAL() error {
 }
 
 // logPush appends a merged push image to the WAL (callers hold s.mu).
-// Ingest is logged by the commit pipeline's logIngestGroup (pipeline.go):
-// one record per commit group, carrying the member batches in commit
-// order.
-func (s *Server) logPush(image []byte) error {
+// A push into the default tenant keeps the legacy RecordPush form
+// (byte-identical to pre-tenant logs); a keyed tenant's push writes a
+// RecordKeyedPush with the tenant prefix before the image. Ingest is
+// logged by the commit pipeline's logIngestGroup (pipeline.go): one
+// record per commit group, carrying the member batches in commit order.
+func (s *Server) logPush(t *tenant, image []byte) error {
 	if s.wal == nil {
 		return nil
 	}
-	_, err := s.wal.Append(wal.RecordPush, image)
+	if t == s.def {
+		_, err := s.wal.Append(wal.RecordPush, image)
+		return err
+	}
+	buf := s.groupBuf[:0]
+	buf = tupleio.AppendTenant(buf, t.name)
+	buf = append(buf, image...)
+	_, err := s.wal.Append(wal.RecordKeyedPush, buf)
+	if cap(buf) > maxPooledBuffer {
+		buf = nil
+	}
+	s.groupBuf = buf
 	return err
 }
 
@@ -126,12 +139,29 @@ func (s *Server) logFoldback(image []byte) error {
 // replayWAL re-applies every record the snapshot does not cover, in log
 // order, through the same engine entry points the handlers use. Any
 // failure is fatal to startup: a daemon must not serve state it knows
-// is missing acknowledged data.
+// is missing acknowledged data. Replay runs before any goroutine is
+// started, so calling the *Locked tenant helpers without s.mu is safe;
+// tenant creation during replay bypasses the governance caps —
+// acknowledged data outranks a cap that may have been lowered since.
 func (s *Server) replayWAL(covered uint64) error {
 	start := time.Now()
 	var records uint64
 	var inFlight []byte // image of an open push round, nil when none
 	tuples := make([]correlated.Tuple, 0, 4096)
+	var touched []*tenant // keyed-group first-touch scratch
+	// tenantEngine resolves a replayed tenant key to its live engine,
+	// creating (cap-free) or lazily restoring the tenant as needed.
+	tenantEngine := func(name []byte) (*tenant, Engine, error) {
+		t, err := s.getOrCreateTenant(name, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := s.ensureEngineLocked(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t, eng, nil
+	}
 	err := s.wal.Replay(covered, func(lsn uint64, typ wal.RecordType, payload []byte) error {
 		switch typ {
 		case wal.RecordIngest:
@@ -139,12 +169,12 @@ func (s *Server) replayWAL(covered uint64) error {
 			if tuples, err = tupleio.DecodeCounted(tuples, payload); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}
-			if err := s.eng.AddBatch(tuples); err != nil {
+			if err := s.def.eng.AddBatch(tuples); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}
 			// Drain per record, mirroring the live commit of a group of
 			// one: worker batch boundaries replay exactly as they ran.
-			if err := s.eng.Flush(); err != nil {
+			if err := s.def.eng.Flush(); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}
 		case wal.RecordIngestGroup:
@@ -162,29 +192,83 @@ func (s *Server) replayWAL(covered uint64) error {
 				if tuples, rest, err = tupleio.DecodeCountedPrefix(tuples, rest); err != nil {
 					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
 				}
-				if err := s.eng.AddBatch(tuples); err != nil {
+				if err := s.def.eng.AddBatch(tuples); err != nil {
 					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
 				}
 			}
 			if len(rest) != 0 {
 				return fmt.Errorf("service: wal replay: record %d: %d trailing bytes after %d members", lsn, len(rest), n)
 			}
-			if err := s.eng.Flush(); err != nil {
+			if err := s.def.eng.Flush(); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}
+		case wal.RecordKeyedIngestGroup:
+			// A commit group that touched keyed tenants: apply every
+			// member to its tenant in commit order, then flush each
+			// touched tenant once, in first-touch order — exactly the
+			// sequence the live commitGroup ran, so every tenant's worker
+			// batch boundaries (and therefore its recovered bytes) match
+			// the crashed run.
+			n, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return fmt.Errorf("service: wal replay: record %d: bad group header", lsn)
+			}
+			rest := payload[sz:]
+			touched = touched[:0]
+			for i := uint64(0); i < n; i++ {
+				var name, batchRest []byte
+				var err error
+				name, tuples, batchRest, err = tupleio.DecodeKeyedPrefix(tuples, rest)
+				if err != nil {
+					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+				}
+				rest = batchRest
+				t, eng, err := tenantEngine(name)
+				if err != nil {
+					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+				}
+				if err := eng.AddBatch(tuples); err != nil {
+					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+				}
+				if !t.inGroup {
+					t.inGroup = true
+					touched = append(touched, t)
+				}
+			}
+			if len(rest) != 0 {
+				return fmt.Errorf("service: wal replay: record %d: %d trailing bytes after %d members", lsn, len(rest), n)
+			}
+			for _, t := range touched {
+				t.inGroup = false
+				if err := t.eng.Flush(); err != nil {
+					return fmt.Errorf("service: wal replay: record %d tenant %q: %w", lsn, t.name, err)
+				}
+			}
 		case wal.RecordPush:
-			if err := s.eng.MergeMarshaled(payload); err != nil {
+			if err := s.def.eng.MergeMarshaled(payload); err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+		case wal.RecordKeyedPush:
+			name, image, err := tupleio.DecodeTenantPrefix(payload)
+			if err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+			_, eng, err := tenantEngine(name)
+			if err != nil {
+				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+			}
+			if err := eng.MergeMarshaled(image); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}
 		case wal.RecordReset:
-			if err := s.eng.Reset(); err != nil {
+			if err := s.def.eng.Reset(); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}
 			inFlight = append(inFlight[:0], payload...)
 		case wal.RecordPushAck:
 			inFlight = nil
 		case wal.RecordFoldback:
-			if err := s.eng.MergeMarshaled(payload); err != nil {
+			if err := s.def.eng.MergeMarshaled(payload); err != nil {
 				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
 			}
 			inFlight = nil
@@ -220,13 +304,18 @@ func (s *Server) replayWAL(covered uint64) error {
 		// the live path makes when a push fails — so the next round
 		// ships the union. Delivery is at-least-once across this one
 		// window; it is never silent loss.
-		if err := s.eng.MergeMarshaled(inFlight); err != nil {
+		if err := s.def.eng.MergeMarshaled(inFlight); err != nil {
 			return fmt.Errorf("service: wal replay: fold back in-flight push image: %w", err)
 		}
 		s.logf("wal: push round was in flight at crash; image folded back for re-push")
 	}
-	if err := s.eng.Flush(); err != nil {
-		return fmt.Errorf("service: wal replay: %w", err)
+	for _, t := range s.tenantList() {
+		if t.eng == nil {
+			continue // restored spilled and never touched by the log suffix
+		}
+		if err := t.eng.Flush(); err != nil {
+			return fmt.Errorf("service: wal replay: tenant %q: %w", t.name, err)
+		}
 	}
 	dur := time.Since(start)
 	s.walReplayed = records
