@@ -99,6 +99,26 @@ type Stats struct {
 	TenantQueriesServed  uint64 `json:"tenant_queries_served,omitempty"`
 	TenantSpills         uint64 `json:"tenant_spills,omitempty"`
 	TenantRestores       uint64 `json:"tenant_restores,omitempty"`
+
+	// Pipeline-stage latency breakdown, keyed by stage name (enqueue,
+	// apply, append, fsync, ack). Present once the server has committed
+	// at least one ingest; stages that never fired are omitted.
+	PipelineStages map[string]StageStats `json:"pipeline_stages,omitempty"`
+}
+
+// StageStats summarizes one commit-pipeline stage's latency histogram:
+// how many times the stage ran and its mean, median, and tail cost in
+// milliseconds. The full bucket data lives in the Prometheus exposition
+// (corrd_pipeline_stage_seconds); this is the JSON-friendly digest the
+// stats endpoint and the load generator's report carry.
+// The observation count is deliberately not named "count" on the wire:
+// the top-level Stats carries the engine tuple count under that key,
+// and scripted consumers grep the flat JSON.
+type StageStats struct {
+	Count uint64  `json:"samples"`
+	AvgMs float64 `json:"avg_ms"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // QueryResult is the /v1/query response for a single cutoff.

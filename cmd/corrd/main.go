@@ -52,6 +52,15 @@
 // GET /v1/query?op=le|ge&c=N, GET /v1/stats, GET /v1/summary,
 // GET /healthz, GET /metrics (Prometheus text).
 //
+// Observability: -access-log writes one JSON line per HTTP request and
+// stream frame (request IDs accepted or minted via X-Request-ID) from a
+// lock-cheap ring buffer that drops rather than blocks the hot path;
+// -slow-request promotes slow requests to the main logger; -debug-addr
+// serves net/http/pprof on a separate listener. /metrics carries the
+// commit pipeline's per-stage latency histograms
+// (corrd_pipeline_stage_seconds) alongside WAL, snapshot, tenant, and
+// Go runtime series.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: drain HTTP, flush the
 // shards, final push (site role), final snapshot.
 package main
@@ -61,6 +70,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -104,6 +114,10 @@ func main() {
 
 		maxBody = flag.Int64("max-body", 64<<20, "request body cap in bytes")
 
+		accessLog = flag.String("access-log", "", `structured access-log file path ("-" = stderr, empty = disabled); one JSON line per HTTP request and stream frame`)
+		slowReq   = flag.Duration("slow-request", 0, "also log requests slower than this to the main logger (0 = never)")
+		debugAddr = flag.String("debug-addr", "", "net/http/pprof listen address (empty = disabled); keep it loopback-only in production")
+
 		maxTenants     = flag.Int("max-tenants", 0, "tenant count cap (0 = unlimited); creation past it gets HTTP 429")
 		maxTenantBytes = flag.Int64("max-tenant-bytes", 0, "aggregate tenant memory cap in bytes (0 = unlimited); creation past it gets HTTP 413")
 		tenantIdle     = flag.Duration("tenant-idle-spill", 0, "spill tenants idle longer than this to compact in-memory images (0 = never)")
@@ -124,6 +138,22 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	var accessW io.Writer
+	var accessFile *os.File
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corrd: access log: %v\n", err)
+			os.Exit(1)
+		}
+		accessW, accessFile = f, f
+	}
+
 	svc, err := service.New(service.Config{
 		Aggregate: *agg,
 		K:         *k,
@@ -147,6 +177,8 @@ func main() {
 		MaxTenants:       *maxTenants,
 		MaxTenantBytes:   *maxTenantBytes,
 		TenantIdleSpill:  *tenantIdle,
+		AccessLog:        accessW,
+		SlowRequest:      *slowReq,
 		Logger:           logger,
 	})
 	if err != nil {
@@ -182,6 +214,22 @@ func main() {
 			}
 		}()
 	}
+	if *debugAddr != "" {
+		// The profiling surface is its own listener on purpose: the
+		// serving address never exposes pprof, and a debug-listener
+		// failure only loses profiling, never the daemon.
+		debugSrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           service.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Printf("corrd: debug (pprof) listening on %s", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("corrd: debug serve: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -203,6 +251,12 @@ func main() {
 	if err := svc.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "corrd: close: %v\n", err)
 		os.Exit(1)
+	}
+	if accessFile != nil {
+		// Close drained the access-log ring; the file can close now.
+		if err := accessFile.Close(); err != nil {
+			logger.Printf("corrd: access log close: %v", err)
+		}
 	}
 	logger.Printf("corrd: clean shutdown")
 }

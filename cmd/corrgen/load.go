@@ -58,6 +58,11 @@ type loadReport struct {
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
 	CPUs   int    `json:"cpus"`
+
+	// Server-side commit-pipeline stage breakdown (enqueue, apply,
+	// append, fsync, ack), fetched from /v1/stats after the run — how
+	// the acknowledged ingest latency above decomposes inside corrd.
+	Stages map[string]client.StageStats `json:"pipeline_stages,omitempty"`
 }
 
 // loadConfig carries the flag values the load mode needs.
@@ -529,6 +534,14 @@ func runLoad(cfg *loadConfig) error {
 	}
 	if cfg.tenants > 1 {
 		rep.Tenants = cfg.tenants
+	}
+	// Attach the server's stage breakdown so the load report carries
+	// where the acknowledged latency went. Best-effort: a stats failure
+	// degrades the report, never the run.
+	if st, err := loadClient(cfg).Stats(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "corrgen load: stats fetch failed (no stage breakdown): %v\n", err)
+	} else {
+		rep.Stages = st.PipelineStages
 	}
 
 	fmt.Fprintf(os.Stderr,

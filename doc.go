@@ -82,6 +82,17 @@
 //	                                            memory governance caps (429/413),
 //	                                            idle-tenant spill to compact
 //	                                            images with restore-on-touch
+//	observability             service           pipeline-stage tracing (per-stage
+//	                                            latency histograms over the commit
+//	                                            pipeline: enqueue, apply, append,
+//	                                            fsync, ack — in /metrics, /v1/stats,
+//	                                            and corrgen load reports), the
+//	                                            ring-buffered JSON access log with
+//	                                            X-Request-ID accept/mint/echo
+//	                                            (corrd -access-log, -slow-request),
+//	                                            Go runtime metrics and build info
+//	                                            in the exposition, and the opt-in
+//	                                            pprof listener (-debug-addr)
 //	durable ingest            internal/wal      segmented CRC32C write-ahead log
 //	                                            under the daemon: log-before-ack,
 //	                                            group records, fsync policies,

@@ -90,13 +90,17 @@ curl -fsS "$BASE/metrics" | grep -E '^corrd_(ingest_requests_total|ingest_groups
 stop_corrd
 
 echo "== phase 2: mixed ($CLIENTS ingest + $QUERY_CLIENTS query clients, -query-max-stale $MAX_STALE)"
-start_corrd -query-max-stale "$MAX_STALE"
+# The mixed phase also runs the structured access log, so the run leaves
+# a sample of real access records next to the load reports (CI uploads
+# it with the bench artifacts).
+start_corrd -query-max-stale "$MAX_STALE" -access-log "$WORK/access.log"
 "$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
   -target "$BASE" -chunk "$CHUNK" -clients "$CLIENTS" \
   -query-clients "$QUERY_CLIENTS" -query-cutoffs 250000,500000,750000 \
   -load-json "${OUT_PREFIX}-mixed.json"
-curl -fsS "$BASE/metrics" | grep -E '^corrd_(ingest_requests_total|ingest_groups_total|wal_fsyncs_total|query_cache_(hits|rebuilds)_total)' || true
+curl -fsS "$BASE/metrics" | grep -E '^corrd_(ingest_requests_total|ingest_groups_total|wal_fsyncs_total|query_cache_(hits|rebuilds)_total|pipeline_stage_seconds_count)' || true
 stop_corrd
+head -n 200 "$WORK/access.log" > "${OUT_PREFIX}-access.log" 2>/dev/null || true
 
 echo "== phase 3: stream vs HTTP at wire-speed granularity ($CLIENTS clients, $STREAM_CHUNK-tuple batches, fsync=always)"
 start_corrd -stream-addr "$STREAM_ADDR"
@@ -118,4 +122,4 @@ start_corrd -query-max-stale "$MAX_STALE" -max-tenants $((TENANTS + 8))
 curl -fsS "$BASE/metrics" | grep -E '^corrd_(tenants|tenant_bytes|tenant_created_total|ingest_groups_total|wal_fsyncs_total)' || true
 stop_corrd
 
-echo "Wrote ${OUT_PREFIX}-{ingest,mixed,stream,stream-http,tenants}.json"
+echo "Wrote ${OUT_PREFIX}-{ingest,mixed,stream,stream-http,tenants}.json (+ ${OUT_PREFIX}-access.log sample)"

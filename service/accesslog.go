@@ -1,0 +1,231 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Structured access logging: one JSON line per API request and per
+// stream frame batch, carrying the request ID the client supplied (or
+// the one the server minted and echoed back). The serving path never
+// writes to the destination itself — record places a fixed-size struct
+// into a preallocated ring (strings are stored by reference, so the
+// record path allocates nothing; pinned by TestAccessLogRecordZeroAlloc)
+// and a background writer goroutine formats and writes the drained
+// batch. When the ring is full the record is dropped and counted
+// (corrd_access_log_dropped_total) — a stalled log destination costs
+// visibility, never throughput or latency.
+
+// accessLogRing is the fixed ring capacity: enough to absorb a burst
+// across a slow write, small enough to bound the memory a dead
+// destination can pin.
+const accessLogRing = 1024
+
+// accessRecord is one access-log line before formatting. String fields
+// are held by reference; everything it points at (method, path,
+// interned tenant names, request IDs) outlives the ring slot.
+type accessRecord struct {
+	ts        time.Time
+	transport string // "http" or "stream"
+	method    string
+	path      string
+	tenant    string
+	requestID string // stream: the per-connection ID
+	status    int    // HTTP status, or the stream ack status code
+	bytesIn   int64
+	bytesOut  int64
+	dur       time.Duration
+	seq       uint64 // stream frame sequence; 0 for HTTP
+}
+
+// accessLog is the ring-buffer logger.
+type accessLog struct {
+	w       io.Writer
+	dropped *counter
+
+	mu   sync.Mutex
+	ring []accessRecord
+	head int // oldest undrained record
+	n    int // records currently in the ring
+
+	notify chan struct{} // capacity 1: "the ring is non-empty"
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// Writer-goroutine scratch, reused across flushes so steady-state
+	// draining does not allocate either.
+	drain []accessRecord
+	buf   []byte
+}
+
+// newAccessLog starts the background writer; Close stops it after a
+// final drain.
+func newAccessLog(w io.Writer, size int, dropped *counter) *accessLog {
+	l := &accessLog{
+		w:       w,
+		dropped: dropped,
+		ring:    make([]accessRecord, size),
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.writer()
+	return l
+}
+
+// record enqueues one access record: a struct copy into the ring under
+// a short mutex, a non-blocking notify, zero allocations. A full ring
+// drops the record and counts it.
+func (l *accessLog) record(r accessRecord) {
+	l.mu.Lock()
+	if l.n == len(l.ring) {
+		l.mu.Unlock()
+		l.dropped.Inc()
+		return
+	}
+	i := l.head + l.n
+	if i >= len(l.ring) {
+		i -= len(l.ring)
+	}
+	l.ring[i] = r
+	l.n++
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (l *accessLog) writer() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.notify:
+			l.flush()
+		case <-l.done:
+			l.flush()
+			return
+		}
+	}
+}
+
+// flush drains the ring into writer-owned scratch (so the mutex is
+// held only for the copy, never across a write), then formats and
+// writes each record.
+func (l *accessLog) flush() {
+	l.mu.Lock()
+	l.drain = l.drain[:0]
+	for l.n > 0 {
+		l.drain = append(l.drain, l.ring[l.head])
+		l.ring[l.head] = accessRecord{} // release the string references
+		l.head++
+		if l.head == len(l.ring) {
+			l.head = 0
+		}
+		l.n--
+	}
+	l.mu.Unlock()
+	for i := range l.drain {
+		l.buf = appendAccessJSON(l.buf[:0], &l.drain[i])
+		l.w.Write(l.buf)
+		l.drain[i] = accessRecord{}
+	}
+}
+
+// Close drains whatever is still queued and stops the writer.
+func (l *accessLog) Close() {
+	close(l.done)
+	l.wg.Wait()
+}
+
+// appendAccessJSON formats one record as a JSON line using only
+// append-style formatting into the reused buffer.
+func appendAccessJSON(b []byte, r *accessRecord) []byte {
+	b = append(b, `{"ts":"`...)
+	b = r.ts.AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","transport":"`...)
+	b = append(b, r.transport...)
+	b = append(b, `","method":`...)
+	b = appendJSONString(b, r.method)
+	b = append(b, `,"path":`...)
+	b = appendJSONString(b, r.path)
+	b = append(b, `,"tenant":`...)
+	b = appendJSONString(b, r.tenant)
+	b = append(b, `,"request_id":`...)
+	b = appendJSONString(b, r.requestID)
+	if r.seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, r.seq, 10)
+	}
+	b = append(b, `,"status":`...)
+	b = strconv.AppendInt(b, int64(r.status), 10)
+	b = append(b, `,"bytes_in":`...)
+	b = strconv.AppendInt(b, r.bytesIn, 10)
+	b = append(b, `,"bytes_out":`...)
+	b = strconv.AppendInt(b, r.bytesOut, 10)
+	b = append(b, `,"ms":`...)
+	b = strconv.AppendFloat(b, float64(r.dur)/float64(time.Millisecond), 'f', 3, 64)
+	return append(b, "}\n"...)
+}
+
+// appendJSONString appends s as a JSON string, escaping quotes,
+// backslashes, and control bytes (paths and tenant keys are
+// caller-supplied bytes).
+func appendJSONString(b []byte, s string) []byte {
+	const hexDigits = "0123456789abcdef"
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// ridPrefix distinguishes this process's minted request IDs from every
+// other corrd's; the suffix is a process-local counter.
+var ridPrefix = func() string {
+	var b [4]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}()
+
+var ridCounter atomic.Uint64
+
+// newRequestID mints a process-unique request ID for requests (and
+// stream connections) that did not supply an X-Request-ID. Minting may
+// allocate — it happens once per request, not per record; only
+// accessLog.record is pinned allocation-free.
+func newRequestID() string {
+	return ridPrefix + "-" + strconv.FormatUint(ridCounter.Add(1), 10)
+}
+
+// statusWriter captures the status code and response bytes for the
+// access record.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}

@@ -1,0 +1,22 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the profiling surface corrd serves on the
+// opt-in -debug-addr listener: the net/http/pprof endpoints under
+// /debug/pprof/. It is a separate handler — and in corrd a separate
+// listener — deliberately: the serving address never exposes
+// profiling, so operators firewall the two independently and the debug
+// port can stay loopback-only in production.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -52,12 +52,42 @@ func (s *Server) putDecodeState(d *decodeState) {
 	s.dec.Put(d)
 }
 
-// instrument feeds the per-handler latency histogram.
+// instrument wraps a handler with the observability spine: the
+// per-handler latency histogram, X-Request-ID accept/generate/echo,
+// the access-log record, and the slow-request promotion. The ID is
+// echoed on every response — success or rejection — so a client can
+// correlate any outcome with the server's access log.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h(w, r)
-		s.metrics.observe(name, time.Since(start))
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(&sw, r)
+		d := time.Since(start)
+		s.metrics.observe(name, d)
+		if s.access != nil {
+			s.access.record(accessRecord{
+				ts:        start,
+				transport: "http",
+				method:    r.Method,
+				path:      r.URL.Path,
+				tenant:    r.URL.Query().Get("tenant"),
+				requestID: rid,
+				status:    sw.status,
+				bytesIn:   r.ContentLength,
+				bytesOut:  sw.bytes,
+				dur:       d,
+			})
+		}
+		if s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+			s.metrics.slowRequests.Inc()
+			s.logf("slow request: %s %s status=%d dur=%s request_id=%s",
+				r.Method, r.URL.Path, sw.status, d.Round(time.Microsecond), rid)
+		}
 	}
 }
 
@@ -195,6 +225,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	<-d.job.done
+	s.metrics.stages[stageAck].Observe(time.Since(d.job.wakeAt).Seconds())
 	switch d.job.kind {
 	case ingestErrValidate:
 		// AddBatch fails only on synchronous validation (y bound,
@@ -531,6 +562,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TenantBytes:    s.tenantBytes.Load(),
 		TenantSpills:   s.metrics.tenantsSpilled.Load(),
 		TenantRestores: s.metrics.tenantsRestored.Load(),
+
+		PipelineStages: s.metrics.stageBreakdown(),
 	}
 	if named {
 		st.Tenant = tn.name

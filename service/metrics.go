@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -40,17 +41,23 @@ func (g *fgauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *fgauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // histogram is a fixed-bucket latency histogram (cumulative on render,
-// like Prometheus expects; per-bucket on record, so Observe is one
-// atomic add).
+// like Prometheus expects; per-bucket on record, so Observe is a few
+// atomic adds). The observed sum is kept per bucket in fixed-point
+// nanounits: integer adds are wait-free, where the old single-word
+// float sum needed a CAS retry loop that spun under contention.
 type histogram struct {
-	bounds  []float64 // upper bounds, ascending; +Inf is implicit
-	counts  []atomic.Uint64
-	sumBits atomic.Uint64 // float64 bits, CAS-updated
-	count   atomic.Uint64
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Uint64
+	sums   []atomic.Uint64 // per-bucket observed sum, nanounits
+	count  atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		sums:   make([]atomic.Uint64, len(bounds)+1),
+	}
 }
 
 // defaultBuckets spans sub-millisecond handler hits through multi-second
@@ -59,16 +66,48 @@ func defaultBuckets() []float64 {
 	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
 }
 
+// nanounits converts a non-negative observation to 1e-9 fixed point.
+// At that resolution a uint64 bucket sum holds ~584 years of
+// seconds-valued observations before wrapping.
+func nanounits(v float64) uint64 { return uint64(v*1e9 + 0.5) }
+
 func (h *histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
+	h.sums[i].Add(nanounits(v))
 	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
+}
+
+// sum totals the per-bucket fixed-point sums back into the observed
+// unit.
+func (h *histogram) sum() float64 {
+	var total uint64
+	for i := range h.sums {
+		total += h.sums[i].Load()
 	}
+	return float64(total) / 1e9
+}
+
+// quantile approximates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the rank; mass beyond the
+// last bound reports the last bound. Bucket counts are read racily
+// against concurrent observers, which is fine for an estimate.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum, lower float64
+	for i, ub := range h.bounds {
+		n := float64(h.counts[i].Load())
+		if n > 0 && cum+n >= rank {
+			return lower + (ub-lower)*(rank-cum)/n
+		}
+		cum += n
+		lower = ub
+	}
+	return lower
 }
 
 // metrics is the service's instrument registry.
@@ -128,6 +167,23 @@ type metrics struct {
 	tenantEnginesReused  counter // engines taken from the cross-tenant free list
 	tenantBytes          gauge   // sampled summed per-tenant footprint
 
+	// Pipeline-stage tracing (trace.go): where an acknowledged ingest's
+	// time goes — queue wait, engine apply, WAL append, fsync, ack
+	// wake — plus the commit-group shape those costs amortize over and
+	// the live queue depth ahead of the committer.
+	stages      [numStages]*histogram
+	groupSize   *histogram // ingest requests per committed group
+	groupTuples *histogram // tuples per committed group
+	queueDepth  gauge      // jobs waiting in the commit pipeline
+
+	// Access logging (accesslog.go): records dropped because the ring
+	// was full (the serving path never blocks on the log destination)
+	// and requests promoted to the main logger by -slow-request.
+	accessDropped counter
+	slowRequests  counter
+
+	buildInfo string // corrd_build_info sample line, computed once
+
 	handlers map[string]*histogram // request duration per handler
 }
 
@@ -143,6 +199,12 @@ func newMetrics() *metrics {
 		m.handlers[h] = newHistogram(defaultBuckets())
 	}
 	m.walFsync = newHistogram(walFsyncBuckets())
+	for i := range m.stages {
+		m.stages[i] = newHistogram(stageBuckets())
+	}
+	m.groupSize = newHistogram(groupSizeBuckets())
+	m.groupTuples = newHistogram(groupTuplesBuckets())
+	m.buildInfo = buildInfoLine()
 	return m
 }
 
@@ -186,7 +248,7 @@ func writeHistogram(w io.Writer, name, labels string, h *histogram) {
 	}
 	cum += h.counts[len(h.bounds)].Load()
 	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, bucketOpen, cum)
-	fmt.Fprintf(w, "%s_sum%s %g\n", name, plain, math.Float64frombits(h.sumBits.Load()))
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, plain, h.sum())
 	fmt.Fprintf(w, "%s_count%s %d\n", name, plain, h.count.Load())
 }
 
@@ -268,6 +330,36 @@ func (m *metrics) write(w io.Writer, es engineStats, ts tenantStats, ws *wal.Sta
 	for _, name := range handlerNames {
 		writeHistogram(w, "corrd_http_request_duration_seconds", fmt.Sprintf("handler=%q", name), m.handlers[name])
 	}
+
+	fmt.Fprintf(w, "# HELP corrd_pipeline_stage_seconds Time ingest jobs spend in each commit-pipeline stage (enqueue, apply, append, fsync, ack).\n")
+	fmt.Fprintf(w, "# TYPE corrd_pipeline_stage_seconds histogram\n")
+	for i, name := range stageNames {
+		writeHistogram(w, "corrd_pipeline_stage_seconds", fmt.Sprintf("stage=%q", name), m.stages[i])
+	}
+	fmt.Fprintf(w, "# HELP corrd_ingest_group_size Ingest requests carried per committed group.\n")
+	fmt.Fprintf(w, "# TYPE corrd_ingest_group_size histogram\n")
+	writeHistogram(w, "corrd_ingest_group_size", "", m.groupSize)
+	fmt.Fprintf(w, "# HELP corrd_ingest_group_tuples Tuples carried per committed group.\n")
+	fmt.Fprintf(w, "# TYPE corrd_ingest_group_tuples histogram\n")
+	writeHistogram(w, "corrd_ingest_group_tuples", "", m.groupTuples)
+	g("corrd_ingest_queue_depth", "Ingest jobs queued ahead of the committer right now.", m.queueDepth.Load())
+	c("corrd_access_log_dropped_total", "Access-log records dropped because the ring was full.", m.accessDropped.Load())
+	c("corrd_slow_requests_total", "Requests at or over the slow-request threshold, promoted to the main logger.", m.slowRequests.Load())
+
+	// Go runtime health, sampled at scrape time (scrape-rate traffic;
+	// ReadMemStats is a brief stop-the-world).
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g("corrd_go_goroutines", "Live goroutines.", int64(runtime.NumGoroutine()))
+	g("corrd_go_heap_alloc_bytes", "Bytes of live heap objects.", int64(ms.HeapAlloc))
+	g("corrd_go_heap_sys_bytes", "Heap memory obtained from the OS.", int64(ms.HeapSys))
+	c("corrd_go_gcs_total", "Completed GC cycles.", uint64(ms.NumGC))
+	fmt.Fprintf(w, "# HELP corrd_go_gc_pause_total_seconds Cumulative GC stop-the-world pause time.\n")
+	fmt.Fprintf(w, "# TYPE corrd_go_gc_pause_total_seconds counter\n")
+	fmt.Fprintf(w, "corrd_go_gc_pause_total_seconds %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "# HELP corrd_build_info Build metadata; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE corrd_build_info gauge\n")
+	fmt.Fprintf(w, "%s\n", m.buildInfo)
 }
 
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync"
+	"time"
 
 	correlated "github.com/streamagg/correlated"
 	"github.com/streamagg/correlated/internal/tupleio"
@@ -61,6 +62,13 @@ type ingestJob struct {
 	kind   ingestErrKind
 	lsn    uint64
 	done   chan struct{}
+
+	// Stage-tracing stamps (trace.go): plain field writes on the pooled
+	// struct, overwritten every flight. enqueuedAt opens the "enqueue"
+	// stage; wakeAt is set just before the done send so the waiter's
+	// resume closes the "ack" stage.
+	enqueuedAt time.Time
+	wakeAt     time.Time
 }
 
 // commitPipeline is the queue between ingest handlers and the committer.
@@ -83,6 +91,7 @@ const defaultGroupMax = 256
 // enqueueIngest hands a job to the committer; it fails only when the
 // server is shutting down. The handler then blocks on j.done.
 func (s *Server) enqueueIngest(j *ingestJob) error {
+	j.enqueuedAt = time.Now()
 	p := &s.pipe
 	p.mu.Lock()
 	if p.closed {
@@ -90,6 +99,7 @@ func (s *Server) enqueueIngest(j *ingestJob) error {
 		return errShuttingDown
 	}
 	p.queue = append(p.queue, j)
+	s.metrics.queueDepth.Set(int64(len(p.queue)))
 	if len(p.queue) == 1 {
 		p.cond.Signal()
 	}
@@ -140,6 +150,7 @@ func (s *Server) committer() {
 			p.queue[i] = nil
 		}
 		p.queue = p.queue[:rest]
+		s.metrics.queueDepth.Set(int64(len(p.queue)))
 		p.mu.Unlock()
 		s.commitGroup(group)
 	}
@@ -160,8 +171,16 @@ func (s *Server) committer() {
 // function of the log, now per tenant. One WAL append and one fsync
 // still cover the whole group, however many tenants it touched.
 func (s *Server) commitGroup(group []*ingestJob) {
+	// Stage tracing (trace.go): the dequeue closes every member's
+	// "enqueue" stage; "apply" runs from here through the touched-tenant
+	// flushes (driver-lock wait included), "append" is the group's WAL
+	// record, "fsync" the durability barrier below.
+	dequeued := time.Now()
+	for _, j := range group {
+		s.metrics.stages[stageEnqueue].Observe(dequeued.Sub(j.enqueuedAt).Seconds())
+	}
 	s.mu.Lock()
-	applied := 0
+	applied, groupTuples := 0, 0
 	touched := s.touchedBuf[:0]
 	for _, j := range group {
 		if j.tn == nil {
@@ -178,6 +197,7 @@ func (s *Server) commitGroup(group []*ingestJob) {
 		}
 		j.kind = ingestOK
 		applied++
+		groupTuples += len(j.tuples)
 		if !j.tn.inGroup {
 			j.tn.inGroup = true
 			touched = append(touched, j.tn)
@@ -185,6 +205,7 @@ func (s *Server) commitGroup(group []*ingestJob) {
 	}
 	var flushErr, walErr error
 	var groupLSN uint64
+	applyEnd := time.Now()
 	if applied > 0 && s.wal != nil {
 		// One drain per touched tenant pins the group's worker batch
 		// boundaries, one append orders the group in the log. The append
@@ -197,9 +218,14 @@ func (s *Server) commitGroup(group []*ingestJob) {
 				break
 			}
 		}
+		applyEnd = time.Now()
 		if flushErr == nil {
 			groupLSN, walErr = s.logIngestGroup(group)
+			s.metrics.stages[stageAppend].Observe(time.Since(applyEnd).Seconds())
 		}
+	}
+	if applied > 0 {
+		s.metrics.stages[stageApply].Observe(applyEnd.Sub(dequeued).Seconds())
 	}
 	sample := s.cfg.MaxTenantBytes > 0
 	for _, t := range touched {
@@ -223,12 +249,17 @@ func (s *Server) commitGroup(group []*ingestJob) {
 		// The group-wide durability barrier the acks below stand behind:
 		// one fsync for the whole group. (Under fsync=interval/off the
 		// ack never promised durability, so there is nothing to wait on.)
+		fsyncStart := time.Now()
 		walErr = s.wal.Sync()
+		s.metrics.stages[stageFsync].Observe(time.Since(fsyncStart).Seconds())
 	}
 	if applied > 0 && flushErr == nil && walErr == nil {
 		s.metrics.ingestGroups.Inc()
 		s.metrics.ingestGroupMembers.Add(uint64(applied))
+		s.metrics.groupSize.Observe(float64(applied))
+		s.metrics.groupTuples.Observe(float64(groupTuples))
 	}
+	wake := time.Now()
 	for _, j := range group {
 		if j.kind == ingestOK {
 			if flushErr != nil {
@@ -239,6 +270,7 @@ func (s *Server) commitGroup(group []*ingestJob) {
 				j.lsn = groupLSN
 			}
 		}
+		j.wakeAt = wake
 		j.done <- struct{}{}
 	}
 }

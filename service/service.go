@@ -164,6 +164,18 @@ type Config struct {
 	// Logger receives operational messages (snapshot failures, push
 	// retries); nil discards them.
 	Logger *log.Logger
+	// AccessLog receives one JSON line per API request and per stream
+	// frame batch (method, path, tenant, status, bytes, duration,
+	// request ID). Records pass through a fixed-size ring drained by a
+	// background writer: the serving path never blocks on the log
+	// destination, and bursts past the ring are dropped and counted
+	// (corrd_access_log_dropped_total) instead of queued. nil disables
+	// access logging.
+	AccessLog io.Writer
+	// SlowRequest, when positive, promotes every request at least this
+	// slow to Logger (and counts it in corrd_slow_requests_total);
+	// 0 disables the threshold.
+	SlowRequest time.Duration
 }
 
 func (c *Config) role() string {
@@ -233,6 +245,7 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	logger  *log.Logger
+	access  *accessLog // nil without Config.AccessLog
 
 	// mu is the engine driver lock: the shard engines are single-driver
 	// by contract, so every engine mutation — a commit group applied by
@@ -363,6 +376,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.recomputeFootprint()
 	s.routes()
+	// Started after recovery so the construction error paths above never
+	// leak the writer goroutine.
+	if cfg.AccessLog != nil {
+		s.access = newAccessLog(cfg.AccessLog, accessLogRing, &s.metrics.accessDropped)
+	}
+	walDesc := "off"
+	if cfg.WALDir != "" {
+		walDesc = fmt.Sprintf("%s (fsync=%s)", cfg.WALDir, cfg.walFsync())
+	}
+	s.logf("configured: role=%s agg=%s shards=%d group-max=%d snapshot=%q wal=%s access-log=%t slow-request=%s",
+		cfg.role(), cfg.aggregate(), cfg.Shards, s.groupMax, cfg.SnapshotPath, walDesc,
+		s.access != nil, cfg.SlowRequest)
 	s.wg.Add(1)
 	go s.committer()
 	if cfg.SnapshotPath != "" {
@@ -445,6 +470,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.closing.Store(true)
+	s.logf("close: draining stream connections and the ingest pipeline")
 	close(s.done)
 	// Stream transport first: stop accepting connections and expire the
 	// live readers so they enqueue nothing new after the pipeline closes
@@ -481,7 +507,18 @@ func (s *Server) Close() error {
 			errs = append(errs, err)
 		}
 	}
+	// Last: the handlers are done (callers stop their http.Server first,
+	// and the stream conns drained above), so the final flush captures
+	// every record.
+	if s.access != nil {
+		s.access.Close()
+	}
 	s.closeErr = errors.Join(errs...)
+	if s.closeErr == nil {
+		s.logf("close: complete")
+	} else {
+		s.logf("close: complete with errors: %v", s.closeErr)
+	}
 	return s.closeErr
 }
 

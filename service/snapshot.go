@@ -236,6 +236,8 @@ func (s *Server) snapshotLocked() error {
 	s.metrics.snapshotsWritten.Inc()
 	s.metrics.lastSnapshotUnix.Set(time.Now().Unix())
 	s.metrics.snapshotBytes.Set(dataLen)
+	s.logf("snapshot: wrote %s (%d tenants, %d bytes, covered LSN %d)",
+		s.cfg.SnapshotPath, len(images), dataLen, covered)
 	if s.wal != nil {
 		if err := s.wal.Checkpoint(covered); err != nil {
 			// The snapshot is durable; a failed checkpoint only delays

@@ -182,13 +182,19 @@ func (s *Server) serveStreamConn(c net.Conn) {
 	}
 	c.SetReadDeadline(time.Time{})
 
+	// One request ID per connection, minted at the handshake: every
+	// frame's access-log line carries it (plus the frame seq), so an
+	// operator can stitch a connection's whole life back together.
+	connID := newRequestID()
+	s.logf("stream: conn %s open from %s (keyed=%t)", connID, c.RemoteAddr(), keyed)
+
 	// The in-flight queue is the reader→acker handoff: decodeStates
 	// whose jobs are queued (or already failed) travel through it in
 	// frame order. ackerDone lets the reader wait for the final ack
 	// flush before closing the conn (via the deferred Close above).
 	inflight := make(chan *decodeState, streamInflight)
 	ackerDone := make(chan struct{})
-	go s.streamAcker(c, inflight, ackerDone)
+	go s.streamAcker(c, connID, inflight, ackerDone)
 
 	fr := tupleio.NewFrameReader(bufio.NewReaderSize(c, 64<<10), s.streamMaxFrame())
 	var expect uint64 // last seq accepted; frames must arrive as expect+1
@@ -230,9 +236,12 @@ func (s *Server) serveStreamConn(c net.Conn) {
 				if err != nil && !errors.Is(err, tupleio.ErrBadStream) {
 					// A governance cap refused the tenant: nack with the
 					// typed status and keep the connection — frames for
-					// existing tenants keep committing.
+					// existing tenants keep committing. The stage stamps
+					// are set by hand: the job never enters the pipeline.
 					s.metrics.streamFrameErrors.Inc()
 					d.job.err, d.job.kind, d.job.lsn = err, ingestErrTenant, 0
+					d.job.enqueuedAt = time.Now()
+					d.job.wakeAt = d.job.enqueuedAt
 					d.job.done <- struct{}{}
 					inflight <- d
 					continue
@@ -244,9 +253,12 @@ func (s *Server) serveStreamConn(c net.Conn) {
 		if err != nil {
 			// Framing is intact — only this payload is bad. Nack it
 			// and keep the connection: the sender's other frames are
-			// independent batches.
+			// independent batches. Stage stamps by hand: the job never
+			// enters the pipeline.
 			s.metrics.streamFrameErrors.Inc()
 			d.job.err, d.job.kind, d.job.lsn = err, ingestErrValidate, 0
+			d.job.enqueuedAt = time.Now()
+			d.job.wakeAt = d.job.enqueuedAt
 			d.job.done <- struct{}{}
 			inflight <- d
 			continue
@@ -254,7 +266,9 @@ func (s *Server) serveStreamConn(c net.Conn) {
 		d.job.tuples, d.job.err, d.job.kind, d.job.lsn = d.tuples, nil, ingestOK, 0
 		d.job.tn = tn
 		if err := s.enqueueIngest(&d.job); err != nil {
+			// enqueueIngest already stamped enqueuedAt before refusing.
 			d.job.err, d.job.kind = err, ingestErrShutdown
+			d.job.wakeAt = time.Now()
 			d.job.done <- struct{}{}
 			inflight <- d
 			break
@@ -270,12 +284,13 @@ func (s *Server) serveStreamConn(c net.Conn) {
 // whenever the queue momentarily empties (latency) instead of per ack
 // (throughput), and once the reader closes the queue it flushes the
 // tail and exits.
-func (s *Server) streamAcker(c net.Conn, inflight <-chan *decodeState, done chan<- struct{}) {
+func (s *Server) streamAcker(c net.Conn, connID string, inflight <-chan *decodeState, done chan<- struct{}) {
 	defer close(done)
 	bw := bufio.NewWriterSize(c, 16<<10)
 	var buf [tupleio.AckSize]byte
 	for d := range inflight {
 		<-d.job.done
+		s.metrics.stages[stageAck].Observe(time.Since(d.job.wakeAt).Seconds())
 		status := tupleio.AckOK
 		switch d.job.kind {
 		case ingestErrValidate:
@@ -294,6 +309,24 @@ func (s *Server) streamAcker(c net.Conn, inflight <-chan *decodeState, done chan
 			if d.job.tn != nil {
 				d.job.tn.tuplesIngested.Add(uint64(len(d.job.tuples)))
 			}
+		}
+		if s.access != nil {
+			var tname string
+			if d.job.tn != nil {
+				tname = d.job.tn.name
+			}
+			s.access.record(accessRecord{
+				ts:        d.job.enqueuedAt,
+				transport: "stream",
+				method:    "FRAME",
+				path:      "/stream",
+				tenant:    tname,
+				requestID: connID,
+				status:    int(status),
+				bytesIn:   int64(len(d.body)),
+				dur:       time.Since(d.job.enqueuedAt),
+				seq:       d.streamSeq,
+			})
 		}
 		ack := tupleio.AppendAck(buf[:0], d.streamSeq, d.job.lsn, status)
 		_, werr := bw.Write(ack)
