@@ -104,6 +104,17 @@ type Stats struct {
 	// apply, append, fsync, ack). Present once the server has committed
 	// at least one ingest; stages that never fired are omitted.
 	PipelineStages map[string]StageStats `json:"pipeline_stages,omitempty"`
+
+	// Replication fields are present when the server was started as a
+	// replica (-role=replica). Promoted reports that it has since been
+	// promoted to primary; lag is against the primary's last observed
+	// WAL frontier.
+	ReplicaOf         string  `json:"replica_of,omitempty"`
+	ReplicaAppliedLSN uint64  `json:"replica_applied_lsn,omitempty"`
+	ReplicaPrimaryLSN uint64  `json:"replica_primary_lsn,omitempty"`
+	ReplicaLagRecords uint64  `json:"replica_lag_records,omitempty"`
+	ReplicaLagSeconds float64 `json:"replica_lag_seconds,omitempty"`
+	Promoted          bool    `json:"promoted,omitempty"`
 }
 
 // StageStats summarizes one commit-pipeline stage's latency histogram:
@@ -169,6 +180,10 @@ func WithChunkSize(n int) Option {
 // the server speaking — for corrd a 503 is a semantic answer (the
 // paper's FAIL, or shutdown) — and a body that dies mid-read may have
 // already been applied, so replaying it could double-ingest.
+//
+// Non-idempotent calls narrow the policy further: Push never retries an
+// ambiguous timeout (the image may already have been merged) and
+// Promote is strictly single-attempt — see their doc comments.
 func WithRetries(n int) Option {
 	return func(c *Client) {
 		if n < 0 {
@@ -201,9 +216,35 @@ func WithTenant(name string) Option {
 	return func(c *Client) { c.tenant = name }
 }
 
-// Client talks to one corrd base URL.
+// WithReplicas names read replicas of the base server (base URLs like
+// the primary's). With at least one replica configured, reads (query,
+// stats, summary, health) fail over: the primary is tried first, and a
+// transport error — or any 5xx, which a lone-server client would
+// surface as the semantic answer it is — moves the read to the next
+// base. Writes still go to the primary, but a 503 "read-only replica"
+// rejection (the base has been demoted, or the deployment failed over
+// behind this client's back) triggers one probe across all bases for a
+// server currently accepting writes, and the write is redirected there.
+func WithReplicas(bases ...string) Option {
+	return func(c *Client) {
+		for _, b := range bases {
+			c.replicas = append(c.replicas, strings.TrimRight(b, "/"))
+		}
+	}
+}
+
+// WithAdminToken carries the server's -admin-token on admin calls
+// (Promote). Without it Promote is rejected by any corrd whose
+// operator configured a token.
+func WithAdminToken(token string) Option {
+	return func(c *Client) { c.adminToken = token }
+}
+
+// Client talks to one corrd base URL (plus optional read replicas).
 type Client struct {
 	base        string
+	replicas    []string // WithReplicas: read-failover bases after base
+	adminToken  string
 	hc          *http.Client
 	chunk       int
 	tenant      string
@@ -268,8 +309,38 @@ func (c *Client) AddBatch(ctx context.Context, batch []correlated.Tuple) error {
 // Push ships a marshaled summary image — a summary's MarshalBinary or a
 // shard engine's MarshalMerged — to POST /v1/push, the paper's
 // site→coordinator path.
+//
+// Push is not idempotent: merging the same delta image twice
+// double-counts it permanently (ingest duplicates merely re-add
+// tuples; a push image summarizes many). It therefore retries only
+// definite transport failures — refused, reset, or slammed
+// connections, where no response means no merge — and never an
+// ambiguous timeout, where the coordinator may have merged the image
+// and the acknowledgement simply never arrived. On such a timeout the
+// error is surfaced and the caller must decide — corrd's own site role
+// folds the image back locally and re-ships the union next round. A
+// definite 503 "read-only replica" rejection (nothing was merged) is
+// redirected to a promoted primary when WithReplicas knows of one.
 func (c *Client) Push(ctx context.Context, image []byte) error {
-	return c.post(ctx, c.endpoint("/v1/push"), "application/octet-stream", image, nil)
+	return c.postPolicy(ctx, c.endpoint("/v1/push"), "application/octet-stream", image, nil, false)
+}
+
+// Promote asks the base server to promote itself from replica to
+// primary (POST /v1/promote, gated by WithAdminToken). Promote is
+// strictly single-attempt — stricter even than Push's no-ambiguous-
+// timeout policy: a promote that succeeded server-side but lost its
+// response would, on retry, surface a confusing 409, and blindly
+// re-promoting during a failover window is how split-brain happens.
+// A 409 means the server is not a replica (already primary).
+func (c *Client) Promote(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/promote", nil)
+	if err != nil {
+		return err
+	}
+	if c.adminToken != "" {
+		req.Header.Set("X-Admin-Token", c.adminToken)
+	}
+	return c.doOnce(req, nil)
 }
 
 // QueryLE estimates AGG{x : y <= cutoff} on the server.
@@ -330,19 +401,29 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 // MergeMarshaled or UnmarshalBinary on an identically configured
 // summary.
 func (c *Client) Summary(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.endpoint("/v1/summary"), nil)
-	if err != nil {
-		return nil, err
+	bases := c.readBases()
+	var lastErr error
+	for i, b := range bases {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b+c.endpoint("/v1/summary"), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				defer resp.Body.Close()
+				return io.ReadAll(resp.Body)
+			}
+			err = apiError(resp)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		lastErr = err
+		if i == len(bases)-1 || !failsOver(ctx, err) {
+			return nil, err
+		}
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
-	}
-	return io.ReadAll(resp.Body)
+	return nil, lastErr
 }
 
 // Healthy checks /healthz.
@@ -351,20 +432,96 @@ func (c *Client) Healthy(ctx context.Context) error {
 }
 
 func (c *Client) post(ctx context.Context, path, contentType string, body []byte, out any) error {
-	return c.do(ctx, func() (*http.Request, error) {
+	return c.postPolicy(ctx, path, contentType, body, out, true)
+}
+
+// postPolicy is post with an explicit retry policy: idempotent=false
+// (Push) refuses to retry an ambiguous timeout, where the request may
+// already have been applied server-side.
+func (c *Client) postPolicy(ctx context.Context, path, contentType string, body []byte, out any, idempotent bool) error {
+	err := c.doRetry(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", contentType)
 		return req, nil
-	}, out)
+	}, out, idempotent)
+	if err != nil && len(c.replicas) > 0 && IsReadOnly(err) {
+		// The base is (now) a replica: one probe across the configured
+		// bases for a server accepting writes, then redirect. The 503
+		// was a definite refusal, so re-sending cannot double-apply.
+		if alt := c.findWritable(ctx); alt != "" {
+			return c.postOnce(ctx, alt, path, contentType, body, out)
+		}
+	}
+	return err
+}
+
+// postOnce is a single-attempt POST to an explicit base: no transport
+// retries, for requests whose duplicate application is worse than a
+// surfaced error (Push) or that must not race a failover (Promote's
+// redirect target).
+func (c *Client) postOnce(ctx context.Context, base, path, contentType string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.doOnce(req, out)
+}
+
+// findWritable probes every configured base's /v1/stats and returns
+// the first whose role currently accepts writes — the failover target
+// after a 503 read-only rejection. Empty when none answers as primary.
+func (c *Client) findWritable(ctx context.Context) string {
+	for _, b := range append([]string{c.base}, c.replicas...) {
+		var s Stats
+		err := c.do(ctx, func() (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, b+"/v1/stats", nil)
+		}, &s)
+		if err == nil && s.Role != "replica" {
+			return b
+		}
+	}
+	return ""
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	return c.do(ctx, func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	}, out)
+	bases := c.readBases()
+	var err error
+	for i, b := range bases {
+		base := b
+		err = c.do(ctx, func() (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		}, out)
+		if err == nil || i == len(bases)-1 || !failsOver(ctx, err) {
+			return err
+		}
+	}
+	return err
+}
+
+// readBases is the read-failover order: the primary first, then every
+// configured replica. A client without WithReplicas reads only from
+// its base, exactly as before.
+func (c *Client) readBases() []string {
+	if len(c.replicas) == 0 {
+		return []string{c.base}
+	}
+	return append([]string{c.base}, c.replicas...)
+}
+
+// failsOver reports whether a read error is worth moving to the next
+// base: transport failures always, and — only in multi-base mode, which
+// is the sole caller — any 5xx, since another server may well hold the
+// same state and answer. 4xx is the request's own fault everywhere.
+func failsOver(ctx context.Context, err error) bool {
+	if isTransient(ctx, err) {
+		return true
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status >= 500
 }
 
 // do runs the request, retrying transient transport errors with
@@ -380,6 +537,17 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 // error themselves; no retry policy can distinguish the two cases
 // without server-side request dedup.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error), out any) error {
+	return c.doRetry(ctx, build, out, true)
+}
+
+// doRetry is the retry loop behind do, with the non-idempotent
+// carve-out: when idempotent is false (Push), an attempt that ends in
+// an ambiguous timeout — the request was sent, the response never came,
+// and the server may have applied it — is surfaced immediately instead
+// of retried. Definite failures (refused, reset, slammed before any
+// response) stay retryable for everyone: no response status line means
+// the server never spoke, and for those errors nothing was applied.
+func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error), out any, idempotent bool) error {
 	for attempt := 0; ; attempt++ {
 		req, err := build()
 		if err != nil {
@@ -388,6 +556,9 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error), ou
 		err = c.doOnce(req, out)
 		if err == nil || attempt >= c.retries || !isTransient(ctx, err) {
 			return err
+		}
+		if !idempotent && isAmbiguousTimeout(err) {
+			return fmt.Errorf("client: not retrying non-idempotent request after ambiguous timeout (it may already have been applied): %w", err)
 		}
 		if werr := c.backoff(ctx, attempt); werr != nil {
 			return errors.Join(err, werr)
@@ -408,6 +579,19 @@ func isTransient(ctx context.Context, err error) bool {
 	}
 	var ue *url.Error
 	return errors.As(err, &ue)
+}
+
+// isAmbiguousTimeout reports whether a transport error is a timeout
+// that fired after the request may have been delivered: the attempt's
+// outcome is unknown, so a non-idempotent request must not be replayed.
+// Covers http.Client.Timeout (url.Error with Timeout()=true) and a
+// per-attempt deadline surfacing as context.DeadlineExceeded.
+func isAmbiguousTimeout(err error) bool {
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Timeout() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
 }
 
 // backoff sleeps for the attempt's jittered exponential delay, or
@@ -478,4 +662,13 @@ func IsTenantRejected(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) &&
 		(ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusRequestEntityTooLarge)
+}
+
+// IsReadOnly reports whether err is a read-only replica refusing a
+// write (HTTP 503 with the replica rejection message): the write must
+// go to the primary — or wait for this server's promotion.
+func IsReadOnly(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable &&
+		strings.Contains(ae.Message, "read-only replica")
 }

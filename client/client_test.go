@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -218,25 +219,91 @@ func TestQueryBatchWire(t *testing.T) {
 }
 
 // TestRetryOnClientTimeout: an http.Client.Timeout expiring with no
-// response (blackholed connection) is transient and retried; only the
-// caller's own context deadline ends the loop.
+// response (blackholed connection) is transient and retried for
+// idempotent-policy calls like ingest; only the caller's own context
+// deadline ends the loop. (Push is carved out — see the ambiguous
+// timeout tests below.)
 func TestRetryOnClientTimeout(t *testing.T) {
 	var attempts atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if attempts.Add(1) == 1 {
+			io.Copy(io.Discard, r.Body)
 			time.Sleep(600 * time.Millisecond) // past the client timeout
 			return
 		}
-		io.WriteString(w, `{"merged":true}`)
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, `{"tuples":1}`)
 	}))
 	defer srv.Close()
 	cl := New(srv.URL,
 		WithHTTPClient(&http.Client{Timeout: 100 * time.Millisecond}),
 		WithRetries(2), WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
-	if err := cl.Push(context.Background(), []byte{1}); err != nil {
+	if err := cl.AddBatch(context.Background(), []correlated.Tuple{{X: 1, Y: 2, W: 1}}); err != nil {
 		t.Fatalf("timed-out first attempt not retried: %v", err)
 	}
 	if got := attempts.Load(); got != 2 {
 		t.Fatalf("attempts: %d, want 2", got)
+	}
+}
+
+// TestPushNoRetryOnAmbiguousTimeout: a Push attempt that times out with
+// the request delivered but unacknowledged may already have been merged
+// by the coordinator; replaying the image would double-count it, so the
+// client must surface the timeout after exactly one attempt even with
+// retry budget to spare.
+func TestPushNoRetryOnAmbiguousTimeout(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		io.Copy(io.Discard, r.Body)
+		time.Sleep(600 * time.Millisecond) // past the client timeout, every time
+	}))
+	defer srv.Close()
+	cl := New(srv.URL,
+		WithHTTPClient(&http.Client{Timeout: 100 * time.Millisecond}),
+		WithRetries(5), WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
+	err := cl.Push(context.Background(), []byte{1})
+	if err == nil {
+		t.Fatal("Push through a blackholed server succeeded")
+	}
+	if !strings.Contains(err.Error(), "ambiguous timeout") {
+		t.Fatalf("error does not explain the carve-out: %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("ambiguous timeout retried: %d attempts, want 1", got)
+	}
+}
+
+// TestPushRetriesDefiniteFailures: the carve-out is only for ambiguous
+// timeouts — a slammed connection with no response bytes is a definite
+// "nothing was merged", and Push still retries through it.
+func TestPushRetriesDefiniteFailures(t *testing.T) {
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"merged":true}`)
+	})
+	srv, attempts := flakyServer(t, 2, ok)
+	cl := New(srv.URL, WithRetries(3), WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
+	if err := cl.Push(context.Background(), []byte{7}); err != nil {
+		t.Fatalf("Push through flaky transport: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts: %d, want 3 (2 drops + 1 success)", got)
+	}
+}
+
+// TestPromoteSingleAttempt: Promote never retries anything — a promote
+// whose response was lost already changed the cluster's shape, and a
+// blind second attempt during a failover window risks split-brain. One
+// slammed connection means one error, budget be damned.
+func TestPromoteSingleAttempt(t *testing.T) {
+	srv, attempts := flakyServer(t, 1<<30, nil)
+	cl := New(srv.URL, WithRetries(5), WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
+	if err := cl.Promote(context.Background()); err == nil {
+		t.Fatal("Promote through a dead server succeeded")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("Promote retried: %d attempts, want 1", got)
 	}
 }

@@ -69,6 +69,8 @@ func (a Ack) Err() error {
 		return fmt.Errorf("client: frame %d refused, server shutting down", a.Seq)
 	case tupleio.AckTenant:
 		return fmt.Errorf("client: frame %d refused by a tenant governance cap", a.Seq)
+	case tupleio.AckReadOnly:
+		return fmt.Errorf("client: frame %d refused, server is a read-only replica", a.Seq)
 	default:
 		return fmt.Errorf("client: frame %d: unknown ack status %d", a.Seq, a.Status)
 	}

@@ -47,10 +47,34 @@
 // overrides) verbatim: the seed regenerates the hash functions, and
 // mismatched configurations are rejected at push time with HTTP 409.
 //
+// Replica — follow a primary's WAL over its -stream-addr and serve the
+// read path as a warm standby:
+//
+//	corrd -addr :7072 -role=replica -primary coordinator:7071 \
+//	      -primary-timeout 10s -admin-token s3cret \
+//	      -agg f2 -eps 0.15 -delta 0.1 -ymax 1048575 -seed 42
+//
+// A replica replays the primary's log continuously into a live engine
+// registry (every tenant, byte-exact), answers /v1/query, /v1/stats,
+// and /v1/summary from the same epoch-cached read path as a primary,
+// and rejects writes with HTTP 503. /v1/stats and /metrics expose the
+// replication lag in records and seconds. Failover: POST /v1/promote
+// (gated by -admin-token) — or -primary-timeout of total primary
+// silence — promotes the replica in place: it seals its replayed log
+// position, opens its own WAL in -wal-dir numbered from the next LSN,
+// and begins accepting writes. Replicas must share the primary's
+// summary flags, exactly like sites.
+//
 // Endpoints: POST /v1/ingest (binary tuple stream or text/csv
 // "x,y[,w]" lines), POST /v1/push (marshaled summary image),
 // GET /v1/query?op=le|ge&c=N, GET /v1/stats, GET /v1/summary,
+// POST /v1/promote (replica → primary, admin-gated),
 // GET /healthz, GET /metrics (Prometheus text).
+//
+// Edge hardening: -http-read-header-timeout, -http-read-timeout, and
+// -http-idle-timeout bound slow-loris and idle keep-alive connections
+// on the main and debug listeners (the streaming transport enforces its
+// own per-frame deadlines), alongside the -max-body request cap.
 //
 // Observability: -access-log writes one JSON line per HTTP request and
 // stream frame (request IDs accepted or minted via X-Request-ID) from a
@@ -112,7 +136,17 @@ func main() {
 		pushTo       = flag.String("push-to", "", "coordinator base URL; setting it makes this daemon a site")
 		pushInterval = flag.Duration("push-interval", 5*time.Second, "time between site pushes")
 
+		roleFlag       = flag.String("role", "", `force the role: "replica" follows -primary and serves reads only (empty = coordinator, or site with -push-to)`)
+		primary        = flag.String("primary", "", "primary's stream address (host:port) to replicate the WAL from; requires -role=replica")
+		primaryTimeout = flag.Duration("primary-timeout", 0, "replica auto-promotes itself after this much total primary silence (0 = promote only on POST /v1/promote)")
+		heartbeatInt   = flag.Duration("heartbeat-interval", time.Second, "primary→replica heartbeat period on replication connections")
+		adminToken     = flag.String("admin-token", "", "X-Admin-Token required on POST /v1/promote (empty = promotion over HTTP disabled)")
+
 		maxBody = flag.Int64("max-body", 64<<20, "request body cap in bytes")
+
+		readHeaderTO = flag.Duration("http-read-header-timeout", 10*time.Second, "time allowed to read a request's headers on the main and debug listeners")
+		readTO       = flag.Duration("http-read-timeout", 0, "time allowed to read a full request including body (0 = unlimited; bodies are capped by -max-body)")
+		idleTO       = flag.Duration("http-idle-timeout", 2*time.Minute, "keep-alive connections idle longer than this are closed (0 = unlimited)")
 
 		accessLog = flag.String("access-log", "", `structured access-log file path ("-" = stderr, empty = disabled); one JSON line per HTTP request and stream frame`)
 		slowReq   = flag.Duration("slow-request", 0, "also log requests slower than this to the main logger (0 = never)")
@@ -134,6 +168,22 @@ func main() {
 		predicate = correlated.Both
 	default:
 		fmt.Fprintf(os.Stderr, "corrd: bad -pred %q (want le, ge, or both)\n", *pred)
+		os.Exit(2)
+	}
+
+	switch *roleFlag {
+	case "":
+		if *primary != "" {
+			fmt.Fprintln(os.Stderr, "corrd: -primary requires -role=replica")
+			os.Exit(2)
+		}
+	case "replica":
+		if *primary == "" {
+			fmt.Fprintln(os.Stderr, "corrd: -role=replica requires -primary=HOST:PORT")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "corrd: bad -role %q (want replica or empty)\n", *roleFlag)
 		os.Exit(2)
 	}
 
@@ -162,24 +212,28 @@ func main() {
 			MaxStreamLen: *maxn, MaxX: *maxx, Seed: *seed,
 			Predicate: predicate, Alpha: *alpha,
 		},
-		Shards:           *shards,
-		IngestGroupMax:   *groupMax,
-		QueryMaxStale:    *maxStale,
-		SnapshotPath:     *snapshot,
-		SnapshotInterval: *snapInterval,
-		WALDir:           *walDir,
-		WALFsync:         *walFsync,
-		WALFsyncInterval: *walFsyncInt,
-		WALSegmentBytes:  *walSegBytes,
-		PushTo:           *pushTo,
-		PushInterval:     *pushInterval,
-		MaxBodyBytes:     *maxBody,
-		MaxTenants:       *maxTenants,
-		MaxTenantBytes:   *maxTenantBytes,
-		TenantIdleSpill:  *tenantIdle,
-		AccessLog:        accessW,
-		SlowRequest:      *slowReq,
-		Logger:           logger,
+		Shards:            *shards,
+		IngestGroupMax:    *groupMax,
+		QueryMaxStale:     *maxStale,
+		SnapshotPath:      *snapshot,
+		SnapshotInterval:  *snapInterval,
+		WALDir:            *walDir,
+		WALFsync:          *walFsync,
+		WALFsyncInterval:  *walFsyncInt,
+		WALSegmentBytes:   *walSegBytes,
+		PushTo:            *pushTo,
+		PushInterval:      *pushInterval,
+		PrimaryAddr:       *primary,
+		PrimaryTimeout:    *primaryTimeout,
+		HeartbeatInterval: *heartbeatInt,
+		AdminToken:        *adminToken,
+		MaxBodyBytes:      *maxBody,
+		MaxTenants:        *maxTenants,
+		MaxTenantBytes:    *maxTenantBytes,
+		TenantIdleSpill:   *tenantIdle,
+		AccessLog:         accessW,
+		SlowRequest:       *slowReq,
+		Logger:            logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "corrd: %v\n", err)
@@ -192,12 +246,14 @@ func main() {
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeaderTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
 	}
 	errc := make(chan error, 1)
 	go func() {
 		logger.Printf("corrd: %s role listening on %s (agg=%s shards=%d)",
-			roleOf(*pushTo), *addr, *agg, *shards)
+			roleOf(*pushTo, *primary), *addr, *agg, *shards)
 		errc <- httpSrv.ListenAndServe()
 	}()
 	if *streamAddr != "" {
@@ -221,7 +277,9 @@ func main() {
 		debugSrv := &http.Server{
 			Addr:              *debugAddr,
 			Handler:           service.DebugHandler(),
-			ReadHeaderTimeout: 10 * time.Second,
+			ReadHeaderTimeout: *readHeaderTO,
+			ReadTimeout:       *readTO,
+			IdleTimeout:       *idleTO,
 		}
 		go func() {
 			logger.Printf("corrd: debug (pprof) listening on %s", *debugAddr)
@@ -261,8 +319,11 @@ func main() {
 	logger.Printf("corrd: clean shutdown")
 }
 
-func roleOf(pushTo string) string {
-	if pushTo != "" {
+func roleOf(pushTo, primary string) string {
+	switch {
+	case primary != "":
+		return "replica"
+	case pushTo != "":
 		return "site"
 	}
 	return "coordinator"

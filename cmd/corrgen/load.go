@@ -76,6 +76,7 @@ type loadConfig struct {
 	chunk        int
 	clients      int
 	queryClients int
+	queryFor     time.Duration // > 0: query-only run of that length, no ingest
 	cutoffs      []uint64
 	jsonPath     string
 	tenant       string // scope the whole run to one tenant ("" = default)
@@ -391,7 +392,14 @@ func runLoad(cfg *loadConfig) error {
 	ingesting.Store(true)
 	start := time.Now()
 
-	for i := 0; i < cfg.clients; i++ {
+	// Query-only mode (-query-for): no ingest clients at all; the query
+	// loops below run for the configured window. This is how a read
+	// replica — which refuses ingest — gets a throughput number.
+	ingestClients := cfg.clients
+	if cfg.queryFor > 0 {
+		ingestClients = 0
+	}
+	for i := 0; i < ingestClients; i++ {
 		ingestWG.Add(1)
 		go func(i int) {
 			defer ingestWG.Done()
@@ -482,8 +490,12 @@ func runLoad(cfg *loadConfig) error {
 	}
 
 	// The query loops run exactly as long as the ingest does: the
-	// measurement window closes when the last ingest client finishes.
+	// measurement window closes when the last ingest client finishes —
+	// or, in query-only mode, when the -query-for window elapses.
 	ingestWG.Wait()
+	if cfg.queryFor > 0 {
+		time.Sleep(cfg.queryFor)
+	}
 	elapsed := time.Since(start)
 	ingesting.Store(false)
 	queryWG.Wait()

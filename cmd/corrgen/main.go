@@ -54,6 +54,7 @@ func main() {
 		clients      = flag.Int("clients", 1, "concurrent ingest clients with -target (load mode when > 1)")
 		queryClients = flag.Int("query-clients", 0, "concurrent multi-cutoff query loops during the ingest")
 		queryCutoffs = flag.String("query-cutoffs", "250000,500000,750000", "comma-separated cutoffs for -query-clients")
+		queryFor     = flag.Duration("query-for", 0, "query-only load: run the -query-clients loops against -target for this long, with no ingest (measures a read replica)")
 		loadJSON     = flag.String("load-json", "", "write the load-mode report as JSON to this file")
 
 		tenant  = flag.String("tenant", "", "tenant key scoping every request (with -target)")
@@ -77,6 +78,10 @@ func main() {
 	}
 
 	if *target != "" {
+		if *queryFor > 0 && *queryClients <= 0 {
+			fmt.Fprintln(os.Stderr, "corrgen: -query-for needs -query-clients")
+			os.Exit(2)
+		}
 		if *clients > 1 || *queryClients > 0 || *streamTo != "" || *tenants > 1 {
 			cutoffs, err := parseCutoffs(*queryCutoffs)
 			if err != nil {
@@ -87,7 +92,8 @@ func main() {
 				target: *target, streamAddr: *streamTo, dataset: *dataset, n: *n, seed: *seed,
 				xdom: *xdom, ydom: *ydom, chunk: max(*chunk, 1),
 				clients: max(*clients, 1), queryClients: *queryClients,
-				cutoffs: cutoffs, jsonPath: *loadJSON,
+				queryFor: *queryFor,
+				cutoffs:  cutoffs, jsonPath: *loadJSON,
 				tenant: *tenant, tenants: max(*tenants, 1),
 			}
 			if err := runLoad(cfg); err != nil {

@@ -93,6 +93,22 @@
 //	                                            Go runtime metrics and build info
 //	                                            in the exposition, and the opt-in
 //	                                            pprof listener (-debug-addr)
+//	replication & HA          service, client,  WAL-shipped warm standby (corrd
+//	                          internal/replica  -role=replica -primary ADDR): the
+//	                                            primary tails its durable log over
+//	                                            the stream listener (records,
+//	                                            heartbeats, snapshot re-seeds for
+//	                                            pruned positions); the replica
+//	                                            replays through the crash-recovery
+//	                                            grammar and serves epoch-cached
+//	                                            reads, rejecting writes with 503;
+//	                                            POST /v1/promote (admin-gated) or
+//	                                            heartbeat-loss auto-promotion seals
+//	                                            the applied LSN and flips the node
+//	                                            writable, byte-identical to a
+//	                                            crash-free primary at the seal;
+//	                                            the Go client fails reads over
+//	                                            and redirects writes
 //	durable ingest            internal/wal      segmented CRC32C write-ahead log
 //	                                            under the daemon: log-before-ack,
 //	                                            group records, fsync policies,

@@ -1,0 +1,64 @@
+package tupleio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestReplStartRoundTrip: the start request round-trips and every
+// malformation (size, magic) is ErrBadStream.
+func TestReplStartRoundTrip(t *testing.T) {
+	for _, lsn := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		b := AppendReplStart(nil, lsn)
+		if len(b) != ReplStartSize {
+			t.Fatalf("start is %d bytes, want %d", len(b), ReplStartSize)
+		}
+		got, err := ParseReplStart(b)
+		if err != nil || got != lsn {
+			t.Fatalf("round trip lsn %d: got %d, %v", lsn, got, err)
+		}
+	}
+	if _, err := ParseReplStart([]byte("short")); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("short start: %v", err)
+	}
+	bad := AppendReplStart(nil, 7)
+	bad[0] = 'X'
+	if _, err := ParseReplStart(bad); !errors.Is(err, ErrBadStream) {
+		t.Fatalf("bad magic: %v", err)
+	}
+}
+
+// TestReplPayloadRoundTrip: each frame kind encodes and decodes back to
+// itself, and truncated or unknown payloads are ErrBadStream.
+func TestReplPayloadRoundTrip(t *testing.T) {
+	rec := AppendReplRecord(nil, 7, []byte("wal-record-bytes"))
+	kind, typ, rest, err := DecodeReplPayload(rec)
+	if err != nil || kind != ReplRecord || typ != 7 || !bytes.Equal(rest, []byte("wal-record-bytes")) {
+		t.Fatalf("record: kind=%d typ=%d rest=%q err=%v", kind, typ, rest, err)
+	}
+
+	snap := AppendReplSnapshot(nil, []byte("corrdsn2..."))
+	kind, _, rest, err = DecodeReplPayload(snap)
+	if err != nil || kind != ReplSnapshot || !bytes.Equal(rest, []byte("corrdsn2...")) {
+		t.Fatalf("snapshot: kind=%d rest=%q err=%v", kind, rest, err)
+	}
+
+	hb := AppendReplHeartbeat(nil)
+	kind, _, rest, err = DecodeReplPayload(hb)
+	if err != nil || kind != ReplHeartbeat || rest != nil {
+		t.Fatalf("heartbeat: kind=%d rest=%q err=%v", kind, rest, err)
+	}
+
+	for _, bad := range [][]byte{
+		nil,                   // empty
+		{ReplRecord},          // record with no type byte
+		{ReplSnapshot},        // snapshot with no bytes
+		{ReplHeartbeat, 0xff}, // heartbeat with trailing bytes
+		{0x7f},                // unknown kind
+	} {
+		if _, _, _, err := DecodeReplPayload(bad); !errors.Is(err, ErrBadStream) {
+			t.Fatalf("payload %v: err %v, want ErrBadStream", bad, err)
+		}
+	}
+}

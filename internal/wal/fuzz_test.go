@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -61,6 +62,20 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(seed(func(w *WAL) {
 		torn := []byte{2, 2, 't', 'a', 1, 5, 6, 1, 120} // 120-byte key claim, no bytes
 		w.Append(RecordKeyedIngestGroup, torn)
+	}))
+	// The record types replication ships verbatim: a push lifecycle
+	// (push, ack, foldback) so mutations explore a replica replaying a
+	// primary's in-flight window, and a checkpoint marker written as a
+	// raw record whose covered-LSN varint claims an absurd position —
+	// Append rather than Checkpoint() so no pruning eats the seed.
+	f.Add(seed(func(w *WAL) {
+		w.Append(RecordPush, bytes.Repeat([]byte{4}, 24))
+		w.Append(RecordPushAck, nil)
+		w.Append(RecordFoldback, bytes.Repeat([]byte{4}, 24))
+	}))
+	f.Add(seed(func(w *WAL) {
+		w.Append(RecordIngest, []byte{1, 2, 3})
+		w.Append(RecordCheckpoint, binary.AppendUvarint(nil, 1<<62))
 	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -180,6 +180,12 @@ type Options struct {
 	// background loop — the one sync path with no caller to return to.
 	// They are also counted in Stats.SyncErrors.
 	OnSyncError func(error)
+	// FirstLSN, when > 0, numbers the first record of a brand-new log
+	// (an empty directory) FirstLSN instead of 1. A promoted replica
+	// uses it to continue its former primary's LSN space, so the LSNs
+	// in its snapshots and its own log never collide. Ignored when the
+	// directory already holds segments.
+	FirstLSN uint64
 }
 
 const (
@@ -207,6 +213,14 @@ var (
 	// by a torn tail write (bad header, bad frame in a sealed segment,
 	// broken LSN chain).
 	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrTruncated is returned by Follow when the requested start
+	// position has been pruned by a checkpoint: the records are gone and
+	// the caller must resynchronize from a snapshot instead.
+	ErrTruncated = errors.New("wal: follow position pruned by checkpoint")
+
+	// errFollowStopped is the internal signal that a follower's stop
+	// channel fired; Follow maps it to a nil return.
+	errFollowStopped = errors.New("wal: follow stopped")
 )
 
 // Stats is a point-in-time snapshot of the WAL's counters, safe to read
@@ -239,6 +253,15 @@ type WAL struct {
 	closed   bool
 	broken   error  // sticky: a partial append could not be rewound
 	frame    []byte // reusable frame-assembly buffer
+
+	// durable is the highest LSN known to be on stable storage — the
+	// frontier Follow hands to followers under SyncAlways/SyncInterval,
+	// so a replica can never hold a record that a torn-tail truncation
+	// would remove from this log after a crash. Advanced in syncLocked.
+	durable uint64
+	// notify is closed and replaced whenever the followable frontier
+	// advances; followers wait on the channel they snapshotted.
+	notify chan struct{}
 
 	// sealed is every non-active segment: firstLSN -> lastLSN,
 	// maintained for checkpoint pruning.
@@ -294,10 +317,14 @@ func Open(dir string, opts Options) (*WAL, error) {
 		opts:   opts,
 		sealed: map[uint64]uint64{},
 		done:   make(chan struct{}),
+		notify: make(chan struct{}),
 	}
 	if err := w.recover(); err != nil {
 		return nil, err
 	}
+	// Everything recover left on disk is the replay baseline: it is what
+	// a crash-restart would rebuild from, so followers may have it.
+	w.durable = w.lastLSN.Load()
 	if opts.Sync == SyncInterval {
 		w.wg.Add(1)
 		go w.syncLoop()
@@ -332,7 +359,11 @@ func (w *WAL) recover() error {
 		return err
 	}
 	if len(firsts) == 0 {
-		return w.startSegment(1)
+		first := uint64(1)
+		if w.opts.FirstLSN > 0 {
+			first = w.opts.FirstLSN
+		}
+		return w.startSegment(first)
 	}
 	next := firsts[0]
 	for i, first := range firsts {
@@ -609,6 +640,9 @@ func (w *WAL) append(typ RecordType, payload []byte, syncNow bool) (uint64, erro
 	w.appends.Add(1)
 	w.appendedBytes.Add(uint64(len(w.frame)))
 	w.lastLSN.Store(lsn)
+	if w.opts.Sync == SyncOff {
+		w.wakeFollowersLocked() // frontier == lastLSN under SyncOff
+	}
 	if cap(w.frame) > 1<<20 {
 		w.frame = nil // do not pin a rare huge push image
 	}
@@ -620,7 +654,8 @@ func (w *WAL) append(typ RecordType, payload []byte, syncNow bool) (uint64, erro
 	return lsn, nil
 }
 
-// syncLocked fsyncs the active segment if it has unsynced bytes.
+// syncLocked fsyncs the active segment if it has unsynced bytes. A
+// successful sync advances the durable frontier and wakes followers.
 func (w *WAL) syncLocked() error {
 	if !w.dirty {
 		return nil
@@ -634,7 +669,43 @@ func (w *WAL) syncLocked() error {
 	if w.opts.OnFsync != nil {
 		w.opts.OnFsync(time.Since(start))
 	}
+	if last := w.nextLSN - 1; last > w.durable {
+		w.durable = last
+		w.wakeFollowersLocked()
+	}
 	return nil
+}
+
+// wakeFollowersLocked signals every waiting Follow that the followable
+// frontier moved, via the close-and-replace channel idiom.
+func (w *WAL) wakeFollowersLocked() {
+	close(w.notify)
+	w.notify = make(chan struct{})
+}
+
+// followableLocked is the highest LSN a follower may be handed. Under
+// SyncOff nothing ever fsyncs on the append path, so the frontier is
+// simply the last append — the log's own durability is best-effort
+// there, and the follower inherits that contract.
+func (w *WAL) followableLocked() uint64 {
+	if w.opts.Sync == SyncOff {
+		return w.nextLSN - 1
+	}
+	return w.durable
+}
+
+// FollowableLSN reports the highest LSN Follow will currently deliver:
+// the durable frontier under SyncAlways/SyncInterval, the last append
+// under SyncOff. Replication heartbeats carry it so a caught-up
+// follower measures zero lag instead of chasing unsynced appends it is
+// not allowed to see.
+func (w *WAL) FollowableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.lastLSN.Load()
+	}
+	return w.followableLocked()
 }
 
 // Sync forces an fsync of the active segment (a manual durability
@@ -783,6 +854,150 @@ func (w *WAL) Replay(from uint64, fn func(lsn uint64, typ RecordType, payload []
 		f.Close()
 	}
 	return nil
+}
+
+// waitFollowable blocks until the followable frontier reaches at least
+// next, the stop channel fires (errFollowStopped), or the log closes
+// (ErrClosed). It returns the frontier observed.
+func (w *WAL) waitFollowable(next uint64, stop <-chan struct{}) (uint64, error) {
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return 0, ErrClosed
+		}
+		frontier := w.followableLocked()
+		ch := w.notify
+		w.mu.Unlock()
+		if frontier >= next {
+			return frontier, nil
+		}
+		select {
+		case <-ch:
+		case <-stop:
+			return 0, errFollowStopped
+		case <-w.done:
+			return 0, ErrClosed
+		}
+	}
+}
+
+// locateLocked finds the segment holding LSN next. ok is false when the
+// position has been pruned; sealedLast is meaningful only when sealed.
+func (w *WAL) locateLocked(next uint64) (segStart, sealedLast uint64, isSealed, ok bool) {
+	if next >= w.segFirst {
+		return w.segFirst, 0, false, true
+	}
+	for first, last := range w.sealed {
+		if first <= next && next <= last {
+			return first, last, true, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// Follow walks every committed record with LSN > from in order, calling
+// fn for each, and then blocks for more as they are appended — the live
+// tail the replication transport ships to a standby. "Committed" means
+// at or below the durable frontier (the last fsync) under SyncAlways
+// and SyncInterval, so a follower can never hold a record that a crash
+// plus torn-tail truncation would remove from this log; under SyncOff
+// the frontier is simply the last append. Rotation is followed
+// transparently. Returns ErrTruncated if from (or a later position the
+// follower needs) has been pruned by a checkpoint — the caller should
+// resynchronize from a snapshot; returns nil when stop fires; returns
+// fn's error if it rejects a record. The payload slice passed to fn is
+// only valid for the duration of the call.
+func (w *WAL) Follow(from uint64, stop <-chan struct{}, fn func(lsn uint64, typ RecordType, payload []byte) error) error {
+	next := from + 1
+	var fh [frameSize]byte
+	payload := make([]byte, 0, 64<<10)
+	for {
+		frontier, err := w.waitFollowable(next, stop)
+		if err != nil {
+			if errors.Is(err, errFollowStopped) {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		segStart, sealedLast, isSealed, ok := w.locateLocked(next)
+		w.mu.Unlock()
+		if !ok {
+			return ErrTruncated
+		}
+		err = w.followSegment(segStart, sealedLast, isSealed, &next, &frontier, stop, fh[:], &payload, fn)
+		if err != nil {
+			if errors.Is(err, errFollowStopped) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// followSegment streams records [*next, ...] out of one segment,
+// waiting at the frontier, until the segment is exhausted (sealed and
+// fully delivered — return nil, caller moves to the next segment) or an
+// error/stop occurs. *next advances past every delivered record.
+func (w *WAL) followSegment(segStart, sealedLast uint64, isSealed bool, next, frontier *uint64, stop <-chan struct{}, fh []byte, payload *[]byte, fn func(lsn uint64, typ RecordType, payload []byte) error) error {
+	f, err := os.Open(filepath.Join(w.dir, segmentName(segStart)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ErrTruncated // pruned between locate and open
+		}
+		return fmt.Errorf("wal: follow: %w", err)
+	}
+	defer f.Close()
+	off := int64(headerSize)
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: follow: %w", err)
+	}
+	lsn := segStart
+	for {
+		if isSealed && lsn > sealedLast {
+			return nil // segment exhausted; next one starts at sealedLast+1
+		}
+		if lsn > *frontier {
+			fr, err := w.waitFollowable(lsn, stop)
+			if err != nil {
+				return err
+			}
+			*frontier = fr
+		}
+		if !isSealed {
+			// The active segment may have sealed while we waited; the
+			// records past sealedLast live in the next file.
+			w.mu.Lock()
+			if w.segFirst != segStart {
+				sealedLast, isSealed = w.sealed[segStart], true
+			}
+			w.mu.Unlock()
+			if isSealed && lsn > sealedLast {
+				return nil
+			}
+		}
+		// Every frame at or below the frontier is fully written (appends
+		// complete the frame before publishing its LSN; the fsync that
+		// advanced the frontier came later still), so the current file
+		// size bounds it correctly even mid-append of a later record.
+		info, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("wal: follow: %w", err)
+		}
+		n, typ, data, err := readFrame(f, info.Size()-off, fh, payload)
+		if err != nil {
+			return fmt.Errorf("%w: follow: %s at offset %d: %v", ErrCorrupt, segmentName(segStart), off, err)
+		}
+		if lsn >= *next {
+			if err := fn(lsn, typ, data); err != nil {
+				return err
+			}
+			*next = lsn + 1
+		}
+		off += n
+		lsn++
+	}
 }
 
 // Stats returns a snapshot of the WAL's counters.

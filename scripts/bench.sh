@@ -58,7 +58,11 @@ if [ "${BENCH_SKIP_LOAD:-0}" != "1" ]; then
              -load mixed=benchmarks/service-load-mixed.json
              -load stream=benchmarks/service-load-stream.json
              -load stream-http=benchmarks/service-load-stream-http.json
-             -load tenants=benchmarks/service-load-tenants.json)
+             -load tenants=benchmarks/service-load-tenants.json
+             -load replicas-0=benchmarks/service-load-replicas-0.json
+             -load replicas-1=benchmarks/service-load-replicas-1.json
+             -load replicas-2=benchmarks/service-load-replicas-2.json
+             -load replica-query=benchmarks/service-load-replica-query.json)
 fi
 
 go run ./cmd/benchjson -in benchmarks/latest.txt -out benchmarks/latest.json \

@@ -30,11 +30,18 @@
 #           namespace behind the shared WAL, and query clients rotate
 #           across tenants — the multi-tenant serving headline (keyed
 #           routing + per-tenant flush cost on top of group commit).
+#   replicas the ingest workload against a primary with 0, 1, and 2
+#           attached replicas tailing its WAL over the stream listener
+#           (what replication shipping costs the acknowledged ingest
+#           path), plus a query-only run against a replica while it
+#           tails the live 2-replica ingest (corrgen -query-for) —
+#           the read-scaling headline.
 #
 # Reports land in benchmarks/service-load-{ingest,mixed,stream,
-# stream-http,tenants}.json; promote them to the matching
-# benchmarks/service-baseline-*.json to make scripts/load-compare.sh
-# (and CI) print a before/after table.
+# stream-http,tenants,replicas-0,replicas-1,replicas-2,replica-query}
+# .json; promote them to the matching benchmarks/service-baseline-*
+# .json to make scripts/load-compare.sh (and CI) print a before/after
+# table.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +60,8 @@ WORK="$(mktemp -d)"
 
 cleanup() {
   [ -n "${CORRD_PID:-}" ] && kill "$CORRD_PID" 2>/dev/null || true
+  [ -n "${R1_PID:-}" ] && kill "$R1_PID" 2>/dev/null || true
+  [ -n "${R2_PID:-}" ] && kill "$R2_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -79,6 +88,23 @@ stop_corrd() {
   kill -TERM "$CORRD_PID" 2>/dev/null || true
   wait "$CORRD_PID" 2>/dev/null || true
   CORRD_PID=""
+}
+
+# One read replica following the benchmark primary over $STREAM_ADDR.
+# Its own (empty until promotion) WAL dir and snapshot path, keyed by
+# name; the caller captures $! as the pid.
+start_replica() { # $1 addr, $2 name
+  rm -rf "$WORK/$2-wal" "$WORK/$2.snapshot"
+  "$WORK/corrd" -addr "$1" -agg f2 -eps 0.15 -delta 0.1 \
+    -ymax 1000000 -maxn 1048576 -maxx 500001 -seed 42 -shards 2 \
+    -role=replica -primary "$STREAM_ADDR" \
+    -snapshot "$WORK/$2.snapshot" -snapshot-interval 1h \
+    -wal-dir "$WORK/$2-wal" -wal-fsync always >"$WORK/$2.log" 2>&1 &
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "replica $2 did not start:" >&2; cat "$WORK/$2.log" >&2; exit 1
 }
 
 echo "== phase 1: ingest-only ($CLIENTS clients, fsync=always)"
@@ -122,4 +148,51 @@ start_corrd -query-max-stale "$MAX_STALE" -max-tenants $((TENANTS + 8))
 curl -fsS "$BASE/metrics" | grep -E '^corrd_(tenants|tenant_bytes|tenant_created_total|ingest_groups_total|wal_fsyncs_total)' || true
 stop_corrd
 
-echo "Wrote ${OUT_PREFIX}-{ingest,mixed,stream,stream-http,tenants}.json (+ ${OUT_PREFIX}-access.log sample)"
+echo "== phase 5: replication (ingest with 0/1/2 attached replicas + replica reads)"
+# Each run restarts the primary fresh (same wiped WAL and snapshot) so
+# the three ingest numbers differ only in how many followers tail the
+# log. The replica-query run rides the 2-replica phase: a query-only
+# corrgen (-query-for) hammers replica 1 while it applies the live
+# ingest — read throughput on a node that is simultaneously replaying.
+R1_ADDR="${LOAD_REPLICA1_ADDR:-127.0.0.1:17092}"
+R2_ADDR="${LOAD_REPLICA2_ADDR:-127.0.0.1:17093}"
+QUERY_FOR="${LOAD_REPLICA_QUERY_FOR:-5s}"
+
+start_corrd -stream-addr "$STREAM_ADDR"
+"$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -chunk "$CHUNK" -clients "$CLIENTS" \
+  -load-json "${OUT_PREFIX}-replicas-0.json"
+stop_corrd
+
+start_corrd -stream-addr "$STREAM_ADDR"
+start_replica "$R1_ADDR" replica1
+R1_PID=$!
+"$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -chunk "$CHUNK" -clients "$CLIENTS" \
+  -load-json "${OUT_PREFIX}-replicas-1.json"
+kill -TERM "$R1_PID" 2>/dev/null || true; wait "$R1_PID" 2>/dev/null || true
+R1_PID=""
+stop_corrd
+
+start_corrd -stream-addr "$STREAM_ADDR"
+start_replica "$R1_ADDR" replica1
+R1_PID=$!
+start_replica "$R2_ADDR" replica2
+R2_PID=$!
+"$WORK/corrgen" -dataset uniform -n "$N" -seed 11 -xdom 100001 -ydom 1000001 \
+  -target "$BASE" -chunk "$CHUNK" -clients "$CLIENTS" \
+  -load-json "${OUT_PREFIX}-replicas-2.json" &
+INGEST_PID=$!
+"$WORK/corrgen" -target "http://$R1_ADDR" -n 0 \
+  -query-clients "$QUERY_CLIENTS" -query-cutoffs 250000,500000,750000 \
+  -query-for "$QUERY_FOR" -load-json "${OUT_PREFIX}-replica-query.json"
+wait "$INGEST_PID"
+curl -fsS "$BASE/metrics" | grep -E '^corrd_replica_(conns|records_sent_total|heartbeats_sent_total)' || true
+curl -fsS "http://$R1_ADDR/metrics" | grep -E '^corrd_replica_(records_applied_total|applied_lsn|lag_records)' || true
+kill -TERM "$R1_PID" 2>/dev/null || true; wait "$R1_PID" 2>/dev/null || true
+R1_PID=""
+kill -TERM "$R2_PID" 2>/dev/null || true; wait "$R2_PID" 2>/dev/null || true
+R2_PID=""
+stop_corrd
+
+echo "Wrote ${OUT_PREFIX}-{ingest,mixed,stream,stream-http,tenants,replicas-0,replicas-1,replicas-2,replica-query}.json (+ ${OUT_PREFIX}-access.log sample)"

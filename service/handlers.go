@@ -26,6 +26,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/query", s.instrument("query", s.handleQuery))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/summary", s.instrument("summary", s.handleSummary))
+	s.mux.HandleFunc("POST /v1/promote", s.instrument("promote", s.handlePromote))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
@@ -177,6 +178,11 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request, dst []byte) ([
 // batch has ingested nothing.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ingestRequests.Inc()
+	if s.replicaMode.Load() {
+		s.metrics.ingestErrors.Inc()
+		s.httpError(w, http.StatusServiceUnavailable, errReadOnlyReplica)
+		return
+	}
 	d := s.dec.Get().(*decodeState)
 	defer s.putDecodeState(d)
 	var ok bool
@@ -295,6 +301,11 @@ func parseTextTuples(dst []correlated.Tuple, body []byte) ([]correlated.Tuple, e
 // fuzz-hardened MergeMarshaled, and every failure is a typed rejection
 // that leaves the engine untouched.
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	if s.replicaMode.Load() {
+		s.metrics.pushErrors.Inc()
+		s.httpError(w, http.StatusServiceUnavailable, errReadOnlyReplica)
+		return
+	}
 	d := s.dec.Get().(*decodeState)
 	defer s.putDecodeState(d)
 	var ok bool
@@ -535,7 +546,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	total, live := s.tenantCounts()
 	st := client.Stats{
-		Role:           s.cfg.role(),
+		Role:           s.roleNow(),
 		Aggregate:      s.cfg.aggregate(),
 		Shards:         shards,
 		Count:          count,
@@ -573,8 +584,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.TenantSpills = tn.spills.Load()
 		st.TenantRestores = tn.restores.Load()
 	}
-	if s.wal != nil {
-		ws := s.wal.Stats()
+	if wl := s.walRef(); wl != nil {
+		ws := wl.Stats()
 		st.WALEnabled = true
 		st.WALFsync = s.cfg.walFsync()
 		st.WALFsyncs = ws.Fsyncs
@@ -583,6 +594,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.WALLastLSN = ws.LastLSN
 		st.WALReplayRecords = s.walReplayed
 		st.WALReplaySeconds = s.metrics.walReplaySeconds.Load()
+	}
+	if s.cfg.PrimaryAddr != "" {
+		lagRecords, lagSeconds := s.replicationLag()
+		st.ReplicaOf = s.cfg.PrimaryAddr
+		st.ReplicaAppliedLSN = s.appliedLSN.Load()
+		st.ReplicaPrimaryLSN = s.primaryLSN.Load()
+		st.ReplicaLagRecords = lagRecords
+		st.ReplicaLagSeconds = lagSeconds
+		st.Promoted = !s.replicaMode.Load()
 	}
 	writeJSON(w, http.StatusOK, st)
 }
@@ -640,10 +660,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ts.total, ts.live = s.tenantCounts()
 	ts.bytes = s.tenantBytes.Load()
 	var ws *wal.Stats
-	if s.wal != nil {
-		snap := s.wal.Stats()
+	if wl := s.walRef(); wl != nil {
+		snap := wl.Stats()
 		ws = &snap
 	}
+	var rs replicationStats
+	rs.appliedLSN = s.appliedLSN.Load()
+	rs.primaryLSN = s.primaryLSN.Load()
+	rs.lagRecords, rs.lagSeconds = s.replicationLag()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, es, ts, ws)
+	s.metrics.write(w, es, ts, ws, rs)
 }

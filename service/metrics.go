@@ -176,6 +176,17 @@ type metrics struct {
 	groupTuples *histogram // tuples per committed group
 	queueDepth  gauge      // jobs waiting in the commit pipeline
 
+	// Replication (replication.go): the primary side counts what it
+	// ships to followers; the replica side counts what it applies and
+	// its promotions. Lag gauges are sampled at scrape time.
+	replicaConns              gauge   // follower connections served right now
+	replicaRecordsSent        counter // WAL records shipped to followers
+	replicaSnapshotsSent      counter // snapshot re-seeds shipped to followers
+	replicaHeartbeatsSent     counter // heartbeats shipped to followers
+	replicaRecordsApplied     counter // shipped records applied locally (replica)
+	replicaSnapshotsInstalled counter // snapshot re-seeds installed locally (replica)
+	replicaPromotions         counter // replica→primary promotions
+
 	// Access logging (accesslog.go): records dropped because the ring
 	// was full (the serving path never blocks on the log destination)
 	// and requests promoted to the main logger by -slow-request.
@@ -209,7 +220,7 @@ func newMetrics() *metrics {
 }
 
 // handlerNames fixes the exposition order of the per-handler histograms.
-var handlerNames = []string{"ingest", "push", "query", "stats", "summary"}
+var handlerNames = []string{"ingest", "push", "query", "stats", "summary", "promote"}
 
 func (m *metrics) observe(handler string, d time.Duration) {
 	if h, ok := m.handlers[handler]; ok {
@@ -233,6 +244,16 @@ type tenantStats struct {
 	bytes int64 // sampled summed footprint
 }
 
+// replicationStats is the replication-lag part of the exposition,
+// sampled from the server's atomics at scrape time. All zero on a
+// server that is not (and never was) a replica.
+type replicationStats struct {
+	appliedLSN uint64
+	primaryLSN uint64
+	lagRecords uint64
+	lagSeconds float64
+}
+
 // writeHistogram renders one histogram series, optionally with a fixed
 // label pair (e.g. `handler="ingest"`) merged into every sample.
 func writeHistogram(w io.Writer, name, labels string, h *histogram) {
@@ -254,7 +275,7 @@ func writeHistogram(w io.Writer, name, labels string, h *histogram) {
 
 // write renders the Prometheus text exposition format. ws is nil when
 // the server runs without a WAL.
-func (m *metrics) write(w io.Writer, es engineStats, ts tenantStats, ws *wal.Stats) {
+func (m *metrics) write(w io.Writer, es engineStats, ts tenantStats, ws *wal.Stats, rs replicationStats) {
 	c := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -305,6 +326,23 @@ func (m *metrics) write(w io.Writer, es engineStats, ts tenantStats, ws *wal.Sta
 	fmt.Fprintf(w, "corrd_tenant_rejected_total{reason=\"limit\"} %d\n", m.tenantRejectedLimit.Load())
 	fmt.Fprintf(w, "corrd_tenant_rejected_total{reason=\"memory\"} %d\n", m.tenantRejectedMemory.Load())
 	c("corrd_tenant_engines_reused_total", "Tenant engines taken warm from the cross-tenant free list.", m.tenantEnginesReused.Load())
+
+	// Replication series are emitted unconditionally: a dashboard built
+	// against a primary keeps working when the host is redeployed as a
+	// replica (and vice versa).
+	g("corrd_replica_conns", "Replication follower connections served right now.", m.replicaConns.Load())
+	c("corrd_replica_records_sent_total", "WAL records shipped to replication followers.", m.replicaRecordsSent.Load())
+	c("corrd_replica_snapshots_sent_total", "Snapshot re-seeds shipped to followers that fell behind the prune horizon.", m.replicaSnapshotsSent.Load())
+	c("corrd_replica_heartbeats_sent_total", "Heartbeat frames shipped to replication followers.", m.replicaHeartbeatsSent.Load())
+	c("corrd_replica_records_applied_total", "Shipped WAL records this replica applied.", m.replicaRecordsApplied.Load())
+	c("corrd_replica_snapshots_installed_total", "Snapshot re-seeds this replica installed.", m.replicaSnapshotsInstalled.Load())
+	c("corrd_replica_promotions_total", "Replica-to-primary promotions (manual or on primary loss).", m.replicaPromotions.Load())
+	g("corrd_replica_applied_lsn", "Highest primary WAL record applied locally (replica role).", int64(rs.appliedLSN))
+	g("corrd_replica_primary_lsn", "The primary's last observed WAL frontier (replica role).", int64(rs.primaryLSN))
+	g("corrd_replica_lag_records", "Records the replica is behind the primary's frontier.", int64(rs.lagRecords))
+	fmt.Fprintf(w, "# HELP corrd_replica_lag_seconds Seconds since this replica was last caught up with the primary (0 when caught up).\n")
+	fmt.Fprintf(w, "# TYPE corrd_replica_lag_seconds gauge\n")
+	fmt.Fprintf(w, "corrd_replica_lag_seconds %g\n", rs.lagSeconds)
 
 	if ws != nil {
 		g("corrd_wal_segments", "WAL segment files on disk.", ws.Segments)

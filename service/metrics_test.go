@@ -227,4 +227,26 @@ func TestMetricsExpositionInvariants(t *testing.T) {
 	if v := metricValue(t, body, "corrd_ingest_queue_depth"); v != 0 {
 		t.Errorf("queue depth %v after quiescence, want 0", v)
 	}
+
+	// The replication series are part of the stable exposition even on a
+	// server with no followers and no primary (all zero here), so
+	// dashboards and alerts can rely on their presence before the first
+	// replica ever attaches.
+	for _, series := range []string{
+		"corrd_replica_conns",
+		"corrd_replica_records_sent_total",
+		"corrd_replica_snapshots_sent_total",
+		"corrd_replica_heartbeats_sent_total",
+		"corrd_replica_records_applied_total",
+		"corrd_replica_snapshots_installed_total",
+		"corrd_replica_promotions_total",
+		"corrd_replica_applied_lsn",
+		"corrd_replica_primary_lsn",
+		"corrd_replica_lag_records",
+		"corrd_replica_lag_seconds",
+	} {
+		if v := metricValue(t, body, series); v != 0 {
+			t.Errorf("%s = %v on a standalone server, want 0", series, v)
+		}
+	}
 }

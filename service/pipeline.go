@@ -46,6 +46,7 @@ const (
 	ingestErrWAL                    // the group's WAL append failed (not durable)
 	ingestErrShutdown               // the server is draining; never committed (stream acks only)
 	ingestErrTenant                 // a governance cap refused the tenant (stream acks only)
+	ingestErrReadOnly               // the server is a replica; writes go to the primary (stream acks only)
 )
 
 // ingestJob is one ingest request in flight through the commit

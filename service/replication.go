@@ -1,0 +1,687 @@
+package service
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/replica"
+	"github.com/streamagg/correlated/internal/tupleio"
+	"github.com/streamagg/correlated/internal/wal"
+)
+
+// Replication: WAL-shipped warm standby with failover.
+//
+// The primary serves its log over the stream listener: a connection
+// whose hello names StreamFormatReplica sends one start request (the
+// LSN the follower already covers) and then only reads — the primary
+// runs wal.Follow from that position and ships every durable record as
+// a frame (seq = LSN), interleaved with heartbeats carrying its
+// followable frontier. Only fsynced records are shipped (the WAL's
+// durable frontier), so a replica can never hold state the primary's
+// own crash recovery would lose — which is what keeps the failover
+// byte-identity guarantee honest. A follower whose position has been
+// pruned by a checkpoint is re-seeded with a freshly built snapshot
+// frame and follows on from its covered LSN, so the primary carries no
+// unbounded retention obligation.
+//
+// The replica (Config.PrimaryAddr) applies each shipped record under
+// the driver lock through the exact applyRecord switch its own startup
+// replay uses — same entry points, same per-record flush discipline —
+// so its state is always "the primary replayed to LSN N". It serves
+// reads (/v1/query, /v1/stats, /v1/summary) from the same epoch caches
+// as a primary and rejects writes with 503 (AckReadOnly on the
+// stream). Promotion — POST /v1/promote, or automatic on primary
+// silence (Config.PrimaryTimeout) — detaches the follower, seals the
+// applied LSN, folds back any push round the primary had in flight
+// (exactly as crash replay's tail does), opens the replica's own WAL
+// continuing the primary's LSN space, and starts accepting writes.
+
+var (
+	// errReadOnlyReplica rejects writes on a replica; the message is
+	// wire-visible and the Go client's IsReadOnly matches the 503
+	// status + this text.
+	errReadOnlyReplica = errors.New("read-only replica: writes go to the primary")
+	// errNotReplica rejects promotion of a server that is not (or is no
+	// longer) a replica.
+	errNotReplica = errors.New("service: not a replica")
+)
+
+// replayState is the cross-record scratch one log consumer carries —
+// the startup replayer (service/wal.go) and a replica's live apply
+// loop each own one. startup toggles the checkpoint staleness witness
+// (live replicas ignore the primary's checkpoint markers) and the
+// epoch bumps (startup replay runs before any reader exists; live
+// apply must invalidate query caches as it goes).
+type replayState struct {
+	inFlight []byte             // image of an open push round, nil when none
+	tuples   []correlated.Tuple // decode scratch
+	touched  []*tenant          // keyed-group first-touch scratch
+	covered  uint64             // snapshot baseline (startup staleness check)
+	startup  bool
+}
+
+func newReplayState(covered uint64, startup bool) *replayState {
+	return &replayState{
+		tuples:  make([]correlated.Tuple, 0, 4096),
+		covered: covered,
+		startup: startup,
+	}
+}
+
+// noteTouch records that a record mutated t. Startup replay needs
+// nothing (no concurrent readers yet); live replica apply bumps the
+// epoch so the next query rebuilds its cached merge.
+func (st *replayState) noteTouch(t *tenant) {
+	if !st.startup {
+		t.epoch.Add(1)
+		t.touch()
+	}
+}
+
+// replayTenantEngine resolves a replayed tenant key to its live
+// engine, creating (cap-free) or lazily restoring the tenant as
+// needed. Startup replay calls it single-threaded; live apply calls it
+// under s.mu, which ensureEngineLocked requires anyway.
+func (s *Server) replayTenantEngine(name []byte) (*tenant, Engine, error) {
+	t, err := s.getOrCreateTenant(name, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := s.ensureEngineLocked(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, eng, nil
+}
+
+// applyRecord applies one WAL record through the same engine entry
+// points the live handlers use — the one grammar both crash replay and
+// a replica's live apply speak, which is what makes a promoted
+// replica's state byte-identical to a crash-free primary replayed to
+// the same LSN. counted reports whether the record carried state (a
+// checkpoint marker does not). The per-record flush discipline mirrors
+// the live commit exactly: one drain per touched tenant per group, in
+// first-touch order, so worker batch boundaries stay a pure function
+// of the log.
+func (s *Server) applyRecord(lsn uint64, typ wal.RecordType, payload []byte, st *replayState) (counted bool, err error) {
+	switch typ {
+	case wal.RecordIngest:
+		if st.tuples, err = tupleio.DecodeCounted(st.tuples, payload); err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		if err := s.def.eng.AddBatch(st.tuples); err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		// Drain per record, mirroring the live commit of a group of
+		// one: worker batch boundaries replay exactly as they ran.
+		if err := s.def.eng.Flush(); err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		st.noteTouch(s.def)
+	case wal.RecordIngestGroup:
+		// One commit group: apply every member batch in commit order,
+		// then flush once — the same single drain the live group paid.
+		n, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return false, fmt.Errorf("service: wal replay: record %d: bad group header", lsn)
+		}
+		rest := payload[sz:]
+		for i := uint64(0); i < n; i++ {
+			if st.tuples, rest, err = tupleio.DecodeCountedPrefix(st.tuples, rest); err != nil {
+				return false, fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+			}
+			if err := s.def.eng.AddBatch(st.tuples); err != nil {
+				return false, fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+			}
+		}
+		if len(rest) != 0 {
+			return false, fmt.Errorf("service: wal replay: record %d: %d trailing bytes after %d members", lsn, len(rest), n)
+		}
+		if err := s.def.eng.Flush(); err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		st.noteTouch(s.def)
+	case wal.RecordKeyedIngestGroup:
+		// A commit group that touched keyed tenants: apply every member
+		// to its tenant in commit order, then flush each touched tenant
+		// once, in first-touch order — exactly the sequence the live
+		// commitGroup ran.
+		n, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return false, fmt.Errorf("service: wal replay: record %d: bad group header", lsn)
+		}
+		rest := payload[sz:]
+		st.touched = st.touched[:0]
+		for i := uint64(0); i < n; i++ {
+			var name, batchRest []byte
+			name, st.tuples, batchRest, err = tupleio.DecodeKeyedPrefix(st.tuples, rest)
+			if err != nil {
+				return false, fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+			}
+			rest = batchRest
+			t, eng, err := s.replayTenantEngine(name)
+			if err != nil {
+				return false, fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+			}
+			if err := eng.AddBatch(st.tuples); err != nil {
+				return false, fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
+			}
+			if !t.inGroup {
+				t.inGroup = true
+				st.touched = append(st.touched, t)
+			}
+		}
+		if len(rest) != 0 {
+			return false, fmt.Errorf("service: wal replay: record %d: %d trailing bytes after %d members", lsn, len(rest), n)
+		}
+		for _, t := range st.touched {
+			t.inGroup = false
+			if err := t.eng.Flush(); err != nil {
+				return false, fmt.Errorf("service: wal replay: record %d tenant %q: %w", lsn, t.name, err)
+			}
+			st.noteTouch(t)
+		}
+	case wal.RecordPush:
+		if err := s.def.eng.MergeMarshaled(payload); err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		st.noteTouch(s.def)
+	case wal.RecordKeyedPush:
+		name, image, err := tupleio.DecodeTenantPrefix(payload)
+		if err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		t, eng, err := s.replayTenantEngine(name)
+		if err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		if err := eng.MergeMarshaled(image); err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		st.noteTouch(t)
+	case wal.RecordReset:
+		if err := s.def.eng.Reset(); err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		st.inFlight = append(st.inFlight[:0], payload...)
+		st.noteTouch(s.def)
+	case wal.RecordPushAck:
+		st.inFlight = nil
+	case wal.RecordFoldback:
+		if err := s.def.eng.MergeMarshaled(payload); err != nil {
+			return false, fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
+		}
+		st.inFlight = nil
+		st.noteTouch(s.def)
+	case wal.RecordCheckpoint:
+		// Not state, but — on startup replay — a consistency witness:
+		// the marker says a snapshot covering LSN c was durably
+		// written. If the snapshot we restored claims less, we are
+		// about to re-apply records the log was already pruned against.
+		// A live replica ignores the primary's markers: its own
+		// coverage is its applied LSN, not the primary's prune horizon.
+		c, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return false, fmt.Errorf("service: wal replay: record %d: bad checkpoint marker", lsn)
+		}
+		if st.startup && c > st.covered {
+			return false, fmt.Errorf("service: wal replay: log has a checkpoint covering LSN %d but the restored snapshot covers only %d — snapshot at %q is stale or missing; refusing to double-apply (restore the matching snapshot, or move the WAL dir aside to start fresh)",
+				c, st.covered, s.cfg.SnapshotPath)
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("service: wal replay: record %d has unknown type %d", lsn, typ)
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------
+// Primary side: serving replica connections on the stream listener.
+
+// replicaMaxFrame is the frame cap advertised to replication followers.
+// Snapshot frames carry a whole state image, so the cap is the WAL's
+// own record bound rather than the ingest body limit.
+const replicaMaxFrame uint32 = 1 << 30
+
+// replicaWriteTimeout bounds each frame write so a stalled follower
+// drops its connection (and redials) instead of pinning the serving
+// goroutine; the follower resumes positionally.
+const replicaWriteTimeout = 30 * time.Second
+
+// defaultHeartbeatInterval is the primary→replica heartbeat cadence.
+const defaultHeartbeatInterval = time.Second
+
+func (s *Server) heartbeatInterval() time.Duration {
+	if s.cfg.HeartbeatInterval > 0 {
+		return s.cfg.HeartbeatInterval
+	}
+	return defaultHeartbeatInterval
+}
+
+// serveReplicaConn runs one replication follower connection: read the
+// start request, then pump wal.Follow output (and heartbeats) at it
+// until the connection dies or the server drains. The caller
+// (serveStreamConn) has already completed the hello and owns the
+// conn's registration, WaitGroup slot, and final Close.
+func (s *Server) serveReplicaConn(c net.Conn, w *wal.WAL) {
+	c.SetReadDeadline(time.Now().Add(streamHelloTimeout))
+	var req [tupleio.ReplStartSize]byte
+	if _, err := io.ReadFull(c, req[:]); err != nil {
+		s.metrics.streamFrameErrors.Inc()
+		return
+	}
+	// covered is the highest LSN the follower already holds; Follow's
+	// from-argument speaks the same exclusive convention, delivering
+	// covered+1 onward.
+	covered, err := tupleio.ParseReplStart(req[:])
+	if err != nil {
+		s.metrics.streamFrameErrors.Inc()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+
+	connID := newRequestID()
+	s.logf("replica: conn %s from %s following from LSN %d", connID, c.RemoteAddr(), covered+1)
+	s.metrics.replicaConns.Add(1)
+	defer s.metrics.replicaConns.Add(-1)
+
+	// stop fires when the connection dies (the watcher read below — the
+	// follower sends nothing after its start request — errors, including
+	// the read deadline closeStreams sets at shutdown) or the server
+	// drains. Closing the conn on s.done also unblocks an in-flight
+	// frame write, so shutdown never waits out a stalled follower.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	go func() {
+		io.Copy(io.Discard, c)
+		halt()
+	}()
+	go func() {
+		select {
+		case <-s.done:
+			halt()
+			c.Close()
+		case <-stop:
+		}
+	}()
+
+	// One write mutex serializes record frames (the Follow callback)
+	// with the heartbeat ticker; each frame is one conn write.
+	var wmu sync.Mutex
+	frameBuf := make([]byte, 0, 64<<10)
+	writeFrame := func(seq uint64, appendPayload func([]byte) []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		b := tupleio.AppendFrameHeader(frameBuf[:0], seq, 0)
+		b = appendPayload(b)
+		binary.LittleEndian.PutUint32(b[0:4], uint32(len(b)-tupleio.FrameHeaderSize))
+		if cap(b) <= maxPooledBuffer {
+			frameBuf = b
+		}
+		c.SetWriteDeadline(time.Now().Add(replicaWriteTimeout))
+		_, err := c.Write(b)
+		return err
+	}
+
+	go func() {
+		tick := time.NewTicker(s.heartbeatInterval())
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if err := writeFrame(w.FollowableLSN(), tupleio.AppendReplHeartbeat); err != nil {
+					halt()
+					return
+				}
+				s.metrics.replicaHeartbeatsSent.Inc()
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	for {
+		err := w.Follow(covered, stop, func(lsn uint64, typ wal.RecordType, payload []byte) error {
+			if err := writeFrame(lsn, func(b []byte) []byte {
+				return tupleio.AppendReplRecord(b, uint8(typ), payload)
+			}); err != nil {
+				return err
+			}
+			s.metrics.replicaRecordsSent.Inc()
+			covered = lsn
+			return nil
+		})
+		switch {
+		case err == nil:
+			return // stopped: conn gone or server draining
+		case errors.Is(err, wal.ErrTruncated):
+			// The follower's position is behind the prune horizon:
+			// re-seed it with a freshly built snapshot and follow on
+			// from the LSN that snapshot covers.
+			seedCovered, file, serr := s.replicaSeedSnapshot(w)
+			if serr != nil {
+				s.logf("replica: conn %s: build seed snapshot: %v", connID, serr)
+				return
+			}
+			if werr := writeFrame(seedCovered, func(b []byte) []byte {
+				return tupleio.AppendReplSnapshot(b, file)
+			}); werr != nil {
+				return
+			}
+			s.metrics.replicaSnapshotsSent.Inc()
+			s.logf("replica: conn %s re-seeded with snapshot covering LSN %d", connID, seedCovered)
+			covered = seedCovered
+		case errors.Is(err, wal.ErrClosed):
+			return
+		default:
+			s.logf("replica: conn %s: %v", connID, err)
+			return
+		}
+	}
+}
+
+// replicaSeedSnapshot builds an in-memory snapshot file for a follower
+// that fell behind the prune horizon. The transfer lock keeps it off a
+// push round's transient reset state, and the explicit Sync afterwards
+// guarantees covered never exceeds the durable frontier — a re-seeded
+// replica must not hold state the primary's own crash recovery could
+// lose.
+func (s *Server) replicaSeedSnapshot(w *wal.WAL) (covered uint64, file []byte, err error) {
+	s.xferMu.Lock()
+	covered, file, _, err = s.buildSnapshot()
+	s.xferMu.Unlock()
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := w.Sync(); err != nil {
+		return 0, nil, err
+	}
+	return covered, file, nil
+}
+
+// ---------------------------------------------------------------------
+// Replica side: the follower loop, live apply, and promotion.
+
+// startFollower wires the replication follower into the server. Called
+// from New after recovery; appliedLSN already holds the restored
+// snapshot's covered LSN.
+func (s *Server) startFollower() {
+	s.caughtUpAt.Store(time.Now().UnixNano())
+	s.replState = newReplayState(0, false)
+	s.follower = replica.Start(replica.Config{
+		Addr:             s.cfg.PrimaryAddr,
+		StartLSN:         func() uint64 { return s.appliedLSN.Load() },
+		ApplyRecord:      s.replicaApply,
+		InstallSnapshot:  s.replicaInstallSnapshot,
+		OnPrimaryLSN:     s.observePrimaryLSN,
+		HeartbeatTimeout: s.cfg.PrimaryTimeout,
+		OnPrimaryLoss: func() {
+			// Fired from inside the follower goroutine; promote on a
+			// fresh one so Promote's wait-for-follower-exit can't
+			// deadlock against the loss path itself.
+			go func() {
+				s.logf("replica: primary %s lost; auto-promoting", s.cfg.PrimaryAddr)
+				if err := s.Promote(); err != nil {
+					s.logf("replica: auto-promote: %v", err)
+				}
+			}()
+		},
+		MaxFrame: replicaMaxFrame,
+		Logf:     s.logger.Printf,
+	})
+}
+
+// replicaApply applies one shipped WAL record under the driver lock —
+// the same critical section a primary's commit group owns — and
+// advances the applied LSN inside it, so a concurrent snapshot always
+// records a covered LSN consistent with the marshaled state.
+func (s *Server) replicaApply(lsn uint64, typ uint8, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.applyRecord(lsn, wal.RecordType(typ), payload, s.replState); err != nil {
+		return err
+	}
+	s.appliedLSN.Store(lsn)
+	s.metrics.replicaRecordsApplied.Inc()
+	if lsn >= s.primaryLSN.Load() {
+		s.caughtUpAt.Store(time.Now().UnixNano())
+	}
+	return nil
+}
+
+// replicaInstallSnapshot re-seeds the whole registry from a primary
+// snapshot frame: every tenant in the image is (re)loaded, every
+// local tenant absent from it is reset — afterwards the state is
+// exactly "the primary at LSN covered".
+func (s *Server) replicaInstallSnapshot(covered uint64, data []byte) error {
+	var images []tenantImage
+	if bytes.HasPrefix(data, snapshotMagicV2) {
+		_, imgs, err := decodeSnapshotFileV2(data)
+		if err != nil {
+			return err
+		}
+		images = imgs
+	} else {
+		_, engine, err := decodeSnapshotFile(data)
+		if err != nil {
+			return err
+		}
+		images = []tenantImage{{name: "", image: engine}}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inImage := make(map[string]bool, len(images))
+	for _, ti := range images {
+		inImage[ti.name] = true
+	}
+	for _, t := range s.tenantList() {
+		if inImage[t.name] {
+			continue
+		}
+		// Present locally, absent from the primary's image: empty it.
+		t.pending = nil
+		if t.eng != nil {
+			if err := t.eng.Reset(); err != nil {
+				return fmt.Errorf("service: install snapshot: reset tenant %q: %w", t.name, err)
+			}
+		}
+		t.epoch.Add(1)
+	}
+	for _, ti := range images {
+		t, err := s.getOrCreateTenant([]byte(ti.name), true)
+		if err != nil {
+			return fmt.Errorf("service: install snapshot: tenant %q: %w", ti.name, err)
+		}
+		if t.eng != nil {
+			if err := t.eng.UnmarshalBinary(ti.image); err != nil {
+				return fmt.Errorf("service: install snapshot: tenant %q: %w", ti.name, err)
+			}
+		} else {
+			// Spilled: the image becomes the pending state, exactly as
+			// a startup restore would park it.
+			t.pending = bytes.Clone(ti.image)
+			t.space.Store(int64(len(ti.image)))
+		}
+		t.epoch.Add(1)
+		t.touch()
+	}
+	if s.replState != nil {
+		s.replState.inFlight = nil // superseded by the image's state
+	}
+	s.appliedLSN.Store(covered)
+	s.metrics.replicaSnapshotsInstalled.Inc()
+	if covered >= s.primaryLSN.Load() {
+		s.caughtUpAt.Store(time.Now().UnixNano())
+	}
+	s.logf("replica: installed snapshot covering LSN %d (%d tenants)", covered, len(images))
+	return nil
+}
+
+// observePrimaryLSN tracks the primary's frontier (monotonically — a
+// reconnect may replay an older heartbeat) for the lag gauges.
+func (s *Server) observePrimaryLSN(lsn uint64) {
+	for {
+		cur := s.primaryLSN.Load()
+		if lsn <= cur || s.primaryLSN.CompareAndSwap(cur, lsn) {
+			break
+		}
+	}
+	if s.appliedLSN.Load() >= s.primaryLSN.Load() {
+		s.caughtUpAt.Store(time.Now().UnixNano())
+	}
+}
+
+// replicationLag reports how far behind the primary this replica is:
+// the LSN delta and, when behind, how long since it was last caught
+// up. Both are 0 on a caught-up (or promoted) server.
+func (s *Server) replicationLag() (records uint64, seconds float64) {
+	applied, primary := s.appliedLSN.Load(), s.primaryLSN.Load()
+	if primary > applied {
+		records = primary - applied
+		seconds = time.Since(time.Unix(0, s.caughtUpAt.Load())).Seconds()
+	}
+	return records, seconds
+}
+
+// roleNow is the live role: cfg.role() except that a promoted
+// ex-replica serves as a coordinator.
+func (s *Server) roleNow() string {
+	if s.cfg.PrimaryAddr == "" {
+		return s.cfg.role()
+	}
+	if s.replicaMode.Load() {
+		return "replica"
+	}
+	return "coordinator"
+}
+
+// Promote turns a replica into a primary: detach from the old primary,
+// seal the applied LSN, fold back any push round the old primary had
+// open (the same tail fold-back crash replay performs), open this
+// node's own WAL continuing the old primary's LSN space, and start
+// accepting writes. Idempotent-by-refusal: a second call returns
+// errNotReplica.
+func (s *Server) Promote() error {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.closing.Load() {
+		return errShuttingDown
+	}
+	if !s.replicaMode.Load() {
+		return errNotReplica
+	}
+	// Detach first: no record may land after the seal.
+	if s.follower != nil {
+		s.follower.Stop()
+	}
+	sealed := s.appliedLSN.Load()
+	s.mu.Lock()
+	if st := s.replState; st != nil && len(st.inFlight) > 0 {
+		if err := s.def.eng.MergeMarshaled(st.inFlight); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("service: promote: fold back in-flight push image: %w", err)
+		}
+		st.inFlight = nil
+		s.def.epoch.Add(1)
+		s.logf("promote: primary's push round was in flight; image folded back")
+	}
+	s.mu.Unlock()
+	if s.cfg.WALDir != "" {
+		if err := s.openWALAt(sealed + 1); err != nil {
+			return err
+		}
+	}
+	s.replicaMode.Store(false)
+	s.metrics.replicaPromotions.Inc()
+	s.logf("promoted to primary at LSN %d (wal=%q)", sealed, s.cfg.WALDir)
+	// Persist the sealed state immediately (when configured): the new
+	// log is empty, so the snapshot's covered LSN is exactly the seal.
+	if err := s.Snapshot(); err != nil {
+		s.logf("post-promote snapshot: %v", err)
+	}
+	return nil
+}
+
+// openWALAt opens a brand-new WAL whose first record continues the
+// sealed LSN space. It refuses a directory that already holds
+// segments: mixing an old log's LSNs with the primary's would corrupt
+// recovery.
+func (s *Server) openWALAt(firstLSN uint64) error {
+	if entries, err := os.ReadDir(s.cfg.WALDir); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+				return fmt.Errorf("service: promote: wal dir %q already holds segments; move them aside first", s.cfg.WALDir)
+			}
+		}
+	}
+	policy, err := wal.ParseSyncPolicy(s.cfg.WALFsync)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	w, err := wal.Open(s.cfg.WALDir, wal.Options{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Sync:         policy,
+		SyncEvery:    s.cfg.WALFsyncInterval,
+		FirstLSN:     firstLSN,
+		OnFsync:      func(d time.Duration) { s.metrics.walFsync.Observe(d.Seconds()) },
+		OnSyncError:  func(err error) { s.logf("wal: background fsync: %v", err) },
+	})
+	if err != nil {
+		return fmt.Errorf("service: wal: %w", err)
+	}
+	// Publish under the driver lock: stats and metrics handlers read
+	// s.wal through walRef, and the committer sees it only for jobs
+	// enqueued after replicaMode clears.
+	s.mu.Lock()
+	s.wal = w
+	s.walSyncAlways = policy == wal.SyncAlways
+	s.mu.Unlock()
+	return nil
+}
+
+// walRef reads the WAL pointer under the driver lock — promotion can
+// install one at runtime, so concurrent readers (stats, metrics, new
+// replica conns) must not read the field bare.
+func (s *Server) walRef() *wal.WAL {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal
+}
+
+// handlePromote is POST /v1/promote: admin-gated manual failover. With
+// no AdminToken configured the endpoint is disabled outright (403) —
+// an unauthenticated promote would let anyone split-brain the pair.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.AdminToken == "" {
+		s.httpError(w, http.StatusForbidden, errors.New("promotion disabled: no admin token configured"))
+		return
+	}
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get("X-Admin-Token")), []byte(s.cfg.AdminToken)) != 1 {
+		s.httpError(w, http.StatusForbidden, errors.New("bad admin token"))
+		return
+	}
+	if err := s.Promote(); err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errNotReplica):
+			status = http.StatusConflict
+		case errors.Is(err, errShuttingDown):
+			status = http.StatusServiceUnavailable
+		}
+		s.httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "lsn": s.appliedLSN.Load()})
+}

@@ -47,6 +47,7 @@ import (
 
 	correlated "github.com/streamagg/correlated"
 	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/replica"
 	"github.com/streamagg/correlated/internal/wal"
 	"github.com/streamagg/correlated/shard"
 )
@@ -144,6 +145,28 @@ type Config struct {
 	// PushInterval defaults to 5s when PushTo is set.
 	PushInterval time.Duration
 
+	// PrimaryAddr switches the server into the replica role: the stream
+	// listener address (host:port) of the primary whose WAL this server
+	// follows. A replica serves reads and rejects writes with 503
+	// (AckReadOnly on the stream) until promoted — see replication.go.
+	// Incompatible with PushTo. WALDir, when also set, stays closed
+	// until promotion: the promoted server opens its own log there,
+	// continuing the primary's LSN space.
+	PrimaryAddr string
+	// PrimaryTimeout, when positive, is how long the replica tolerates
+	// total primary silence (no frame, no successful redial) before
+	// promoting itself automatically. 0 disables auto-failover: the
+	// follower retries forever and promotion is manual (/v1/promote).
+	PrimaryTimeout time.Duration
+	// HeartbeatInterval is the primary→replica heartbeat cadence on
+	// replication connections this server serves; <= 0 means 1s.
+	HeartbeatInterval time.Duration
+	// AdminToken gates POST /v1/promote (header X-Admin-Token). Empty
+	// disables the endpoint entirely — an unauthenticated promote would
+	// let anyone split-brain the pair. Auto-failover (PrimaryTimeout)
+	// does not need it.
+	AdminToken string
+
 	// MaxTenants caps how many keyed namespaces the daemon will hold
 	// (the default tenant counts); ingest or push naming a new tenant
 	// past the cap is rejected with HTTP 429 (AckTenant on the stream).
@@ -179,6 +202,9 @@ type Config struct {
 }
 
 func (c *Config) role() string {
+	if c.PrimaryAddr != "" {
+		return "replica"
+	}
 	if c.PushTo != "" {
 		return "site"
 	}
@@ -305,6 +331,22 @@ type Server struct {
 	streamLns   []net.Listener
 	streamConns map[net.Conn]struct{}
 
+	// Replication (replication.go). replicaMode is true from a replica
+	// New until Promote flips it; writes are rejected while it holds.
+	// appliedLSN is the highest WAL record applied from the primary
+	// (advanced inside the driver-lock critical section of each apply,
+	// so snapshots record a consistent coverage); primaryLSN is the
+	// primary's last observed frontier; caughtUpAt stamps (unix nanos)
+	// the last moment applied covered primary, for the lag-seconds
+	// gauge. replState is the live-apply scratch, guarded by mu.
+	replicaMode atomic.Bool
+	appliedLSN  atomic.Uint64
+	primaryLSN  atomic.Uint64
+	caughtUpAt  atomic.Int64
+	follower    *replica.Follower
+	promoteMu   sync.Mutex
+	replState   *replayState
+
 	done     chan struct{}
 	wg       sync.WaitGroup
 	closing  atomic.Bool
@@ -329,6 +371,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IngestGroupMax <= 0 {
 		cfg.IngestGroupMax = defaultGroupMax
 	}
+	if cfg.PrimaryAddr != "" && cfg.PushTo != "" {
+		return nil, errors.New("service: PrimaryAddr and PushTo are incompatible (a replica cannot also be a push site)")
+	}
 	eng, err := newEngine(&cfg)
 	if err != nil {
 		return nil, err
@@ -348,7 +393,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.pipe.cond = sync.NewCond(&s.pipe.mu)
 	s.dec.New = func() any { return &decodeState{job: ingestJob{done: make(chan struct{}, 1)}} }
-	if cfg.WALDir != "" {
+	s.replicaMode.Store(cfg.PrimaryAddr != "")
+	// A replica has no log of its own until promotion: its WALDir stays
+	// closed so the promoted server can open a fresh log there that
+	// continues the primary's LSN space.
+	if cfg.WALDir != "" && cfg.PrimaryAddr == "" {
 		if err := s.openWAL(); err != nil {
 			eng.Close()
 			return nil, err
@@ -357,7 +406,8 @@ func New(cfg Config) (*Server, error) {
 	// Recovery order: restore the snapshot (which records the LSN it
 	// covers), then replay the WAL suffix past it — the state that
 	// comes out is the same sequence of engine calls the crashed
-	// process made.
+	// process made. A replica restores the snapshot only and re-follows
+	// the primary from its covered LSN.
 	var covered uint64
 	if cfg.SnapshotPath != "" {
 		var err error
@@ -366,6 +416,9 @@ func New(cfg Config) (*Server, error) {
 			s.closeEngines()
 			return nil, err
 		}
+	}
+	if cfg.PrimaryAddr != "" {
+		s.appliedLSN.Store(covered)
 	}
 	if s.wal != nil {
 		if err := s.replayWAL(covered); err != nil {
@@ -402,6 +455,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TenantIdleSpill > 0 {
 		s.wg.Add(1)
 		go s.spillLoop(cfg.TenantIdleSpill)
+	}
+	if cfg.PrimaryAddr != "" {
+		s.startFollower()
 	}
 	return s, nil
 }
@@ -472,6 +528,14 @@ func (s *Server) Close() error {
 	s.closing.Store(true)
 	s.logf("close: draining stream connections and the ingest pipeline")
 	close(s.done)
+	// Replication first: fence out any in-flight promotion (closing is
+	// set, so attempts after this lock cycle refuse), then detach from
+	// the primary so no record applies while the engines drain.
+	s.promoteMu.Lock()
+	s.promoteMu.Unlock() //nolint:staticcheck // empty critical section is the fence
+	if s.follower != nil {
+		s.follower.Stop()
+	}
 	// Stream transport first: stop accepting connections and expire the
 	// live readers so they enqueue nothing new after the pipeline closes
 	// below — their in-flight frames still commit and ack before each

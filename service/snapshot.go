@@ -177,22 +177,18 @@ func (s *Server) Snapshot() error {
 	return s.snapshotLocked()
 }
 
-// snapshotLocked is Snapshot minus the transfer lock, for callers that
-// already hold it. The engine marshal and the covered-LSN read happen
-// in one driver-lock critical section, so the recorded LSN is exactly
-// the log position the image captures; once the file is durably
-// renamed, the WAL checkpoints at that LSN and prunes.
-func (s *Server) snapshotLocked() error {
-	if s.cfg.SnapshotPath == "" {
-		return nil
-	}
+// buildSnapshot marshals every tenant into an encoded snapshot file
+// and reports the WAL LSN the image covers, plus the total marshaled
+// engine bytes (the metrics' measure). Callers hold the transfer lock;
+// the driver lock is taken inside. It is shared by snapshotLocked (the
+// disk path) and the primary's replica re-seed (replication.go), which
+// ships the same bytes over the wire instead.
+func (s *Server) buildSnapshot() (covered uint64, file []byte, dataLen int64, err error) {
 	// Deterministic tenant order: sorted by key, so equal state writes
 	// equal snapshot bytes regardless of creation order.
 	tenants := s.tenantList()
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
 	s.mu.Lock()
-	var err error
-	var covered uint64
 	images := make([]tenantImage, 0, len(tenants))
 	for _, t := range tenants {
 		ti := tenantImage{name: t.name}
@@ -208,38 +204,66 @@ func (s *Server) snapshotLocked() error {
 		}
 		images = append(images, ti)
 	}
-	if err == nil && s.wal != nil {
-		covered = s.wal.LastLSN()
+	if err == nil {
+		// A replica's coverage is what it has applied, not a log
+		// position — it has no WAL until promotion.
+		switch {
+		case s.replicaMode.Load():
+			covered = s.appliedLSN.Load()
+		case s.wal != nil:
+			covered = s.wal.LastLSN()
+		}
 	}
 	s.mu.Unlock()
 	if err != nil {
-		s.metrics.snapshotErrors.Inc()
-		return fmt.Errorf("service: snapshot marshal: %w", err)
+		return 0, nil, 0, err
 	}
 	// A daemon holding only the default tenant writes the v1 form so
 	// single-tenant snapshot files stay byte-identical to pre-tenant
 	// corrd (and restorable by it).
-	var file []byte
 	if len(images) == 1 && images[0].name == "" {
 		file = encodeSnapshotFile(covered, images[0].image)
 	} else {
 		file = encodeSnapshotFileV2(covered, images)
 	}
+	for _, ti := range images {
+		dataLen += int64(len(ti.image))
+	}
+	return covered, file, dataLen, nil
+}
+
+// snapshotLocked is Snapshot minus the transfer lock, for callers that
+// already hold it. The engine marshal and the covered-LSN read happen
+// in one driver-lock critical section, so the recorded LSN is exactly
+// the log position the image captures; once the file is durably
+// renamed, the WAL checkpoints at that LSN and prunes.
+func (s *Server) snapshotLocked() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	covered, file, dataLen, err := s.buildSnapshot()
+	if err != nil {
+		s.metrics.snapshotErrors.Inc()
+		return fmt.Errorf("service: snapshot marshal: %w", err)
+	}
 	if err := writeFileAtomic(s.cfg.SnapshotPath, file); err != nil {
 		s.metrics.snapshotErrors.Inc()
 		return fmt.Errorf("service: snapshot write: %w", err)
 	}
-	var dataLen int64
-	for _, ti := range images {
-		dataLen += int64(len(ti.image))
+	nTenants := 1
+	if bytes.HasPrefix(file, snapshotMagicV2) {
+		rest := file[len(snapshotMagicV2):]
+		_, n := binary.Uvarint(rest)
+		cnt, _ := binary.Uvarint(rest[n:])
+		nTenants = int(cnt)
 	}
 	s.metrics.snapshotsWritten.Inc()
 	s.metrics.lastSnapshotUnix.Set(time.Now().Unix())
 	s.metrics.snapshotBytes.Set(dataLen)
 	s.logf("snapshot: wrote %s (%d tenants, %d bytes, covered LSN %d)",
-		s.cfg.SnapshotPath, len(images), dataLen, covered)
-	if s.wal != nil {
-		if err := s.wal.Checkpoint(covered); err != nil {
+		s.cfg.SnapshotPath, nTenants, dataLen, covered)
+	if w := s.walRef(); w != nil {
+		if err := w.Checkpoint(covered); err != nil {
 			// The snapshot is durable; a failed checkpoint only delays
 			// pruning, so log rather than fail the snapshot.
 			s.logf("wal checkpoint: %v", err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/streamagg/correlated/internal/tupleio"
+	"github.com/streamagg/correlated/internal/wal"
 )
 
 // Streaming ingest: the wire-speed alternative to POST /v1/ingest. A
@@ -163,21 +164,39 @@ func (s *Server) serveStreamConn(c net.Conn) {
 	}
 	version, format, err := tupleio.ParseHello(hello[:])
 	status := tupleio.HelloOK
+	replWAL := (*wal.WAL)(nil)
 	switch {
 	case err != nil:
 		s.metrics.streamFrameErrors.Inc()
 		return // not even our protocol; reply with nothing
 	case version != tupleio.StreamVersion:
 		status = tupleio.HelloBadVersion
+	case format == tupleio.StreamFormatReplica:
+		// A replication follower: it needs a log to follow. A replica
+		// being asked to replicate has none (until promoted), and
+		// neither does a WAL-less primary.
+		if replWAL = s.walRef(); replWAL == nil {
+			status = tupleio.HelloNoWAL
+		}
 	case format != tupleio.StreamFormatCounted && format != tupleio.StreamFormatKeyed:
 		status = tupleio.HelloBadFormat
 	}
 	keyed := format == tupleio.StreamFormatKeyed
-	reply := tupleio.AppendHelloReply(nil, status, s.streamMaxFrame())
+	maxFrame := s.streamMaxFrame()
+	if format == tupleio.StreamFormatReplica {
+		// Snapshot re-seed frames carry a whole state image, so the
+		// replication cap is the WAL's record bound, not the body cap.
+		maxFrame = replicaMaxFrame
+	}
+	reply := tupleio.AppendHelloReply(nil, status, maxFrame)
 	if _, err := c.Write(reply); err != nil || status != tupleio.HelloOK {
 		if status != tupleio.HelloOK {
 			s.metrics.streamFrameErrors.Inc()
 		}
+		return
+	}
+	if format == tupleio.StreamFormatReplica {
+		s.serveReplicaConn(c, replWAL)
 		return
 	}
 	c.SetReadDeadline(time.Time{})
@@ -223,6 +242,18 @@ func (s *Server) serveStreamConn(c net.Conn) {
 		}
 		expect = seq
 		d.streamSeq = seq
+		if s.replicaMode.Load() {
+			// Read-only replica: nack every ingest frame with the typed
+			// status and keep the connection — a client that promotes
+			// this node mid-stream can keep the conn and resume. Stage
+			// stamps by hand: the job never enters the pipeline.
+			d.job.err, d.job.kind, d.job.lsn = errReadOnlyReplica, ingestErrReadOnly, 0
+			d.job.enqueuedAt = time.Now()
+			d.job.wakeAt = d.job.enqueuedAt
+			d.job.done <- struct{}{}
+			inflight <- d
+			continue
+		}
 		var tn *tenant
 		if keyed {
 			// Keyed frame: tenant prefix, then the counted batch. The
@@ -303,6 +334,8 @@ func (s *Server) streamAcker(c net.Conn, connID string, inflight <-chan *decodeS
 			status = tupleio.AckShutdown
 		case ingestErrTenant:
 			status = tupleio.AckTenant
+		case ingestErrReadOnly:
+			status = tupleio.AckReadOnly
 		default:
 			s.metrics.streamFrames.Inc()
 			s.metrics.streamTuples.Add(uint64(len(d.job.tuples)))

@@ -1,11 +1,9 @@
 package service
 
 import (
-	"encoding/binary"
 	"fmt"
 	"time"
 
-	correlated "github.com/streamagg/correlated"
 	"github.com/streamagg/correlated/internal/tupleio"
 	"github.com/streamagg/correlated/internal/wal"
 )
@@ -137,174 +135,38 @@ func (s *Server) logFoldback(image []byte) error {
 }
 
 // replayWAL re-applies every record the snapshot does not cover, in log
-// order, through the same engine entry points the handlers use. Any
-// failure is fatal to startup: a daemon must not serve state it knows
-// is missing acknowledged data. Replay runs before any goroutine is
-// started, so calling the *Locked tenant helpers without s.mu is safe;
-// tenant creation during replay bypasses the governance caps —
-// acknowledged data outranks a cap that may have been lowered since.
+// order, through the same engine entry points the handlers use — the
+// shared applyRecord switch (replication.go), which a live replica also
+// speaks. Any failure is fatal to startup: a daemon must not serve
+// state it knows is missing acknowledged data. Replay runs before any
+// goroutine is started, so calling the *Locked tenant helpers without
+// s.mu is safe; tenant creation during replay bypasses the governance
+// caps — acknowledged data outranks a cap that may have been lowered
+// since.
 func (s *Server) replayWAL(covered uint64) error {
 	start := time.Now()
 	var records uint64
-	var inFlight []byte // image of an open push round, nil when none
-	tuples := make([]correlated.Tuple, 0, 4096)
-	var touched []*tenant // keyed-group first-touch scratch
-	// tenantEngine resolves a replayed tenant key to its live engine,
-	// creating (cap-free) or lazily restoring the tenant as needed.
-	tenantEngine := func(name []byte) (*tenant, Engine, error) {
-		t, err := s.getOrCreateTenant(name, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		eng, err := s.ensureEngineLocked(t)
-		if err != nil {
-			return nil, nil, err
-		}
-		return t, eng, nil
-	}
+	st := newReplayState(covered, true)
 	err := s.wal.Replay(covered, func(lsn uint64, typ wal.RecordType, payload []byte) error {
-		switch typ {
-		case wal.RecordIngest:
-			var err error
-			if tuples, err = tupleio.DecodeCounted(tuples, payload); err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-			if err := s.def.eng.AddBatch(tuples); err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-			// Drain per record, mirroring the live commit of a group of
-			// one: worker batch boundaries replay exactly as they ran.
-			if err := s.def.eng.Flush(); err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-		case wal.RecordIngestGroup:
-			// One commit group: apply every member batch in commit
-			// order, then flush once — the same single drain the live
-			// group paid, so the worker batch boundaries (and therefore
-			// the recovered bytes) match the crashed run exactly.
-			n, sz := binary.Uvarint(payload)
-			if sz <= 0 {
-				return fmt.Errorf("service: wal replay: record %d: bad group header", lsn)
-			}
-			rest := payload[sz:]
-			for i := uint64(0); i < n; i++ {
-				var err error
-				if tuples, rest, err = tupleio.DecodeCountedPrefix(tuples, rest); err != nil {
-					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
-				}
-				if err := s.def.eng.AddBatch(tuples); err != nil {
-					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
-				}
-			}
-			if len(rest) != 0 {
-				return fmt.Errorf("service: wal replay: record %d: %d trailing bytes after %d members", lsn, len(rest), n)
-			}
-			if err := s.def.eng.Flush(); err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-		case wal.RecordKeyedIngestGroup:
-			// A commit group that touched keyed tenants: apply every
-			// member to its tenant in commit order, then flush each
-			// touched tenant once, in first-touch order — exactly the
-			// sequence the live commitGroup ran, so every tenant's worker
-			// batch boundaries (and therefore its recovered bytes) match
-			// the crashed run.
-			n, sz := binary.Uvarint(payload)
-			if sz <= 0 {
-				return fmt.Errorf("service: wal replay: record %d: bad group header", lsn)
-			}
-			rest := payload[sz:]
-			touched = touched[:0]
-			for i := uint64(0); i < n; i++ {
-				var name, batchRest []byte
-				var err error
-				name, tuples, batchRest, err = tupleio.DecodeKeyedPrefix(tuples, rest)
-				if err != nil {
-					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
-				}
-				rest = batchRest
-				t, eng, err := tenantEngine(name)
-				if err != nil {
-					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
-				}
-				if err := eng.AddBatch(tuples); err != nil {
-					return fmt.Errorf("service: wal replay: record %d member %d: %w", lsn, i, err)
-				}
-				if !t.inGroup {
-					t.inGroup = true
-					touched = append(touched, t)
-				}
-			}
-			if len(rest) != 0 {
-				return fmt.Errorf("service: wal replay: record %d: %d trailing bytes after %d members", lsn, len(rest), n)
-			}
-			for _, t := range touched {
-				t.inGroup = false
-				if err := t.eng.Flush(); err != nil {
-					return fmt.Errorf("service: wal replay: record %d tenant %q: %w", lsn, t.name, err)
-				}
-			}
-		case wal.RecordPush:
-			if err := s.def.eng.MergeMarshaled(payload); err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-		case wal.RecordKeyedPush:
-			name, image, err := tupleio.DecodeTenantPrefix(payload)
-			if err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-			_, eng, err := tenantEngine(name)
-			if err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-			if err := eng.MergeMarshaled(image); err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-		case wal.RecordReset:
-			if err := s.def.eng.Reset(); err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-			inFlight = append(inFlight[:0], payload...)
-		case wal.RecordPushAck:
-			inFlight = nil
-		case wal.RecordFoldback:
-			if err := s.def.eng.MergeMarshaled(payload); err != nil {
-				return fmt.Errorf("service: wal replay: record %d: %w", lsn, err)
-			}
-			inFlight = nil
-		case wal.RecordCheckpoint:
-			// Not state, but a consistency witness: the marker says a
-			// snapshot covering LSN c was durably written. If the
-			// snapshot we restored claims less, we are about to
-			// re-apply records the log was already pruned against —
-			// the signature of a lost/stale snapshot file or a WAL
-			// re-enabled after running without one. Double-applying
-			// silently corrupts counts; refuse instead.
-			c, n := binary.Uvarint(payload)
-			if n <= 0 {
-				return fmt.Errorf("service: wal replay: record %d: bad checkpoint marker", lsn)
-			}
-			if c > covered {
-				return fmt.Errorf("service: wal replay: log has a checkpoint covering LSN %d but the restored snapshot covers only %d — snapshot at %q is stale or missing; refusing to double-apply (restore the matching snapshot, or move the WAL dir aside to start fresh)",
-					c, covered, s.cfg.SnapshotPath)
-			}
-			return nil
-		default:
-			return fmt.Errorf("service: wal replay: record %d has unknown type %d", lsn, typ)
+		counted, err := s.applyRecord(lsn, typ, payload, st)
+		if err != nil {
+			return err
 		}
-		records++
+		if counted {
+			records++
+		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	if len(inFlight) > 0 {
+	if len(st.inFlight) > 0 {
 		// The crash cut a push round short: the coordinator may or may
 		// not have received this image. Fold it back — the same choice
 		// the live path makes when a push fails — so the next round
 		// ships the union. Delivery is at-least-once across this one
 		// window; it is never silent loss.
-		if err := s.def.eng.MergeMarshaled(inFlight); err != nil {
+		if err := s.def.eng.MergeMarshaled(st.inFlight); err != nil {
 			return fmt.Errorf("service: wal replay: fold back in-flight push image: %w", err)
 		}
 		s.logf("wal: push round was in flight at crash; image folded back for re-push")
