@@ -38,6 +38,11 @@ const DefaultChunkSize = 16384
 type APIError struct {
 	Status  int    // HTTP status code
 	Message string // server-provided description
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	// corrd sends it on 429 overload sheds and 503 degraded rejections —
+	// both definite refusals, applied nowhere — and the retry loop
+	// honors it as a backoff floor.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -77,6 +82,7 @@ type Stats struct {
 	WALEnabled       bool    `json:"wal_enabled,omitempty"`
 	WALFsync         string  `json:"wal_fsync,omitempty"`
 	WALFsyncs        uint64  `json:"wal_fsyncs,omitempty"`
+	WALSyncErrors    uint64  `json:"wal_sync_errors,omitempty"`
 	WALSegments      int64   `json:"wal_segments,omitempty"`
 	WALAppendedBytes uint64  `json:"wal_appended_bytes,omitempty"`
 	WALLastLSN       uint64  `json:"wal_last_lsn,omitempty"`
@@ -115,6 +121,12 @@ type Stats struct {
 	ReplicaLagRecords uint64  `json:"replica_lag_records,omitempty"`
 	ReplicaLagSeconds float64 `json:"replica_lag_seconds,omitempty"`
 	Promoted          bool    `json:"promoted,omitempty"`
+
+	// Health is the degraded-mode state machine's position ("healthy",
+	// "degraded", "recovering"); DegradedSeconds the cumulative time
+	// spent out of healthy.
+	Health          string  `json:"health,omitempty"`
+	DegradedSeconds float64 `json:"degraded_seconds,omitempty"`
 }
 
 // StageStats summarizes one commit-pipeline stage's latency histogram:
@@ -554,7 +566,24 @@ func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error
 			return err
 		}
 		err = c.doOnce(req, out)
-		if err == nil || attempt >= c.retries || !isTransient(ctx, err) {
+		if err == nil {
+			return nil
+		}
+		// A 429/503 carrying Retry-After is a definite refusal — the
+		// server said so before applying anything, so retrying is safe
+		// even for non-idempotent requests. The hint floors the delay:
+		// the server knows its own recovery cadence better than our
+		// exponential schedule does.
+		if hint, ok := retryAfterHint(err); ok {
+			if attempt >= c.retries || ctx.Err() != nil {
+				return err
+			}
+			if werr := c.backoffFloor(ctx, attempt, hint); werr != nil {
+				return errors.Join(err, werr)
+			}
+			continue
+		}
+		if attempt >= c.retries || !isTransient(ctx, err) {
 			return err
 		}
 		if !idempotent && isAmbiguousTimeout(err) {
@@ -564,6 +593,19 @@ func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error
 			return errors.Join(err, werr)
 		}
 	}
+}
+
+// retryAfterHint extracts the server's Retry-After from an overload
+// (429) or degraded (503) refusal. Only statuses corrd stamps the
+// header on qualify: a read-only replica's 503 has no hint and must
+// fail over, not spin here.
+func retryAfterHint(err error) (time.Duration, bool) {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 &&
+		(ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable) {
+		return ae.RetryAfter, true
+	}
+	return 0, false
 }
 
 // isTransient reports whether err is a transport-level failure worth
@@ -597,6 +639,13 @@ func isAmbiguousTimeout(err error) bool {
 // backoff sleeps for the attempt's jittered exponential delay, or
 // returns early when ctx is done.
 func (c *Client) backoff(ctx context.Context, attempt int) error {
+	return c.backoffFloor(ctx, attempt, 0)
+}
+
+// backoffFloor is backoff with a minimum delay — the server's
+// Retry-After hint outranks the exponential schedule but still gets
+// the fan-out jitter on top.
+func (c *Client) backoffFloor(ctx context.Context, attempt int, floor time.Duration) error {
 	d := c.backoffBase << attempt
 	if d > c.backoffMax || d <= 0 {
 		d = c.backoffMax
@@ -604,6 +653,9 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	// Uniform jitter over [d/2, d): synchronized retriers fan out.
 	if half := d / 2; half > 0 {
 		d = half + rand.N(half)
+	}
+	if d < floor {
+		d = floor
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -646,7 +698,13 @@ func apiError(resp *http.Response) error {
 	if payload.Error == "" {
 		payload.Error = http.StatusText(resp.StatusCode)
 	}
-	return &APIError{Status: resp.StatusCode, Message: payload.Error}
+	ae := &APIError{Status: resp.StatusCode, Message: payload.Error}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
 }
 
 // IsIncompatible reports whether err is the service rejecting a push or
@@ -671,4 +729,40 @@ func IsReadOnly(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable &&
 		strings.Contains(ae.Message, "read-only replica")
+}
+
+// ErrBusy is the stream transport's AckBusy: the server shed the frame
+// because its commit queue is full. Nothing was applied; back off and
+// resend on the same connection.
+var ErrBusy = errors.New("corrd: server overloaded, try again later")
+
+// ErrDegraded is the stream transport's AckDegraded: the server's
+// durability path is broken and writes are suspended until it recovers.
+// Nothing was applied; the connection stays usable.
+var ErrDegraded = errors.New("corrd: server degraded (writes suspended)")
+
+// IsBusy reports whether err is the server shedding load — the stream's
+// AckBusy or HTTP 429 from the bounded commit queue. The request was
+// refused before anything was applied, so resending after the error's
+// Retry-After (when it carries one) is always safe.
+func IsBusy(err error) bool {
+	if errors.Is(err, ErrBusy) {
+		return true
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests &&
+		strings.Contains(ae.Message, "overload")
+}
+
+// IsDegraded reports whether err is a degraded server refusing writes —
+// the stream's AckDegraded or HTTP 503 with the degraded message.
+// Queries still work; writes should wait out Retry-After or go to
+// another server.
+func IsDegraded(err error) bool {
+	if errors.Is(err, ErrDegraded) {
+		return true
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable &&
+		strings.Contains(ae.Message, "degraded")
 }

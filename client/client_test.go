@@ -307,3 +307,99 @@ func TestPromoteSingleAttempt(t *testing.T) {
 		t.Fatalf("Promote retried: %d attempts, want 1", got)
 	}
 }
+
+// TestRetryAfterFloorsBackoff: a 429/503 carrying Retry-After is a
+// definite refusal — retried even for non-idempotent requests, with the
+// server's hint flooring the exponential schedule. A Push (the
+// non-idempotent verb the ambiguous-timeout carve-out normally
+// protects) must come back after the hinted delay and succeed.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"error":"overload: ingest queue full"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, WithRetries(2), WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
+	start := time.Now()
+	if err := cl.Push(context.Background(), []byte{1, 2, 3}); err != nil {
+		t.Fatalf("push through a shedding server: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("attempts: %d, want 2 (one shed + one success)", got)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry came back after %v; Retry-After: 1 must floor the 1ms backoff schedule", elapsed)
+	}
+}
+
+// TestRetryAfterBudgetStillBounds: the hint floors the delay but does
+// not grant extra attempts — a server that sheds forever exhausts the
+// normal retry budget and surfaces the refusal.
+func TestRetryAfterBudgetStillBounds(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"service degraded: wal probe failing"}`)
+	}))
+	defer srv.Close()
+	// Context deadline cuts the waits short so the test does not sit out
+	// two full 1s floors; the refusal must still surface as the error.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err := New(srv.URL, WithRetries(5), WithRetryBackoff(time.Millisecond, 5*time.Millisecond)).
+		Push(ctx, []byte{1})
+	if !IsDegraded(err) {
+		t.Fatalf("want the degraded refusal surfaced, got: %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.RetryAfter != time.Second {
+		t.Fatalf("Retry-After not parsed onto APIError: %v", err)
+	}
+}
+
+// TestIsBusyIsDegraded: the typed-error predicates recognize both the
+// HTTP shapes corrd sends and the stream sentinels, and nothing else.
+func TestIsBusyIsDegraded(t *testing.T) {
+	busy := &APIError{Status: http.StatusTooManyRequests, Message: "overload: ingest queue full", RetryAfter: 2 * time.Second}
+	degraded := &APIError{Status: http.StatusServiceUnavailable, Message: "service degraded: disk fault", RetryAfter: time.Second}
+	readOnly := &APIError{Status: http.StatusServiceUnavailable, Message: "replica is read-only"}
+	for _, tc := range []struct {
+		name       string
+		err        error
+		busy, degr bool
+	}{
+		{"http 429 overload", busy, true, false},
+		{"http 503 degraded", degraded, false, true},
+		{"http 503 read-only", readOnly, false, false},
+		{"stream ErrBusy", ErrBusy, true, false},
+		{"stream ErrDegraded", ErrDegraded, false, true},
+		{"wrapped ErrBusy", errors.Join(errors.New("frame 3"), ErrBusy), true, false},
+		{"plain error", errors.New("boom"), false, false},
+		{"nil", nil, false, false},
+	} {
+		if got := IsBusy(tc.err); got != tc.busy {
+			t.Errorf("%s: IsBusy = %v, want %v", tc.name, got, tc.busy)
+		}
+		if got := IsDegraded(tc.err); got != tc.degr {
+			t.Errorf("%s: IsDegraded = %v, want %v", tc.name, got, tc.degr)
+		}
+	}
+	// Both refusal shapes carry the server's pacing hint for callers
+	// that want it without string-matching.
+	if hint, ok := retryAfterHint(busy); !ok || hint != 2*time.Second {
+		t.Fatalf("retryAfterHint(busy) = %v, %v", hint, ok)
+	}
+	if _, ok := retryAfterHint(readOnly); ok {
+		t.Fatal("read-only 503 without Retry-After must not look retryable in place")
+	}
+}

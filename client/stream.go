@@ -71,6 +71,13 @@ func (a Ack) Err() error {
 		return fmt.Errorf("client: frame %d refused by a tenant governance cap", a.Seq)
 	case tupleio.AckReadOnly:
 		return fmt.Errorf("client: frame %d refused, server is a read-only replica", a.Seq)
+	case tupleio.AckDegraded:
+		// The connection survives a degraded nack: match with IsDegraded,
+		// back off, and resend the batch on the same stream.
+		return fmt.Errorf("client: frame %d refused: %w", a.Seq, ErrDegraded)
+	case tupleio.AckBusy:
+		// Same for overload sheds: IsBusy, back off, resend.
+		return fmt.Errorf("client: frame %d refused: %w", a.Seq, ErrBusy)
 	default:
 		return fmt.Errorf("client: frame %d: unknown ack status %d", a.Seq, a.Status)
 	}

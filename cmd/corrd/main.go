@@ -104,6 +104,7 @@ import (
 	"time"
 
 	correlated "github.com/streamagg/correlated"
+	"github.com/streamagg/correlated/internal/fault"
 	"github.com/streamagg/correlated/service"
 )
 
@@ -127,6 +128,7 @@ func main() {
 
 		snapshot     = flag.String("snapshot", "", "snapshot file path (empty = no durability)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
+		snapKeep     = flag.Int("snapshot-keep", 2, "snapshot retention slots (path, path.1, ...); restore falls back past a corrupt newest")
 
 		walDir      = flag.String("wal-dir", "", "write-ahead log directory (empty = no WAL); with a WAL every acknowledged ingest/push survives kill -9")
 		walFsync    = flag.String("wal-fsync", "always", "WAL fsync policy: always, interval, or off")
@@ -155,6 +157,9 @@ func main() {
 		maxTenants     = flag.Int("max-tenants", 0, "tenant count cap (0 = unlimited); creation past it gets HTTP 429")
 		maxTenantBytes = flag.Int64("max-tenant-bytes", 0, "aggregate tenant memory cap in bytes (0 = unlimited); creation past it gets HTTP 413")
 		tenantIdle     = flag.Duration("tenant-idle-spill", 0, "spill tenants idle longer than this to compact in-memory images (0 = never)")
+
+		queueMax  = flag.Int("ingest-queue-max", 4096, "commit-pipeline queue bound; requests past it are shed with HTTP 429 / AckBusy (0 = unbounded)")
+		faultPlan = flag.String("fault-plan", "", `fault-injection plan for WAL/snapshot I/O, e.g. "sync:err@3+;write:enospc@4096" (testing only; empty = disabled, "off" = injector armed but idle, reconfigurable via POST /v1/fault)`)
 	)
 	flag.Parse()
 
@@ -189,6 +194,23 @@ func main() {
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
+	// A non-empty -fault-plan arms the injector between corrd and the
+	// real filesystem — "off" arms it with no active rules, so a test
+	// harness can inject later through POST /v1/fault. An armed injector
+	// is loudly logged: it exists to break durability on purpose.
+	var faultFS fault.FS
+	if *faultPlan != "" {
+		plan, err := fault.ParsePlan(*faultPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corrd: -fault-plan: %v\n", err)
+			os.Exit(2)
+		}
+		inj := fault.NewInjector(fault.OS())
+		inj.SetPlan(plan)
+		faultFS = inj
+		logger.Printf("corrd: FAULT INJECTION ARMED (testing only): plan %q", *faultPlan)
+	}
+
 	var accessW io.Writer
 	var accessFile *os.File
 	switch *accessLog {
@@ -217,6 +239,7 @@ func main() {
 		QueryMaxStale:     *maxStale,
 		SnapshotPath:      *snapshot,
 		SnapshotInterval:  *snapInterval,
+		SnapshotKeep:      *snapKeep,
 		WALDir:            *walDir,
 		WALFsync:          *walFsync,
 		WALFsyncInterval:  *walFsyncInt,
@@ -228,6 +251,8 @@ func main() {
 		HeartbeatInterval: *heartbeatInt,
 		AdminToken:        *adminToken,
 		MaxBodyBytes:      *maxBody,
+		IngestQueueMax:    *queueMax,
+		FS:                faultFS,
 		MaxTenants:        *maxTenants,
 		MaxTenantBytes:    *maxTenantBytes,
 		TenantIdleSpill:   *tenantIdle,

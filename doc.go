@@ -116,6 +116,24 @@
 //	                                            pruning — restart replays to
 //	                                            crash-exact state, concurrent
 //	                                            ingest included
+//	robustness                service,          degraded-mode state machine
+//	                          internal/fault    (service/health.go: healthy →
+//	                                            degraded → recovering; writes 503/
+//	                                            AckDegraded while reads keep
+//	                                            serving, /readyz for LB drain,
+//	                                            probe loop + POST /v1/recover), a
+//	                                            failed group fsync rewinds the
+//	                                            unacked log suffix, overload
+//	                                            shedding (-ingest-queue-max → 429/
+//	                                            AckBusy with EWMA-priced
+//	                                            Retry-After), snapshot retention
+//	                                            with corrupt-newest fallback
+//	                                            (-snapshot-keep), and the fault-
+//	                                            injection harness behind it all:
+//	                                            an error-plan DSL over a swappable
+//	                                            filesystem (corrd -fault-plan,
+//	                                            POST /v1/fault) driving the chaos
+//	                                            suite's byte-identity proofs
 //	support                   internal/dyadic, internal/hash, internal/quantile,
 //	                          internal/gen, internal/exact, internal/tupleio —
 //	                          interval arithmetic, seeded universal hashing, GK

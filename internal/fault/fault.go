@@ -1,0 +1,73 @@
+// Package fault is a deterministic fault-injection layer for the
+// storage path. The WAL (internal/wal) and the service snapshot writer
+// reach the filesystem through the FS interface here instead of calling
+// os directly; production wires the passthrough OS() implementation,
+// tests and chaos harnesses wire an *Injector programmed with an error
+// Plan — fail the Nth fsync, return ENOSPC once K bytes have been
+// written, tear a write in half, inject latency — so the failure modes
+// that real disks exhibit (fsyncgate-style sync errors, full volumes,
+// torn tails per Pillai et al. OSDI'14) become reproducible unit-test
+// inputs instead of production surprises.
+//
+// Determinism is the point: a Plan is a pure function of its rule list,
+// its seed, and the sequence of filesystem operations the program
+// performs, so a failing chaos run replays exactly from the plan string
+// alone. Plans are also swappable at runtime (Injector.SetPlan), which
+// is what lets corrd's -fault-plan flag and the /v1/fault admin
+// endpoint drive an end-to-end smoke: inject ENOSPC, watch the daemon
+// degrade, clear the plan, recover.
+package fault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the slice of *os.File the storage layer uses. Everything an
+// injector might want to fail or delay goes through it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (fs.FileInfo, error)
+	Name() string
+}
+
+// FS is the filesystem surface the WAL and snapshot writer consume.
+// The method set mirrors the os package so the passthrough
+// implementation is trivial and the call sites read unchanged.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	MkdirAll(path string, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OS returns the passthrough FS backed by the real os package. It is
+// stateless; the same value may be shared freely.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }

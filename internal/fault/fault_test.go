@@ -1,0 +1,266 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		in      string
+		rules   int
+		seed    int64
+		wantErr bool
+	}{
+		{"", 0, 0, false},
+		{"off", 0, 0, false},
+		{"none", 0, 0, false},
+		{"sync:err@3", 1, 1, false},
+		{"sync:err@1+", 1, 1, false},
+		{"write:enospc@65536", 1, 1, false},
+		{"write:torn@5", 1, 1, false},
+		{"seed:42;write:slow@p0.1=5ms", 1, 42, false},
+		{"sync:err@3;rename/corrd.snap:err@1", 2, 1, false},
+		{"sync:err", 0, 0, true},       // missing @spec
+		{"sync@3", 0, 0, true},         // missing :kind
+		{"chmod:err@1", 0, 0, true},    // unknown op
+		{"sync:explode@1", 0, 0, true}, // unknown kind
+		{"sync:err@0", 0, 0, true},     // ordinal must be >= 1
+		{"sync:err@p1.5", 0, 0, true},  // probability out of range
+		{"sync:slow@1", 0, 0, true},    // slow needs duration
+		{"rename:torn@1", 0, 0, true},  // torn is write-only
+		{"seed:zap", 0, 0, true},       // bad seed
+	}
+	for _, c := range cases {
+		p, err := ParsePlan(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParsePlan(%q): want error, got %v", c.in, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.in, err)
+			continue
+		}
+		if c.rules == 0 {
+			if p != nil {
+				t.Errorf("ParsePlan(%q): want nil plan, got %+v", c.in, p)
+			}
+			continue
+		}
+		if len(p.Rules) != c.rules || p.Seed != c.seed {
+			t.Errorf("ParsePlan(%q): got %d rules seed %d, want %d/%d",
+				c.in, len(p.Rules), p.Seed, c.rules, c.seed)
+		}
+		if p.String() != c.in {
+			t.Errorf("ParsePlan(%q).String() = %q", c.in, p.String())
+		}
+	}
+}
+
+func mustPlan(t *testing.T, s string) *Plan {
+	t.Helper()
+	p, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", s, err)
+	}
+	return p
+}
+
+func openForWrite(t *testing.T, fsys FS, name string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return f
+}
+
+func TestNthSyncFails(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.SetPlan(mustPlan(t, "sync:err@2"))
+	f := openForWrite(t, inj, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 2: want EIO, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3 (one-shot rule must clear): %v", err)
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d, want 1", got)
+	}
+}
+
+func TestStickySyncFailure(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.SetPlan(mustPlan(t, "sync:err@2+"))
+	f := openForWrite(t, inj, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sticky sync %d: want EIO, got %v", i+2, err)
+		}
+	}
+	// Clearing the plan restores the disk.
+	inj.SetPlan(nil)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after clear: %v", err)
+	}
+}
+
+func TestENOSPCAfterBudgetWithTornTail(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.SetPlan(mustPlan(t, "write:enospc@10"))
+	path := filepath.Join(t.TempDir(), "f")
+	f := openForWrite(t, inj, path)
+	defer f.Close()
+	if n, err := f.Write(make([]byte, 6)); err != nil || n != 6 {
+		t.Fatalf("write 1: n=%d err=%v", n, err)
+	}
+	// 6 written of a 10-byte budget: this write tears after 4 bytes.
+	n, err := f.Write(make([]byte, 6))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2: want ENOSPC, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("write 2: torn prefix n=%d, want 4", n)
+	}
+	// Budget exhausted: nothing more lands.
+	if n, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) || n != 0 {
+		t.Fatalf("write 3: n=%d err=%v, want 0/ENOSPC", n, err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != 10 {
+		t.Fatalf("on-disk size = %v (err %v), want 10", st, err)
+	}
+}
+
+func TestTornWriteDropsTail(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.SetPlan(mustPlan(t, "write:torn@1"))
+	path := filepath.Join(t.TempDir(), "f")
+	f := openForWrite(t, inj, path)
+	defer f.Close()
+	n, err := f.Write(make([]byte, 8))
+	if !errors.Is(err, syscall.EIO) || n != 4 {
+		t.Fatalf("torn write: n=%d err=%v, want 4/EIO", n, err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 4 {
+		t.Fatalf("on-disk size = %d, want 4 (tail dropped)", st.Size())
+	}
+}
+
+func TestPathFilterTargetsOneFile(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.SetPlan(mustPlan(t, "sync/wal-:err@1+"))
+	dir := t.TempDir()
+	walF := openForWrite(t, inj, filepath.Join(dir, "wal-0001.seg"))
+	defer walF.Close()
+	snapF := openForWrite(t, inj, filepath.Join(dir, "corrd.snap"))
+	defer snapF.Close()
+	if err := walF.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("wal sync: want EIO, got %v", err)
+	}
+	if err := snapF.Sync(); err != nil {
+		t.Fatalf("snapshot sync must pass the filter: %v", err)
+	}
+}
+
+func TestRenameAndCreateFaults(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.SetPlan(mustPlan(t, "rename:err@1;create:err@2"))
+	dir := t.TempDir()
+	f := openForWrite(t, inj, filepath.Join(dir, "a")) // create #1: ok
+	f.Close()
+	if err := inj.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename: want EIO, got %v", err)
+	}
+	if _, err := inj.OpenFile(filepath.Join(dir, "c"), os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("create 2: want EIO, got %v", err)
+	}
+}
+
+func TestProbabilisticRuleReplaysWithSeed(t *testing.T) {
+	run := func() []bool {
+		inj := NewInjector(OS())
+		inj.SetPlan(mustPlan(t, "seed:7;sync:err@p0.5"))
+		f := openForWrite(t, inj, filepath.Join(t.TempDir(), "f"))
+		defer f.Close()
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			outcomes = append(outcomes, f.Sync() != nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded plan diverged at op %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p0.5 rule fired %d/%d times; want a mix", fired, len(a))
+	}
+}
+
+func TestSlowRuleInjectsLatency(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.SetPlan(mustPlan(t, "sync:slow@1+=30ms"))
+	f := openForWrite(t, inj, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sync returned in %v; want >= 30ms of injected latency", d)
+	}
+}
+
+func TestSetPlanResetsCounters(t *testing.T) {
+	inj := NewInjector(OS())
+	inj.SetPlan(mustPlan(t, "sync:err@1"))
+	f := openForWrite(t, inj, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync 1: want injected error")
+	}
+	inj.SetPlan(mustPlan(t, "sync:err@1"))
+	if err := f.Sync(); err == nil {
+		t.Fatal("after SetPlan, counters must reset: want injected error on first sync")
+	}
+}
+
+func TestPassthroughWithNoPlan(t *testing.T) {
+	inj := NewInjector(OS())
+	path := filepath.Join(t.TempDir(), "f")
+	f := openForWrite(t, inj, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := inj.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"io/fs"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// createFlag classifies OpenFile calls as "create" ops for rule matching.
+const createFlag = os.O_CREATE
+
+// Injector is an FS that evaluates a Plan on every operation before
+// delegating to a base FS (usually OS()). It is safe for concurrent
+// use, and the live plan can be swapped at any time with SetPlan —
+// corrd's /v1/fault endpoint does exactly that, so a smoke script can
+// fill the disk, watch the daemon degrade, then clear the plan and
+// recover without a restart.
+type Injector struct {
+	base FS
+
+	mu       sync.Mutex
+	plan     *Plan
+	rng      *rand.Rand
+	counts   map[string]uint64 // per-op ordinals (1-based after increment)
+	wrote    uint64            // cumulative bytes successfully written
+	injected uint64            // total faults injected (errors, not delays)
+}
+
+// NewInjector wraps base (OS() if nil) with an initially empty plan.
+func NewInjector(base FS) *Injector {
+	if base == nil {
+		base = OS()
+	}
+	return &Injector{
+		base:   base,
+		rng:    rand.New(rand.NewSource(1)),
+		counts: make(map[string]uint64),
+	}
+}
+
+// SetPlan installs a new plan (nil clears injection) and resets the op
+// counters, byte budget, and RNG, so the same plan replays identically
+// no matter what ran before it.
+func (i *Injector) SetPlan(p *Plan) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.plan = p
+	i.counts = make(map[string]uint64)
+	i.wrote = 0
+	seed := int64(1)
+	if p != nil {
+		seed = p.Seed
+	}
+	i.rng = rand.New(rand.NewSource(seed))
+}
+
+// Plan returns the live plan (nil when injection is off).
+func (i *Injector) Plan() *Plan {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.plan
+}
+
+// Injected returns how many faults (errors, not delays) have fired.
+func (i *Injector) Injected() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected
+}
+
+// step evaluates the plan for one operation. n is the payload length
+// for writes (0 otherwise). The returned decision's delay is slept by
+// the caller outside the injector lock.
+func (i *Injector) step(op, name string, n int) decision {
+	i.mu.Lock()
+	i.counts[op]++
+	d := i.plan.eval(i.rng, op, name, i.counts[op], i.wrote, n)
+	if d.err != nil {
+		i.injected++
+		if op == "write" && d.allow > 0 {
+			i.wrote += uint64(d.allow)
+		}
+	} else if op == "write" {
+		i.wrote += uint64(n)
+	}
+	i.mu.Unlock()
+	return d
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	op := "open"
+	if flag&createFlag != 0 {
+		op = "create"
+	}
+	d := i.step(op, name, 0)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f, err := i.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, i: i, name: name}, nil
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	d := i.step("open", name, 0)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f, err := i.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, i: i, name: name}, nil
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	d := i.step("create", dir+"/"+pattern, 0)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f, err := i.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, i: i, name: f.Name()}, nil
+}
+
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return i.base.ReadDir(name) }
+func (i *Injector) ReadFile(name string) ([]byte, error)       { return i.base.ReadFile(name) }
+func (i *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return i.base.MkdirAll(path, perm)
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	d := i.step("rename", newpath, 0)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	return i.base.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	d := i.step("remove", name, 0)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	return i.base.Remove(name)
+}
+
+// faultFile routes Write and Sync through the injector; reads, seeks,
+// and metadata pass straight to the wrapped file.
+type faultFile struct {
+	File
+	i    *Injector
+	name string
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	d := f.i.step("write", f.name, len(p))
+	sleep(d.delay)
+	if d.err != nil {
+		// A failing write may still persist a prefix — the torn tail a
+		// crashed disk leaves behind.
+		n := 0
+		if d.allow > 0 {
+			if d.allow > len(p) {
+				d.allow = len(p)
+			}
+			n, _ = f.File.Write(p[:d.allow])
+		}
+		return n, d.err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	d := f.i.step("truncate", f.name, 0)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	return f.File.Truncate(size)
+}
+
+func (f *faultFile) Sync() error {
+	d := f.i.step("sync", f.name, 0)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	return f.File.Sync()
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,244 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Plan is a parsed fault plan: an ordered rule list plus the RNG seed
+// that makes probabilistic rules replayable. The zero Plan injects
+// nothing.
+//
+// The plan DSL is semicolon-separated rules:
+//
+//	rule := "seed" ':' int
+//	      | op ['/' substr] ':' kind '@' spec ['=' duration]
+//	op   := sync | write | create | open | rename | remove | truncate
+//	kind := err | enospc | torn | slow
+//	spec := N        one-shot: trigger on the Nth matching op (1-based)
+//	      | N '+'    sticky: trigger on the Nth and every later op
+//	      | 'p' F    probabilistic: trigger each op with probability F
+//	      | K        (write:enospc only) cumulative byte budget: once K
+//	                 bytes have been written, every write returns ENOSPC
+//
+// The optional '/substr' filters by file name (substring match), so a
+// plan can target the WAL ("write/wal-") or the snapshot temp file
+// ("rename/corrd.snap") independently. "slow" rules sleep for the
+// '=duration' suffix and compose with error rules; error kinds pick the
+// first matching rule. Examples:
+//
+//	sync:err@3              the 3rd fsync fails with EIO, once
+//	sync:err@1+             every fsync fails (sticky-broken disk)
+//	write:enospc@65536      the volume fills after 64 KiB of writes
+//	write:torn@5            the 5th write persists only half its bytes
+//	                        ("drop tail bytes on crash"), then errors
+//	seed:42;write:slow@p0.1=5ms   10% of writes sleep 5 ms, replayably
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+	src   string
+}
+
+// Rule is one parsed fault clause; see the Plan grammar.
+type Rule struct {
+	Op     string // sync | write | create | open | rename | remove
+	Path   string // substring filter on the file name; "" matches all
+	Kind   string // err | enospc | torn | slow
+	Nth    uint64 // one-shot/sticky trigger ordinal (1-based); 0 if unused
+	Sticky bool   // "N+": trigger on every op from the Nth on
+	Bytes  uint64 // write:enospc cumulative byte budget
+	Prob   float64
+	Delay  time.Duration
+}
+
+// String returns the source text the plan was parsed from.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.src
+}
+
+var validOps = map[string]bool{
+	"sync": true, "write": true, "create": true,
+	"open": true, "rename": true, "remove": true, "truncate": true,
+}
+
+// ParsePlan parses the DSL above. Empty input (or "off"/"none") parses
+// to a nil plan, which injects nothing — that is how the /v1/fault
+// endpoint clears a live plan.
+func ParsePlan(s string) (*Plan, error) {
+	src := strings.TrimSpace(s)
+	switch src {
+	case "", "off", "none":
+		return nil, nil
+	}
+	p := &Plan{Seed: 1, src: src}
+	for _, clause := range strings.Split(src, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(clause, "seed:"); ok {
+			seed, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", rest, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		r, err := parseRule(clause)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p, nil
+}
+
+func parseRule(clause string) (Rule, error) {
+	var r Rule
+	head, spec, ok := strings.Cut(clause, "@")
+	if !ok {
+		return r, fmt.Errorf("fault: rule %q: missing '@spec'", clause)
+	}
+	opPart, kind, ok := strings.Cut(head, ":")
+	if !ok {
+		return r, fmt.Errorf("fault: rule %q: missing ':kind'", clause)
+	}
+	r.Op, r.Path, _ = strings.Cut(opPart, "/")
+	if !validOps[r.Op] {
+		return r, fmt.Errorf("fault: rule %q: unknown op %q", clause, r.Op)
+	}
+	r.Kind = kind
+	switch kind {
+	case "err", "enospc", "torn", "slow":
+	default:
+		return r, fmt.Errorf("fault: rule %q: unknown kind %q", clause, kind)
+	}
+	if kind == "torn" && r.Op != "write" {
+		return r, fmt.Errorf("fault: rule %q: torn applies to write only", clause)
+	}
+	if dur, rest, ok := cutSuffixDuration(spec); ok {
+		r.Delay = dur
+		spec = rest
+	}
+	if r.Kind == "slow" && r.Delay <= 0 {
+		return r, fmt.Errorf("fault: rule %q: slow needs '=duration'", clause)
+	}
+	switch {
+	case strings.HasPrefix(spec, "p"):
+		prob, err := strconv.ParseFloat(spec[1:], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return r, fmt.Errorf("fault: rule %q: bad probability %q", clause, spec)
+		}
+		r.Prob = prob
+	case r.Op == "write" && r.Kind == "enospc":
+		n, err := strconv.ParseUint(spec, 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("fault: rule %q: bad byte budget %q", clause, spec)
+		}
+		r.Bytes = n
+	default:
+		numeric := spec
+		if rest, ok := strings.CutSuffix(spec, "+"); ok {
+			r.Sticky = true
+			numeric = rest
+		}
+		n, err := strconv.ParseUint(numeric, 10, 64)
+		if err != nil || n == 0 {
+			return r, fmt.Errorf("fault: rule %q: bad ordinal %q (want N>=1)", clause, spec)
+		}
+		r.Nth = n
+	}
+	return r, nil
+}
+
+// cutSuffixDuration splits "spec=duration" off a rule spec.
+func cutSuffixDuration(spec string) (time.Duration, string, bool) {
+	rest, durStr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return 0, spec, false
+	}
+	d, err := time.ParseDuration(durStr)
+	if err != nil || d < 0 {
+		return 0, spec, false
+	}
+	return d, rest, true
+}
+
+// injected errors wrap the syscall errno so callers can use
+// errors.Is(err, syscall.ENOSPC) and friends exactly as with real
+// filesystem failures.
+func injectedErr(op, name string, errno syscall.Errno) error {
+	return fmt.Errorf("fault: injected %s failure on %s %s: %w", errno.Error(), op, name, errno)
+}
+
+// decision is the outcome of evaluating the plan for one operation.
+type decision struct {
+	delay time.Duration
+	err   error
+	// allow is the number of payload bytes a failing write may still
+	// persist (the torn-tail prefix); -1 means not a write decision.
+	allow int
+}
+
+// eval evaluates the plan for one op under the injector lock. count is
+// the op's 1-based ordinal after increment; wrote is the cumulative
+// write-byte total before this op; n is the payload length for writes.
+func (p *Plan) eval(rng *rand.Rand, op, name string, count uint64, wrote uint64, n int) decision {
+	d := decision{allow: -1}
+	if p == nil {
+		return d
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Op != op || (r.Path != "" && !strings.Contains(name, r.Path)) {
+			continue
+		}
+		triggered := false
+		switch {
+		case r.Prob > 0:
+			triggered = rng.Float64() < r.Prob
+		case r.Bytes > 0 || (r.Kind == "enospc" && r.Op == "write" && r.Nth == 0):
+			triggered = wrote+uint64(n) > r.Bytes
+		case r.Sticky:
+			triggered = count >= r.Nth
+		default:
+			triggered = count == r.Nth
+		}
+		if !triggered {
+			continue
+		}
+		if r.Kind == "slow" {
+			d.delay += r.Delay
+			continue
+		}
+		if d.err != nil {
+			continue // first error rule wins
+		}
+		d.delay += r.Delay
+		switch r.Kind {
+		case "enospc":
+			d.err = injectedErr(op, name, syscall.ENOSPC)
+			if r.Bytes > wrote { // budget partially left: torn tail
+				d.allow = int(r.Bytes - wrote)
+			} else {
+				d.allow = 0
+			}
+		case "torn":
+			d.err = injectedErr(op, name, syscall.EIO)
+			d.allow = n / 2
+		default: // err
+			d.err = injectedErr(op, name, syscall.EIO)
+			if op == "write" {
+				d.allow = 0
+			}
+		}
+	}
+	return d
+}

@@ -101,6 +101,18 @@ const (
 	// (tenant-count or memory cap). The connection stays usable; frames
 	// for existing tenants keep committing.
 	AckTenant uint8 = 5
+
+	// AckReadOnly (6) lives in repl.go with the replication grammar.
+
+	// AckDegraded: the server is in degraded (read-only) mode — its
+	// durability path is broken and it refuses writes until recovery.
+	// The connection stays usable: reads keep working elsewhere, and the
+	// sender may re-send the frame after the server recovers.
+	AckDegraded uint8 = 7
+	// AckBusy: the commit-pipeline queue is full and the frame was shed
+	// before being applied. Transient; the sender should back off and
+	// re-send on the same connection.
+	AckBusy uint8 = 8
 )
 
 // AppendHello appends the client hello for the given payload format.

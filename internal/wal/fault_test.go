@@ -1,0 +1,190 @@
+package wal
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"github.com/streamagg/correlated/internal/fault"
+)
+
+func planOrDie(t *testing.T, s string) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParsePlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAppendRewindKeepsLogClean: a failed append whose partial frame is
+// successfully rewound leaves the log working — the next append lands on
+// a clean tail, and replay sees exactly the acknowledged records.
+func TestAppendRewindKeepsLogClean(t *testing.T) {
+	inj := fault.NewInjector(fault.OS())
+	w, err := Open(t.TempDir(), Options{Sync: SyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(RecordIngest, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	inj.SetPlan(planOrDie(t, "write:torn@1"))
+	if _, err := w.Append(RecordIngest, []byte("torn-away")); err == nil {
+		t.Fatal("append under write fault: want error")
+	}
+	if w.Broken() {
+		t.Fatal("rewind succeeded, log must not be broken")
+	}
+	inj.SetPlan(nil)
+	if _, err := w.Append(RecordIngest, []byte("two")); err != nil {
+		t.Fatalf("append after rewind: %v", err)
+	}
+	var got []string
+	err = w.Replay(0, func(lsn uint64, typ RecordType, payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("replay = %q, want [one two]", got)
+	}
+}
+
+// TestBrokenLogProbeRepair: when the rewind itself fails the log goes
+// sticky-broken (ErrBroken on every append); once the disk heals, Probe
+// repairs the tail and a full append+fsync round trip works again.
+func TestBrokenLogProbeRepair(t *testing.T) {
+	inj := fault.NewInjector(fault.OS())
+	w, err := Open(t.TempDir(), Options{Sync: SyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(RecordIngest, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	// The write fails and the rewind's truncate fails too: broken.
+	inj.SetPlan(planOrDie(t, "write:err@1;truncate:err@1"))
+	if _, err := w.Append(RecordIngest, []byte("lost")); err == nil {
+		t.Fatal("append under fault: want error")
+	}
+	if !w.Broken() {
+		t.Fatal("failed rewind must leave the log broken")
+	}
+	if _, err := w.Append(RecordIngest, []byte("rejected")); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append on broken log: want ErrBroken, got %v", err)
+	}
+	// Probe under the same fault plan must fail and leave it broken.
+	inj.SetPlan(planOrDie(t, "truncate:err@1"))
+	if err := w.Probe(); err == nil {
+		t.Fatal("probe with failing truncate: want error")
+	}
+	if !w.Broken() {
+		t.Fatal("failed probe must leave the log broken")
+	}
+	// Disk heals: probe repairs, appends work, replay is consistent.
+	inj.SetPlan(nil)
+	if err := w.Probe(); err != nil {
+		t.Fatalf("probe after heal: %v", err)
+	}
+	if w.Broken() {
+		t.Fatal("successful probe must clear broken")
+	}
+	if _, err := w.Append(RecordIngest, []byte("after")); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	var got []string
+	err = w.Replay(0, func(lsn uint64, typ RecordType, payload []byte) error {
+		if typ == RecordIngest {
+			got = append(got, string(payload))
+		} else if typ != RecordProbe {
+			t.Fatalf("unexpected record type %d", typ)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "keep" || got[1] != "after" {
+		t.Fatalf("replay = %q, want [keep after]", got)
+	}
+}
+
+// TestENOSPCThenReopen: a volume that fills mid-append loses only the
+// unacknowledged record; reopening the directory (fault-free) recovers
+// every acknowledged one.
+func TestENOSPCThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(fault.OS())
+	w, err := Open(dir, Options{Sync: SyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []uint64
+	payload := make([]byte, 128)
+	inj.SetPlan(planOrDie(t, "write/wal-:enospc@2048"))
+	for i := 0; i < 64; i++ {
+		lsn, err := w.Append(RecordIngest, payload)
+		if err != nil {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("append %d: want ENOSPC, got %v", i, err)
+			}
+			break
+		}
+		acked = append(acked, lsn)
+	}
+	if len(acked) == 0 || len(acked) == 64 {
+		t.Fatalf("acked %d appends; want the volume to fill partway", len(acked))
+	}
+	w.Close()
+
+	// Fault-free restart: the acked prefix replays intact.
+	w2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var replayed []uint64
+	err = w2.Replay(0, func(lsn uint64, typ RecordType, p []byte) error {
+		replayed = append(replayed, lsn)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) < len(acked) {
+		t.Fatalf("replayed %d records, acked %d — acknowledged data lost", len(replayed), len(acked))
+	}
+	for i, lsn := range acked {
+		if replayed[i] != lsn {
+			t.Fatalf("replayed[%d] = %d, want %d", i, replayed[i], lsn)
+		}
+	}
+}
+
+// TestNthSyncFaultUnderSyncAlways: the Nth fsync failing turns exactly
+// one Append into an error; earlier and later appends are unaffected.
+func TestNthSyncFaultUnderSyncAlways(t *testing.T) {
+	inj := fault.NewInjector(fault.OS())
+	w, err := Open(t.TempDir(), Options{Sync: SyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Sync ordinals: startSegment's dir sync is op 1, so the first
+	// append's file fsync targets matching on the wal- name filter.
+	inj.SetPlan(planOrDie(t, "sync/wal-:err@2"))
+	if _, err := w.Append(RecordIngest, []byte("a")); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if _, err := w.Append(RecordIngest, []byte("b")); err == nil {
+		t.Fatal("append 2: want fsync error")
+	}
+	if _, err := w.Append(RecordIngest, []byte("c")); err != nil {
+		t.Fatalf("append 3: %v", err)
+	}
+}

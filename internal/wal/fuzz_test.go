@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/streamagg/correlated/internal/fault"
 )
 
 // FuzzWALReplay throws mutated segment files at Open + Replay: whatever
@@ -25,7 +27,7 @@ func FuzzWALReplay(f *testing.F) {
 		if err := w.Close(); err != nil {
 			f.Fatal(err)
 		}
-		firsts, err := listSegments(dir)
+		firsts, err := listSegments(fault.OS(), dir)
 		if err != nil || len(firsts) == 0 {
 			f.Fatalf("no segments to seed with: %v", err)
 		}

@@ -68,6 +68,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/streamagg/correlated/internal/fault"
 )
 
 // RecordType tags what a record's payload is; the WAL itself treats the
@@ -121,6 +123,11 @@ const (
 	// tupleio tenant prefix followed by the marshaled summary image.
 	// Default-tenant pushes keep the legacy RecordPush form.
 	RecordKeyedPush RecordType = 9
+	// RecordProbe is a no-op health probe with an empty payload: the
+	// record Probe appends (and fsyncs) to prove the log can take
+	// durable writes again after a fault. Replay and replication skip
+	// it — it carries no state, only the evidence of a working disk.
+	RecordProbe RecordType = 10
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -186,6 +193,10 @@ type Options struct {
 	// in its snapshots and its own log never collide. Ignored when the
 	// directory already holds segments.
 	FirstLSN uint64
+	// FS is the filesystem the log lives on; nil means the real OS.
+	// Tests and chaos harnesses hand a *fault.Injector here to make the
+	// disk fail on cue (internal/fault).
+	FS fault.FS
 }
 
 const (
@@ -213,6 +224,13 @@ var (
 	// by a torn tail write (bad header, bad frame in a sealed segment,
 	// broken LSN chain).
 	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrBroken marks the log sticky-broken: a failed append could not
+	// be rewound, so a later record could sit behind garbage and be
+	// truncated away as a torn tail on restart. Every Append returns an
+	// error wrapping ErrBroken until Probe repairs the tail — the
+	// service's health machine keys its healthy→degraded transition on
+	// this sentinel.
+	ErrBroken = errors.New("wal: log is broken")
 	// ErrTruncated is returned by Follow when the requested start
 	// position has been pruned by a checkpoint: the records are gone and
 	// the caller must resynchronize from a snapshot instead.
@@ -243,13 +261,14 @@ type Stats struct {
 type WAL struct {
 	dir  string
 	opts Options
+	fs   fault.FS
 
 	mu       sync.Mutex
-	f        *os.File // active segment
-	size     int64    // bytes written to the active segment
-	segFirst uint64   // first LSN of the active segment
-	nextLSN  uint64   // LSN the next Append will get
-	dirty    bool     // unsynced bytes in the active segment
+	f        fault.File // active segment
+	size     int64      // bytes written to the active segment
+	segFirst uint64     // first LSN of the active segment
+	nextLSN  uint64     // LSN the next Append will get
+	dirty    bool       // unsynced bytes in the active segment
 	closed   bool
 	broken   error  // sticky: a partial append could not be rewound
 	frame    []byte // reusable frame-assembly buffer
@@ -259,6 +278,12 @@ type WAL struct {
 	// so a replica can never hold a record that a torn-tail truncation
 	// would remove from this log after a crash. Advanced in syncLocked.
 	durable uint64
+	// syncedSize is the active segment's byte length as of the last
+	// successful fsync (or as recovered at Open): the offset, paired
+	// with durable, that rewindUnsyncedLocked truncates back to when a
+	// SyncAlways durability barrier fails. Maintained alongside durable
+	// in syncLocked and reset by openActive/startSegment.
+	syncedSize int64
 	// notify is closed and replaced whenever the followable frontier
 	// advances; followers wait on the channel they snapshotted.
 	notify chan struct{}
@@ -286,8 +311,8 @@ func segmentName(firstLSN uint64) string { return fmt.Sprintf("wal-%016x.seg", f
 // survive a power loss — without it, a freshly rotated segment full of
 // fsynced (acknowledged) records could itself vanish with the directory
 // entry.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func (w *WAL) syncDir() error {
+	d, err := w.fs.Open(w.dir)
 	if err != nil {
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}
@@ -309,12 +334,16 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = defaultSyncEvery
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = fault.OS()
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	w := &WAL{
 		dir:    dir,
 		opts:   opts,
+		fs:     opts.FS,
 		sealed: map[uint64]uint64{},
 		done:   make(chan struct{}),
 		notify: make(chan struct{}),
@@ -333,8 +362,8 @@ func Open(dir string, opts Options) (*WAL, error) {
 }
 
 // listSegments returns the segment firstLSNs in dir, ascending.
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys fault.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -354,7 +383,7 @@ func listSegments(dir string) ([]uint64, error) {
 // counts records, truncates the final segment's torn tail, and opens
 // the active segment for appending.
 func (w *WAL) recover() error {
-	firsts, err := listSegments(w.dir)
+	firsts, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
@@ -372,7 +401,7 @@ func (w *WAL) recover() error {
 				ErrCorrupt, segmentName(first), next)
 		}
 		final := i == len(firsts)-1
-		n, validEnd, err := scanSegment(filepath.Join(w.dir, segmentName(first)), first, final)
+		n, validEnd, err := w.scanSegment(filepath.Join(w.dir, segmentName(first)), first, final)
 		if err != nil {
 			return err
 		}
@@ -381,7 +410,7 @@ func (w *WAL) recover() error {
 				// Torn header: the crash died inside segment creation,
 				// before anything in it could have been acknowledged.
 				// Recreate it cleanly.
-				if err := os.Remove(filepath.Join(w.dir, segmentName(first))); err != nil {
+				if err := w.fs.Remove(filepath.Join(w.dir, segmentName(first))); err != nil {
 					return fmt.Errorf("wal: %w", err)
 				}
 				return w.startSegment(first)
@@ -404,8 +433,8 @@ func (w *WAL) recover() error {
 // truncates) and a bad header marks a creation torn mid-rotation
 // (validEnd -1: caller reinitializes); in a sealed segment either is
 // corruption.
-func scanSegment(path string, firstLSN uint64, final bool) (nextLSN uint64, validEnd int64, err error) {
-	f, err := os.Open(path)
+func (w *WAL) scanSegment(path string, firstLSN uint64, final bool) (nextLSN uint64, validEnd int64, err error) {
+	f, err := w.fs.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: %w", err)
 	}
@@ -490,7 +519,7 @@ func readFrame(r io.Reader, remain int64, fh []byte, payload *[]byte) (n int64, 
 // appending; nextDelta is the record count already in it.
 func (w *WAL) openActive(firstLSN, recordCount uint64, validEnd int64) error {
 	path := filepath.Join(w.dir, segmentName(firstLSN))
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -515,6 +544,7 @@ func (w *WAL) openActive(firstLSN, recordCount uint64, validEnd int64) error {
 	}
 	w.f = f
 	w.size = validEnd
+	w.syncedSize = validEnd
 	w.segFirst = firstLSN
 	w.nextLSN = firstLSN + recordCount
 	if w.nextLSN > 1 {
@@ -528,7 +558,7 @@ func (w *WAL) openActive(firstLSN, recordCount uint64, validEnd int64) error {
 // will carry firstLSN.
 func (w *WAL) startSegment(firstLSN uint64) error {
 	path := filepath.Join(w.dir, segmentName(firstLSN))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -542,12 +572,13 @@ func (w *WAL) startSegment(firstLSN uint64) error {
 	}
 	// Persist the directory entry: an fsynced record is only as durable
 	// as the file's existence.
-	if err := syncDir(w.dir); err != nil {
+	if err := w.syncDir(); err != nil {
 		f.Close()
 		return err
 	}
 	w.f = f
 	w.size = headerSize
+	w.syncedSize = headerSize
 	w.segFirst = firstLSN
 	w.nextLSN = firstLSN
 	if firstLSN > 1 {
@@ -607,7 +638,7 @@ func (w *WAL) append(typ RecordType, payload []byte, syncNow bool) (uint64, erro
 		return 0, ErrClosed
 	}
 	if w.broken != nil {
-		return 0, fmt.Errorf("wal: log is broken (failed to clean up a partial append): %w", w.broken)
+		return 0, fmt.Errorf("%w (failed to clean up a partial append): %w", ErrBroken, w.broken)
 	}
 	if w.size >= w.opts.SegmentBytes && w.nextLSN > w.segFirst {
 		if err := w.rotateLocked(); err != nil {
@@ -648,10 +679,64 @@ func (w *WAL) append(typ RecordType, payload []byte, syncNow bool) (uint64, erro
 	}
 	if syncNow && w.opts.Sync == SyncAlways {
 		if err := w.syncLocked(); err != nil {
+			// The frame reached the page cache but its durability barrier
+			// failed, and this error tells the caller the append did not
+			// happen — so make that true: rewind the unsynced suffix so a
+			// restart cannot resurrect a record the caller was told (and
+			// told its client) is not in the log.
+			w.rewindUnsyncedLocked()
 			return 0, err
 		}
 	}
 	return lsn, nil
+}
+
+// rewindUnsyncedLocked discards every record appended since the last
+// successful fsync: the active segment is truncated back to the synced
+// offset and the discarded LSNs are released for reuse. This is only
+// correct when none of the discarded records was ever acknowledged —
+// which is exactly the SyncAlways contract: the ack waits for the fsync
+// that just failed, and Follow caps followers at the durable frontier,
+// so neither a client nor a replica can hold a discarded record. If the
+// truncation itself fails the log is marked sticky-broken, the same
+// fate as a partial frame write that cannot be cleaned up, and Probe
+// owns the repair.
+func (w *WAL) rewindUnsyncedLocked() {
+	if w.size == w.syncedSize {
+		return
+	}
+	_, serr := w.f.Seek(w.syncedSize, io.SeekStart)
+	terr := w.f.Truncate(w.syncedSize)
+	if serr != nil || terr != nil {
+		w.broken = errors.Join(errors.New("wal: rewind unsynced suffix"), serr, terr)
+		return
+	}
+	w.size = w.syncedSize
+	w.nextLSN = w.durable + 1
+	w.lastLSN.Store(w.durable)
+	// The truncation is itself an unsynced change; leave the segment
+	// dirty so the next successful barrier (Probe, or the first healthy
+	// append) persists it.
+	w.dirty = true
+}
+
+// RewindUnsynced discards the records appended since the last
+// successful fsync — the suffix a failed group durability barrier left
+// in the page cache but never acknowledged. The service's group-commit
+// path calls it when the explicit Sync after a batch of AppendNoSync
+// calls fails, so a restart replays exactly the acknowledged record set
+// instead of resurrecting batches whose clients were told they failed.
+// It is a no-op under SyncInterval/SyncOff, where records are
+// acknowledged without waiting for a sync and the unsynced suffix is
+// therefore real data, and on a sticky-broken log, where Probe owns the
+// tail repair.
+func (w *WAL) RewindUnsynced() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.opts.Sync != SyncAlways || w.broken != nil {
+		return
+	}
+	w.rewindUnsyncedLocked()
 }
 
 // syncLocked fsyncs the active segment if it has unsynced bytes. A
@@ -665,6 +750,7 @@ func (w *WAL) syncLocked() error {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	w.dirty = false
+	w.syncedSize = w.size
 	w.fsyncs.Add(1)
 	if w.opts.OnFsync != nil {
 		w.opts.OnFsync(time.Since(start))
@@ -717,6 +803,47 @@ func (w *WAL) Sync() error {
 		return ErrClosed
 	}
 	return w.syncLocked()
+}
+
+// Broken reports whether the log is sticky-broken (see ErrBroken).
+func (w *WAL) Broken() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken != nil
+}
+
+// Probe proves the log can take durable writes again: it repairs a
+// sticky-broken tail if possible (retrying the rewind that originally
+// failed), appends a RecordProbe, and forces an fsync regardless of
+// policy. A nil return means a full append+fsync round trip just
+// succeeded — the evidence the service's recovery path requires before
+// leaving degraded mode. On failure the log keeps its previous state
+// (still broken if it was).
+func (w *WAL) Probe() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if w.broken != nil {
+		// The break means frame bytes of a failed append may still sit
+		// past w.size; retry the rewind so the probe record lands on a
+		// clean tail.
+		if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+			w.mu.Unlock()
+			return fmt.Errorf("wal: probe rewind: %w", err)
+		}
+		if err := w.f.Truncate(w.size); err != nil {
+			w.mu.Unlock()
+			return fmt.Errorf("wal: probe rewind: %w", err)
+		}
+		w.broken = nil
+	}
+	w.mu.Unlock()
+	if _, err := w.append(RecordProbe, nil, false); err != nil {
+		return err
+	}
+	return w.Sync()
 }
 
 func (w *WAL) syncLoop() {
@@ -775,10 +902,10 @@ func (w *WAL) Checkpoint(covered uint64) error {
 	}
 	sort.Slice(prunable, func(i, j int) bool { return prunable[i] < prunable[j] })
 	for _, first := range prunable {
-		if err := os.Remove(filepath.Join(w.dir, segmentName(first))); err != nil {
+		if err := w.fs.Remove(filepath.Join(w.dir, segmentName(first))); err != nil {
 			return fmt.Errorf("wal: prune: %w", err)
 		}
-		if err := syncDir(w.dir); err != nil {
+		if err := w.syncDir(); err != nil {
 			return err
 		}
 		delete(w.sealed, first)
@@ -817,7 +944,7 @@ func (w *WAL) Replay(from uint64, fn func(lsn uint64, typ RecordType, payload []
 	payload := make([]byte, 0, 64<<10)
 	for _, first := range firsts {
 		path := filepath.Join(w.dir, segmentName(first))
-		f, err := os.Open(path)
+		f, err := w.fs.Open(path)
 		if err != nil {
 			return fmt.Errorf("wal: replay: %w", err)
 		}
@@ -941,7 +1068,7 @@ func (w *WAL) Follow(from uint64, stop <-chan struct{}, fn func(lsn uint64, typ 
 // fully delivered — return nil, caller moves to the next segment) or an
 // error/stop occurs. *next advances past every delivered record.
 func (w *WAL) followSegment(segStart, sealedLast uint64, isSealed bool, next, frontier *uint64, stop <-chan struct{}, fh []byte, payload *[]byte, fn func(lsn uint64, typ RecordType, payload []byte) error) error {
-	f, err := os.Open(filepath.Join(w.dir, segmentName(segStart)))
+	f, err := w.fs.Open(filepath.Join(w.dir, segmentName(segStart)))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return ErrTruncated // pruned between locate and open

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"github.com/streamagg/correlated/internal/fault"
 )
 
 type replayed struct {
@@ -247,7 +249,7 @@ func TestCheckpointPrunes(t *testing.T) {
 	}
 	// Records after the covered LSN must all still be on disk: the
 	// segment holding them (or the active one) is never pruned.
-	files, err := listSegments(dir)
+	files, err := listSegments(fault.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

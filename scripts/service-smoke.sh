@@ -568,4 +568,98 @@ kill -TERM "$ORACLE_PID"; wait "$ORACLE_PID" || true
 ORACLE_PID=""
 kill -TERM "$REPL_PID"; wait "$REPL_PID" || true
 REPL_PID=""
+
+# --- 11. fault drill: injected ENOSPC, degraded mode, operator recovery
+#
+# A daemon armed with -fault-plan runs out of (injected) disk mid-
+# ingest: writes start failing, the health machine trips degraded
+# (writes 503 + Retry-After, /readyz not ready, reads still served,
+# /healthz still 200). The operator clears the plan over POST /v1/fault,
+# forces recovery with POST /v1/recover, and traffic resumes. A final
+# kill -9 + restart proves the log held exactly the acknowledged
+# chunks through the whole episode: the recovered summary is
+# byte-identical to a crash-free oracle over acked run 1 + run 2.
+FAULT_ADDR="127.0.0.1:17087"; FDBASE="http://$FAULT_ADDR"
+FORC_ADDR="127.0.0.1:17088"; FORCBASE="http://$FORC_ADDR"
+DRILL_TOKEN="drill-admin-$$"
+# ~256 KiB of WAL writes succeed, then every write to a wal- file hits
+# ENOSPC. Snapshots are pushed out of the window so recovery state is
+# purely snapshot-free log replay.
+start_wal_corrd "$FAULT_ADDR" "faultdrill" -snapshot-interval 1h \
+  -admin-token "$DRILL_TOKEN" -fault-plan "write/wal-:enospc@262144"
+WAL_PID=$!
+grep -q "FAULT INJECTION ARMED" "$LOG" \
+  || { echo "FAIL: armed daemon did not announce its fault plan" >&2; exit 1; }
+
+# Run 1 dies partway through the budget; the generator's error is the
+# point, not a failure of the drill.
+"$WORK/corrgen" -dataset uniform -n 60000 -seed 71 -xdom 100001 -ydom 1000001 \
+  -target "$FDBASE" -chunk 2048 >/dev/null 2>&1 || true
+# Keep poking until the failure streak trips the machine.
+for _ in $(seq 1 30); do
+  curl -s -o /dev/null -X POST -H 'Content-Type: text/csv' \
+    --data-binary '1,2' "$FDBASE/v1/ingest" || true
+  READY=$(curl -s -o /dev/null -w '%{http_code}' "$FDBASE/readyz")
+  [ "$READY" = "503" ] && break
+  sleep 0.1
+done
+[ "$READY" = "503" ] || { echo "FAIL: /readyz still $READY after sustained WAL faults" >&2; cat "$LOG" >&2; exit 1; }
+
+# Degraded contract: writes 503 with Retry-After, stats say degraded,
+# reads and liveness still fine.
+curl -s -D "$WORK/degraded.hdr" -o /dev/null -X POST -H 'Content-Type: text/csv' \
+  --data-binary '1,2' "$FDBASE/v1/ingest"
+grep -q '^HTTP/1.1 503' "$WORK/degraded.hdr" \
+  || { echo "FAIL: degraded ingest not 503: $(head -1 "$WORK/degraded.hdr")" >&2; exit 1; }
+grep -qi '^Retry-After:' "$WORK/degraded.hdr" \
+  || { echo "FAIL: degraded 503 carries no Retry-After" >&2; exit 1; }
+curl -fsS "$FDBASE/v1/stats" -o "$WORK/degraded-stats.json"
+grep -q '"health":"degraded"' "$WORK/degraded-stats.json" \
+  || { echo "FAIL: stats do not report degraded" >&2; exit 1; }
+curl -fsS "$FDBASE/v1/query?op=le&c=500000" >/dev/null \
+  || { echo "FAIL: degraded daemon refused a read" >&2; exit 1; }
+curl -fsS "$FDBASE/healthz" >/dev/null \
+  || { echo "FAIL: degraded daemon failed liveness" >&2; exit 1; }
+
+# The disk "heals": clear the plan, force recovery, readiness returns.
+curl -fsS -X POST --data-binary 'off' "$FDBASE/v1/fault" >/dev/null
+curl -fsS -X POST -H "X-Admin-Token: $DRILL_TOKEN" "$FDBASE/v1/recover" \
+  -o "$WORK/recover.json"
+grep -q '"state":"healthy"' "$WORK/recover.json" \
+  || { echo "FAIL: recover response: $(cat "$WORK/recover.json")" >&2; exit 1; }
+READY=$(curl -s -o /dev/null -w '%{http_code}' "$FDBASE/readyz")
+[ "$READY" = "200" ] || { echo "FAIL: /readyz $READY after recovery" >&2; exit 1; }
+
+# Run 2 lands in full on the healed daemon.
+"$WORK/corrgen" -dataset uniform -n 20000 -seed 72 -xdom 100001 -ydom 1000001 \
+  -target "$FDBASE" -chunk 2048 >/dev/null
+
+# kill -9 + clean restart: the log must hold exactly the acked chunks.
+kill -9 "$WAL_PID"; wait "$WAL_PID" 2>/dev/null || true
+start_wal_corrd "$FAULT_ADDR" "faultdrill" -snapshot-interval 1h
+WAL_PID=$!
+DM=$(curl -fsS "$FDBASE/v1/stats" | grep -o '"count":[0-9]*' | cut -d: -f2)
+DM1=$((DM - 20000))
+if [ "$DM1" -lt 2048 ] || [ "$DM1" -ge 60000 ] || [ $((DM1 % 2048)) -ne 0 ]; then
+  echo "FAIL: recovered drill count $DM implies a non-whole acked run-1 prefix ($DM1)" >&2; exit 1
+fi
+start_wal_corrd "$FORC_ADDR" "faultdrill-oracle" -snapshot-interval 1h
+ORACLE_PID=$!
+"$WORK/corrgen" -dataset uniform -n "$DM1" -seed 71 -xdom 100001 -ydom 1000001 \
+  -target "$FORCBASE" -chunk 2048 >/dev/null
+"$WORK/corrgen" -dataset uniform -n 20000 -seed 72 -xdom 100001 -ydom 1000001 \
+  -target "$FORCBASE" -chunk 2048 >/dev/null
+curl -fsS -o "$WORK/drill.summary" "$FDBASE/v1/summary"
+curl -fsS -o "$WORK/drill-oracle.summary" "$FORCBASE/v1/summary"
+if ! cmp -s "$WORK/drill.summary" "$WORK/drill-oracle.summary"; then
+  echo "FAIL: post-drill summary differs from crash-free oracle (acked $DM1 + 20000)" >&2
+  ls -l "$WORK/drill.summary" "$WORK/drill-oracle.summary" >&2
+  exit 1
+fi
+echo "fault drill recovered byte-identical over $DM1 + 20000 acked tuples"
+kill -9 "$WAL_PID" 2>/dev/null || true
+wait "$WAL_PID" 2>/dev/null || true
+WAL_PID=""
+kill -TERM "$ORACLE_PID"; wait "$ORACLE_PID" || true
+ORACLE_PID=""
 echo "service smoke test PASSED"

@@ -1,0 +1,732 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/fault"
+	"github.com/streamagg/correlated/internal/wal"
+)
+
+// Chaos suite: the fault-injection harness driving the whole daemon.
+// Every scenario here enforces the same two contracts the paper-exact
+// recovery tests do, under broken disks instead of clean ones:
+//
+//  1. No acknowledged tuple is ever lost — a server that acked a batch,
+//     took disk faults, and was killed restarts byte-identical to a
+//     crash-free oracle fed exactly the acknowledged operations.
+//  2. The daemon never wedges — faults degrade it (503/AckDegraded,
+//     reads still served) or shed load (429/AckBusy, connection kept),
+//     and recovery probes return it to healthy once the disk heals.
+
+// chaosConfig is walConfig plus an armed (but initially idle) injector
+// between the server and the real filesystem.
+func chaosConfig(t *testing.T) (Config, *fault.Injector) {
+	t.Helper()
+	cfg := walConfig(t, 2)
+	inj := fault.NewInjector(fault.OS())
+	cfg.FS = inj
+	return cfg, inj
+}
+
+// mustPlan parses a fault-plan string or fails the test.
+func mustPlan(t *testing.T, s string) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParsePlan(s)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", s, err)
+	}
+	return p
+}
+
+// chaosCrash simulates kill -9 for a fault-injected in-process server:
+// drop the listener, stop the background loops (the recovery prober
+// must not keep appending to WAL files a restarted server now owns),
+// and kill the engine goroutines. No graceful flush, no final snapshot,
+// no WAL close — the disk is left exactly as a SIGKILL would leave it.
+func chaosCrash(ts *httptest.Server, svc *Server) {
+	if ts != nil {
+		ts.Close()
+	}
+	svc.closeMu.Lock()
+	if !svc.closed {
+		svc.closed = true // a later Close() becomes a no-op
+		svc.closing.Store(true)
+		close(svc.done)
+	}
+	svc.closeMu.Unlock()
+	svc.Engine().Close()
+}
+
+// ingestOutcome is one sequential batch's fate during a fault run.
+type ingestOutcome struct {
+	batch int
+	acked bool
+}
+
+// TestChaosFaultMatrix: for each disk-fault class, ingest sequentially
+// while the fault plan is live, kill the server, heal the disk, restart,
+// and verify the recovered merged summary is byte-identical to a
+// crash-free oracle fed exactly the batches that were acknowledged.
+// Requests the fault nacked must be absent; requests it acked must
+// survive, regardless of what the fault did to the bytes underneath.
+func TestChaosFaultMatrix(t *testing.T) {
+	const batches, perBatch = 12, 400
+	cases := []struct {
+		name string
+		plan string
+	}{
+		// Every ack-path fsync fails from batch 6 on: the log goes
+		// sticky-broken and the server degrades; the acked prefix must
+		// replay cleanly.
+		{"sticky-sync-error", "sync/wal-:err@1+"},
+		// The disk fills mid-run: writes return ENOSPC after a byte
+		// budget, possibly leaving a torn prefix on the segment tail.
+		{"enospc-with-torn-tail", "write/wal-:enospc@8192"},
+		// One torn write: half the record lands, the append errors, and
+		// the tail must be repaired so later appends (and replay) work.
+		{"torn-write", "write/wal-:torn@2"},
+		// Pure latency: nothing fails, everything acks, recovery is the
+		// plain crash-exact contract under a slow disk.
+		{"slow-sync", "sync/wal-:slow@1+=10ms"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, inj := chaosConfig(t)
+			svc, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(svc.Handler())
+			cl := client.New(ts.URL, client.WithChunkSize(perBatch), client.WithRetries(0))
+			ctx := context.Background()
+
+			// Sequential ingest: one request per batch, so each commit
+			// group is one batch on both the victim and the oracle and
+			// byte-identity is exact, not approximate.
+			outcomes := make([]ingestOutcome, 0, batches)
+			for i := 0; i < batches; i++ {
+				if i == 5 {
+					inj.SetPlan(mustPlan(t, tc.plan))
+				}
+				err := cl.AddBatch(ctx, testStream(perBatch, uint64(100+i)))
+				outcomes = append(outcomes, ingestOutcome{batch: i, acked: err == nil})
+			}
+			acked := 0
+			for _, o := range outcomes {
+				if o.acked {
+					acked++
+				}
+			}
+			if acked < 5 {
+				t.Fatalf("fault nacked pre-fault batches: %+v", outcomes)
+			}
+			chaosCrash(ts, svc)
+			inj.SetPlan(nil) // the disk heals before the restart
+
+			svc2, err := New(cfg)
+			if err != nil {
+				t.Fatalf("restart after %s: %v", tc.name, err)
+			}
+			t.Cleanup(func() { svc2.Close() })
+			got, err := svc2.Engine().MarshalMerged()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Crash-free oracle on a clean disk, fed only what was acked.
+			oracle, err := New(walConfig(t, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { oracle.Close() })
+			ots := httptest.NewServer(oracle.Handler())
+			t.Cleanup(ots.Close)
+			ocl := client.New(ots.URL, client.WithChunkSize(perBatch))
+			for _, o := range outcomes {
+				if !o.acked {
+					continue
+				}
+				if err := ocl.AddBatch(ctx, testStream(perBatch, uint64(100+o.batch))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := oracle.Engine().MarshalMerged()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: recovered state differs from crash-free oracle over the %d acked batches (%d vs %d bytes)",
+					tc.name, acked, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestChaosDegradedModeHTTP walks the health state machine end to end
+// over HTTP: a sticky fsync fault degrades the server; while degraded,
+// writes get 503 + Retry-After (IsDegraded), queries and stats keep
+// serving, /readyz reports not-ready while /healthz stays green; the
+// admin recovery probe fails while the disk is still broken, then heals
+// the machine once the fault clears, and writes resume.
+func TestChaosDegradedModeHTTP(t *testing.T) {
+	cfg, inj := chaosConfig(t)
+	cfg.AdminToken = "t0k3n"
+	svc, ts, _ := newTestServer(t, cfg)
+	cl := client.New(ts.URL, client.WithChunkSize(512), client.WithRetries(0))
+	ctx := context.Background()
+
+	if err := cl.AddBatch(ctx, testStream(1_000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Break every fsync: ingests fail until the machine trips degraded.
+	inj.SetPlan(mustPlan(t, "sync/wal-:err@1+"))
+	var lastErr error
+	for i := 0; i < healthFailThreshold+2 && !svc.healthDegraded(); i++ {
+		lastErr = cl.AddBatch(ctx, testStream(10, uint64(50+i)))
+	}
+	if !svc.healthDegraded() {
+		t.Fatalf("server did not degrade after repeated wal failures (last: %v)", lastErr)
+	}
+	// Baseline for the frozen-state check, taken at the moment the
+	// machine trips: the nacked attempts that tripped it were applied to
+	// the live engine before their durability barrier failed (the
+	// ambiguous outcome a nack permits), but once degraded the gate
+	// refuses writes before they touch the engine, so from here the
+	// count must not move.
+	preCount := func() uint64 {
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Count
+	}()
+
+	// Degraded contract: writes 503 with Retry-After and the degraded
+	// message, reads fine, readyz not ready, healthz alive.
+	err := cl.AddBatch(ctx, testStream(10, 99))
+	if !client.IsDegraded(err) {
+		t.Fatalf("degraded ingest error not IsDegraded: %v", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.RetryAfter <= 0 {
+		t.Fatalf("degraded 503 carries no Retry-After: %v", err)
+	}
+	if err := cl.Push(ctx, []byte{0}); !client.IsDegraded(err) {
+		t.Fatalf("degraded push error not IsDegraded: %v", err)
+	}
+	if _, err := cl.QueryLE(ctx, 150); err != nil {
+		t.Fatalf("degraded server refused a query: %v", err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Health != "degraded" {
+		t.Fatalf("stats health = %q, want degraded", st.Health)
+	}
+	if st.Count != preCount {
+		t.Fatalf("degraded state moved: count %d, want %d", st.Count, preCount)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("/readyz while degraded: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if err := cl.Healthy(ctx); err != nil {
+		t.Fatalf("/healthz must stay liveness-only while degraded: %v", err)
+	}
+
+	// The recovery endpoint is admin-gated, and an honest probe against
+	// a still-broken disk must fail and leave the machine degraded.
+	recover := func(token string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/recover", nil)
+		if token != "" {
+			req.Header.Set("X-Admin-Token", token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return resp
+	}
+	if resp := recover("wrong"); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("recover with bad token: %d", resp.StatusCode)
+	}
+	if resp := recover("t0k3n"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("recover against a broken disk: %d, want 503", resp.StatusCode)
+	}
+	if !svc.healthDegraded() {
+		t.Fatal("failed probe healed the machine")
+	}
+
+	// Disk heals; the forced probe brings the server back, and writes
+	// (including the batches nacked above) flow again.
+	inj.SetPlan(nil)
+	if resp := recover("t0k3n"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover after healing: %d", resp.StatusCode)
+	}
+	if svc.healthDegraded() {
+		t.Fatal("server still degraded after successful probe")
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after recovery: %d", resp.StatusCode)
+	}
+	if err := cl.AddBatch(ctx, testStream(500, 7)); err != nil {
+		t.Fatalf("ingest after recovery: %v", err)
+	}
+	st, err = cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Health != "healthy" || st.DegradedSeconds <= 0 {
+		t.Fatalf("post-recovery stats: health=%q degraded_seconds=%v", st.Health, st.DegradedSeconds)
+	}
+}
+
+// TestChaosBackgroundFsyncDegrades: under -wal-fsync=interval the ack
+// path never fsyncs, so a dying disk surfaces only through the
+// background sync loop's errors — which must escalate into the health
+// machine instead of scrolling past in the logs.
+func TestChaosBackgroundFsyncDegrades(t *testing.T) {
+	cfg, inj := chaosConfig(t)
+	cfg.WALFsync = "interval"
+	cfg.WALFsyncInterval = 5 * time.Millisecond
+	svc, ts, _ := newTestServer(t, cfg)
+	cl := client.New(ts.URL, client.WithChunkSize(512), client.WithRetries(0))
+	ctx := context.Background()
+
+	if err := cl.AddBatch(ctx, testStream(500, 1)); err != nil {
+		t.Fatal(err)
+	}
+	inj.SetPlan(mustPlan(t, "sync/wal-:err@1+"))
+	// Keep the log dirty so every ticker fire attempts (and fails) an
+	// fsync; the error streak must trip the degraded transition.
+	deadline := time.Now().Add(10 * time.Second)
+	for !svc.healthDegraded() && time.Now().Before(deadline) {
+		cl.AddBatch(ctx, testStream(10, 2))
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !svc.healthDegraded() {
+		t.Fatal("background fsync error streak did not degrade the server")
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WALSyncErrors == 0 {
+		t.Fatalf("stats do not expose the background sync errors: %+v", st)
+	}
+	inj.SetPlan(nil)
+	// The background prober (healthProbeInterval cadence) heals it
+	// without any admin intervention.
+	waitUntil(t, 10*time.Second, "background recovery", func() bool {
+		return !svc.healthDegraded()
+	})
+	if err := cl.AddBatch(ctx, testStream(100, 3)); err != nil {
+		t.Fatalf("ingest after background recovery: %v", err)
+	}
+}
+
+// TestChaosStreamDegradedAndBusy: the stream transport's side of both
+// machines. A degraded server nacks frames AckDegraded without dropping
+// the connection; an overloaded one (bounded commit queue + slow disk)
+// nacks AckBusy; and the same connection carries committed frames again
+// once each condition clears.
+func TestChaosStreamDegradedAndBusy(t *testing.T) {
+	cfg, inj := chaosConfig(t)
+	cfg.IngestQueueMax = 1
+	cfg.IngestGroupMax = 1
+	svc, _, _ := newTestServer(t, cfg)
+	addr := startStream(t, svc)
+	ctx := context.Background()
+
+	st, err := client.DialStream(ctx, addr, client.WithAckBuffer(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sendOne := func(seed uint64) client.Ack {
+		t.Helper()
+		if err := st.Send(testStream(50, seed)); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		select {
+		case a := <-st.Acks():
+			return a
+		case <-time.After(10 * time.Second):
+			t.Fatal("no ack within 10s (wedged)")
+			return client.Ack{}
+		}
+	}
+
+	if a := sendOne(1); a.Err() != nil {
+		t.Fatalf("healthy frame nacked: %v", a.Err())
+	}
+
+	// Degrade the machine directly (the HTTP test proves the fault →
+	// degrade path; this one isolates the transport contract).
+	svc.degrade("chaos test: induced")
+	a := sendOne(2)
+	if !client.IsDegraded(a.Err()) {
+		t.Fatalf("degraded frame ack = %v, want IsDegraded", a.Err())
+	}
+	if err := svc.recoverNow(); err != nil {
+		t.Fatalf("recoverNow on a healthy disk: %v", err)
+	}
+	if a := sendOne(3); a.Err() != nil {
+		t.Fatalf("frame after recovery nacked on the same conn: %v", a.Err())
+	}
+
+	// Overload: a one-slot commit queue behind a slow fsync. Frames
+	// pumped back-to-back must overrun it and shed AckBusy while the
+	// in-flight ones still commit.
+	inj.SetPlan(mustPlan(t, "sync/wal-:slow@1+=50ms"))
+	const burst = 16
+	for i := 0; i < burst; i++ {
+		if err := st.Send(testStream(50, uint64(10+i))); err != nil {
+			t.Fatalf("burst send %d: %v", i, err)
+		}
+	}
+	var ok, busy int
+	for i := 0; i < burst; i++ {
+		select {
+		case a := <-st.Acks():
+			switch {
+			case a.Err() == nil:
+				ok++
+			case client.IsBusy(a.Err()):
+				busy++
+			default:
+				t.Fatalf("burst ack %d: unexpected %v", i, a.Err())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("burst ack %d never arrived (wedged)", i)
+		}
+	}
+	if ok == 0 || busy == 0 {
+		t.Fatalf("overload burst: %d ok, %d busy — want both classes", ok, busy)
+	}
+	inj.SetPlan(nil)
+	if a := sendOne(99); a.Err() != nil {
+		t.Fatalf("frame after shedding nacked on the same conn: %v", a.Err())
+	}
+}
+
+// TestChaosOverloadShedHTTP: the HTTP side of the bounded queue — 429
+// with a Retry-After derived from the live commit latency, IsBusy on
+// the client, shed counted in metrics, and no acked data lost.
+func TestChaosOverloadShedHTTP(t *testing.T) {
+	cfg, inj := chaosConfig(t)
+	cfg.IngestQueueMax = 1
+	cfg.IngestGroupMax = 1
+	_, ts, _ := newTestServer(t, cfg)
+	ctx := context.Background()
+
+	inj.SetPlan(mustPlan(t, "sync/wal-:slow@1+=50ms"))
+	const workers = 12
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(seed uint64) {
+			cl := client.New(ts.URL, client.WithChunkSize(512), client.WithRetries(0))
+			errs <- cl.AddBatch(ctx, testStream(100, seed))
+		}(uint64(i))
+	}
+	var ok, busy int
+	var firstBusy error
+	for i := 0; i < workers; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			ok++
+		case client.IsBusy(err):
+			busy++
+			if firstBusy == nil {
+				firstBusy = err
+			}
+		default:
+			t.Fatalf("unexpected ingest error under overload: %v", err)
+		}
+	}
+	if ok == 0 || busy == 0 {
+		t.Fatalf("overload: %d ok, %d busy — want both classes", ok, busy)
+	}
+	var ae *client.APIError
+	if !errors.As(firstBusy, &ae) || ae.RetryAfter < time.Second {
+		t.Fatalf("shed 429 carries no usable Retry-After: %v", firstBusy)
+	}
+	inj.SetPlan(nil)
+
+	// Quiesced, the accepted work is all there and the shed is counted.
+	cl := client.New(ts.URL)
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != uint64(ok*100) {
+		t.Fatalf("count %d after %d acked batches of 100", st.Count, ok)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "corrd_ingest_shed_total") {
+		t.Fatal("metrics do not expose corrd_ingest_shed_total")
+	}
+}
+
+// TestChaosSnapshotRetentionFallback: a bit-flipped newest snapshot must
+// not take the daemon down — restore falls back to the previous
+// retention slot and the (longer) WAL replay suffix rebuilds the exact
+// state. With every slot corrupt, startup must refuse rather than serve
+// an empty engine over data it was asked to remember.
+func TestChaosSnapshotRetentionFallback(t *testing.T) {
+	cfg, _ := chaosConfig(t)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	cl := client.New(ts.URL, client.WithChunkSize(512))
+	ctx := context.Background()
+
+	a, b, c := testStream(1_000, 1), testStream(800, 2), testStream(600, 3)
+	if err := cl.AddBatch(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Snapshot(); err != nil { // slot 0 covers batch A
+		t.Fatal(err)
+	}
+	if err := cl.AddBatch(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Snapshot(); err != nil { // rotates: slot 1 = A, slot 0 = A+B
+		t.Fatal(err)
+	}
+	if err := cl.AddBatch(ctx, c); err != nil { // WAL suffix past both
+		t.Fatal(err)
+	}
+	chaosCrash(ts, svc)
+
+	if _, err := os.Stat(cfg.SnapshotPath + ".1"); err != nil {
+		t.Fatalf("retention slot 1 missing after two snapshots: %v", err)
+	}
+	// Bit-rot the newest snapshot: flip a magic byte so the decoder
+	// rejects it outright.
+	flip := func(path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip(cfg.SnapshotPath)
+
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart with corrupt newest snapshot: %v", err)
+	}
+	t.Cleanup(func() { svc2.Close() })
+	if !svc2.Restored() {
+		t.Fatal("fallback restore did not report restored")
+	}
+	if !svc2.snapFellBack {
+		t.Fatal("restore did not record the retention fallback")
+	}
+	if svc2.walReplayed == 0 {
+		t.Fatal("fallback restart replayed no WAL suffix")
+	}
+	got, err := svc2.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracle, err := New(walConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { oracle.Close() })
+	ots := httptest.NewServer(oracle.Handler())
+	t.Cleanup(ots.Close)
+	ocl := client.New(ots.URL, client.WithChunkSize(512))
+	if err := ocl.AddBatch(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ocl.AddBatch(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ocl.AddBatch(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Engine().MarshalMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fallback-restored state differs from oracle (%d vs %d bytes)", len(got), len(want))
+	}
+	chaosCrash(nil, svc2)
+
+	// Both slots corrupt: startup must fail loudly, not serve emptiness.
+	flip(cfg.SnapshotPath + ".1")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("startup served an empty engine over two corrupt snapshots")
+	}
+}
+
+// TestChaosDegradedPrimaryReplication: a primary whose disk breaks
+// degrades without poisoning its replica. The replication link stays
+// attached through the degraded window, the nacked (rewound) records
+// never ship — the followable frontier freezes at the last acked LSN —
+// and once the disk heals and recovery passes, new acked records flow
+// again and the replica converges byte-exactly. Promoting the replica
+// then yields a server whose state is byte-identical to the primary's
+// acked history, proving failover away from a degraded primary loses
+// nothing.
+func TestChaosDegradedPrimaryReplication(t *testing.T) {
+	cfg, inj := chaosConfig(t)
+	cfg.HeartbeatInterval = 20 * time.Millisecond
+	svc, ts, cl := newTestServer(t, cfg)
+	addr := startStream(t, svc)
+	replicaSvc, rts := newReplica(t, cfg.Options, addr, func(c *Config) {
+		c.WALDir = t.TempDir()
+		c.WALFsync = "always"
+	})
+	ctx := context.Background()
+	acme := client.New(ts.URL, client.WithTenant("acme"))
+
+	if err := cl.AddBatch(ctx, testStream(800, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := acme.AddBatch(ctx, testStream(600, 2)); err != nil {
+		t.Fatal(err)
+	}
+	acked := svc.walRef().LastLSN()
+	waitUntil(t, 10*time.Second, "replica catch-up before the fault", func() bool {
+		return replicaSvc.appliedLSN.Load() >= acked
+	})
+
+	// Break every fsync: ingests fail until the primary trips degraded.
+	// Each failed group is rewound out of the log, so the durable
+	// frontier — the only thing Follow ships — must not move.
+	inj.SetPlan(mustPlan(t, "sync/wal-:err@1+"))
+	var lastErr error
+	for i := 0; i < healthFailThreshold+2 && !svc.healthDegraded(); i++ {
+		lastErr = cl.AddBatch(ctx, testStream(10, uint64(70+i)))
+	}
+	if !svc.healthDegraded() {
+		t.Fatalf("primary did not degrade after repeated wal failures (last: %v)", lastErr)
+	}
+	if got := svc.walRef().FollowableLSN(); got != acked {
+		t.Fatalf("degraded primary's followable frontier moved: %d, want %d (nacked records must not ship)", got, acked)
+	}
+	if got := replicaSvc.appliedLSN.Load(); got != acked {
+		t.Fatalf("replica applied LSN %d, want %d — it saw records the primary nacked", got, acked)
+	}
+	// The link itself survives the degraded window: the follower is
+	// still counted on the primary's metrics surface.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "corrd_replica_conns 1") {
+		t.Fatal("degraded primary dropped its replica connection")
+	}
+
+	// Disk heals; recovery probes pass; acked traffic flows to the
+	// replica again.
+	inj.SetPlan(nil)
+	if err := svc.recoverNow(); err != nil {
+		t.Fatalf("recoverNow after the disk healed: %v", err)
+	}
+	if err := cl.AddBatch(ctx, testStream(500, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := acme.AddBatch(ctx, testStream(400, 6)); err != nil {
+		t.Fatal(err)
+	}
+	last := svc.walRef().LastLSN()
+	waitUntil(t, 10*time.Second, "replica catch-up after recovery", func() bool {
+		return replicaSvc.appliedLSN.Load() >= last
+	})
+
+	// The replica's contract is "byte-identical to the acked history" —
+	// the primary's log, not its live engine: the batches that tripped
+	// degradation were applied live before their durability barrier
+	// failed (the ambiguous outcome a nack permits) but rewound out of
+	// the log, so the live primary serves a superset until its next
+	// restart. Replay the primary's own WAL into a fresh engine as the
+	// crash-free oracle.
+	oracle, err := New(Config{Options: cfg.Options, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { oracle.Close() })
+	ots := httptest.NewServer(oracle.Handler())
+	t.Cleanup(ots.Close)
+	ost := newReplayState(0, true)
+	err = svc.walRef().Replay(0, func(lsn uint64, typ wal.RecordType, payload []byte) error {
+		_, aerr := oracle.applyRecord(lsn, typ, payload, ost)
+		return aerr
+	})
+	if err != nil {
+		t.Fatalf("oracle replay: %v", err)
+	}
+	for _, tenant := range []string{"", "acme"} {
+		want, err := client.New(ots.URL, client.WithTenant(tenant)).Summary(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.New(rts.URL, client.WithTenant(tenant)).Summary(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("tenant %q: replica differs from the primary's acked history (%d vs %d bytes)", tenant, len(got), len(want))
+		}
+	}
+
+	// Failover: the promoted replica carries the acked history and takes
+	// writes, continuing the LSN space past everything it applied.
+	if err := replicaSvc.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	rcl := client.New(rts.URL)
+	if err := rcl.AddBatch(ctx, testStream(100, 9)); err != nil {
+		t.Fatalf("promoted replica refused a write: %v", err)
+	}
+	stats, err := rcl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Role != "coordinator" || !stats.Promoted {
+		t.Fatalf("promoted stats wrong: role=%q promoted=%v", stats.Role, stats.Promoted)
+	}
+}

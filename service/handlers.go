@@ -12,6 +12,7 @@ import (
 
 	correlated "github.com/streamagg/correlated"
 	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/fault"
 	"github.com/streamagg/correlated/internal/tupleio"
 	"github.com/streamagg/correlated/internal/wal"
 	"github.com/streamagg/correlated/shard"
@@ -28,7 +29,35 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/summary", s.instrument("summary", s.handleSummary))
 	s.mux.HandleFunc("POST /v1/promote", s.instrument("promote", s.handlePromote))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /v1/recover", s.handleRecover)
+	// The fault surface exists only when the process was started with an
+	// injector (cmd/corrd -fault-plan): a production daemon has no
+	// endpoint to find, let alone abuse.
+	if inj, ok := s.cfg.FS.(*fault.Injector); ok {
+		s.mux.HandleFunc("POST /v1/fault", s.handleFault(inj))
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// handleFault is POST /v1/fault: install (or clear, with "off") a new
+// fault plan on the live injector. The body is the plan DSL text.
+func (s *Server) handleFault(inj *fault.Injector) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 4096))
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		plan, err := fault.ParsePlan(string(body))
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		inj.SetPlan(plan)
+		s.logf("fault: plan set to %q (injected so far: %d)", plan.String(), inj.Injected())
+		writeJSON(w, http.StatusOK, map[string]any{"plan": plan.String(), "injected": inj.Injected()})
+	}
 }
 
 // maxPooledBuffer caps what a recycled decodeState may retain: a rare
@@ -183,6 +212,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, errReadOnlyReplica)
 		return
 	}
+	if s.healthDegraded() {
+		s.metrics.ingestErrors.Inc()
+		s.metrics.degradedRejects.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(healthProbeInterval))
+		s.httpError(w, http.StatusServiceUnavailable, errDegraded)
+		return
+	}
 	d := s.dec.Get().(*decodeState)
 	defer s.putDecodeState(d)
 	var ok bool
@@ -227,6 +263,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	d.job.tn = tn
 	if err := s.enqueueIngest(&d.job); err != nil {
 		s.metrics.ingestErrors.Inc()
+		if errors.Is(err, errOverloaded) {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.overloadRetryAfter()))
+			s.httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		s.httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -306,6 +347,13 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, errReadOnlyReplica)
 		return
 	}
+	if s.healthDegraded() {
+		s.metrics.pushErrors.Inc()
+		s.metrics.degradedRejects.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(healthProbeInterval))
+		s.httpError(w, http.StatusServiceUnavailable, errDegraded)
+		return
+	}
 	d := s.dec.Get().(*decodeState)
 	defer s.putDecodeState(d)
 	var ok bool
@@ -351,6 +399,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	if walErr != nil {
 		s.metrics.pushErrors.Inc()
 		s.metrics.walAppendErrors.Inc()
+		s.noteWALError(walErr)
 		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", walErr))
 		return
 	}
@@ -575,6 +624,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TenantRestores: s.metrics.tenantsRestored.Load(),
 
 		PipelineStages: s.metrics.stageBreakdown(),
+
+		Health:          healthName(s.health.state.Load()),
+		DegradedSeconds: s.degradedSeconds(),
 	}
 	if named {
 		st.Tenant = tn.name
@@ -589,6 +641,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.WALEnabled = true
 		st.WALFsync = s.cfg.walFsync()
 		st.WALFsyncs = ws.Fsyncs
+		st.WALSyncErrors = ws.SyncErrors
 		st.WALSegments = ws.Segments
 		st.WALAppendedBytes = ws.AppendedBytes
 		st.WALLastLSN = ws.LastLSN
@@ -668,6 +721,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rs.appliedLSN = s.appliedLSN.Load()
 	rs.primaryLSN = s.primaryLSN.Load()
 	rs.lagRecords, rs.lagSeconds = s.replicationLag()
+	// Health gauges are sampled here so write's signature stays put.
+	s.metrics.healthState.Set(int64(s.health.state.Load()))
+	s.metrics.degradedSeconds.Set(s.degradedSeconds())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, es, ts, ws, rs)
 }

@@ -187,6 +187,14 @@ type metrics struct {
 	replicaSnapshotsInstalled counter // snapshot re-seeds installed locally (replica)
 	replicaPromotions         counter // replica→primary promotions
 
+	// Degraded mode and overload shedding (health.go, pipeline.go):
+	// the state machine's position and cumulative degraded time are
+	// sampled at scrape; the counters tick at each rejection site.
+	healthState     gauge  // 0 healthy, 1 degraded, 2 recovering
+	degradedSeconds fgauge // cumulative seconds out of the healthy state
+	ingestShed      counter
+	degradedRejects counter
+
 	// Access logging (accesslog.go): records dropped because the ring
 	// was full (the serving path never blocks on the log destination)
 	// and requests promoted to the main logger by -slow-request.
@@ -381,6 +389,12 @@ func (m *metrics) write(w io.Writer, es engineStats, ts tenantStats, ws *wal.Sta
 	fmt.Fprintf(w, "# TYPE corrd_ingest_group_tuples histogram\n")
 	writeHistogram(w, "corrd_ingest_group_tuples", "", m.groupTuples)
 	g("corrd_ingest_queue_depth", "Ingest jobs queued ahead of the committer right now.", m.queueDepth.Load())
+	g("corrd_health_state", "Degraded-mode state machine position: 0 healthy, 1 degraded (read-only), 2 recovering.", m.healthState.Load())
+	fmt.Fprintf(w, "# HELP corrd_degraded_seconds_total Cumulative seconds spent out of the healthy state (writes refused).\n")
+	fmt.Fprintf(w, "# TYPE corrd_degraded_seconds_total counter\n")
+	fmt.Fprintf(w, "corrd_degraded_seconds_total %g\n", m.degradedSeconds.Load())
+	c("corrd_ingest_shed_total", "Ingest requests shed by the commit-queue bound (HTTP 429, stream AckBusy).", m.ingestShed.Load())
+	c("corrd_degraded_rejects_total", "Writes rejected while degraded (HTTP 503, stream AckDegraded).", m.degradedRejects.Load())
 	c("corrd_access_log_dropped_total", "Access-log records dropped because the ring was full.", m.accessDropped.Load())
 	c("corrd_slow_requests_total", "Requests at or over the slow-request threshold, promoted to the main logger.", m.slowRequests.Load())
 

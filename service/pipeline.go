@@ -36,6 +36,11 @@ import (
 // errShuttingDown rejects ingest that arrives after Close began.
 var errShuttingDown = errors.New("service: shutting down")
 
+// errOverloaded sheds ingest when the commit queue is at its configured
+// bound. The message is wire-visible; the Go client's IsBusy matches
+// the 429 status plus the "overload" text.
+var errOverloaded = errors.New("service: ingest queue overloaded; back off and retry")
+
 // ingestErrKind classifies a committed job's outcome for HTTP mapping.
 type ingestErrKind uint8
 
@@ -47,6 +52,8 @@ const (
 	ingestErrShutdown               // the server is draining; never committed (stream acks only)
 	ingestErrTenant                 // a governance cap refused the tenant (stream acks only)
 	ingestErrReadOnly               // the server is a replica; writes go to the primary (stream acks only)
+	ingestErrDegraded               // degraded mode: durability broken, writes suspended (stream acks only)
+	ingestErrBusy                   // commit queue at its bound; the job was shed (stream acks only)
 )
 
 // ingestJob is one ingest request in flight through the commit
@@ -89,8 +96,10 @@ const maxGroupTuples = 1 << 20
 // Config.IngestGroupMax is unset.
 const defaultGroupMax = 256
 
-// enqueueIngest hands a job to the committer; it fails only when the
-// server is shutting down. The handler then blocks on j.done.
+// enqueueIngest hands a job to the committer; it fails when the server
+// is shutting down or (with IngestQueueMax set) when the queue is at
+// its bound — overload is decided here, at admission, so a shed request
+// costs no engine or WAL work. The handler then blocks on j.done.
 func (s *Server) enqueueIngest(j *ingestJob) error {
 	j.enqueuedAt = time.Now()
 	p := &s.pipe
@@ -98,6 +107,11 @@ func (s *Server) enqueueIngest(j *ingestJob) error {
 	if p.closed {
 		p.mu.Unlock()
 		return errShuttingDown
+	}
+	if max := s.cfg.IngestQueueMax; max > 0 && len(p.queue) >= max {
+		p.mu.Unlock()
+		s.metrics.ingestShed.Inc()
+		return errOverloaded
 	}
 	p.queue = append(p.queue, j)
 	s.metrics.queueDepth.Set(int64(len(p.queue)))
@@ -253,12 +267,35 @@ func (s *Server) commitGroup(group []*ingestJob) {
 		fsyncStart := time.Now()
 		walErr = s.wal.Sync()
 		s.metrics.stages[stageFsync].Observe(time.Since(fsyncStart).Seconds())
+		if walErr != nil {
+			// The group record never reached stable storage and its
+			// members are nacked below — rewind it out of the log, so a
+			// restart replays exactly the acknowledged record set instead
+			// of resurrecting batches whose clients were told they failed.
+			s.wal.RewindUnsynced()
+		}
 	}
 	if applied > 0 && flushErr == nil && walErr == nil {
 		s.metrics.ingestGroups.Inc()
 		s.metrics.ingestGroupMembers.Add(uint64(applied))
 		s.metrics.groupSize.Observe(float64(applied))
 		s.metrics.groupTuples.Observe(float64(groupTuples))
+	}
+	if applied > 0 {
+		// Health bookkeeping: WAL failures on the commit path count
+		// toward the degraded transition; any clean commit resets the
+		// streak. The group's wall time feeds the EWMA that prices the
+		// overload Retry-After hint.
+		if walErr != nil {
+			s.noteWALError(walErr)
+		} else if flushErr == nil {
+			s.noteWALOK()
+		}
+		obs := time.Since(dequeued).Seconds()
+		if prev := s.groupLatency.Load(); prev > 0 {
+			obs = 0.2*obs + 0.8*prev
+		}
+		s.groupLatency.Set(obs)
 	}
 	wake := time.Now()
 	for _, j := range group {
@@ -274,6 +311,26 @@ func (s *Server) commitGroup(group []*ingestJob) {
 		j.wakeAt = wake
 		j.done <- struct{}{}
 	}
+}
+
+// overloadRetryAfter prices a shed request's Retry-After hint: the
+// commit-group latency EWMA times the groups already queued ahead of a
+// new arrival — roughly when the backlog will have drained — clamped to
+// [1s, 30s] so the hint is never zero and never absurd.
+func (s *Server) overloadRetryAfter() time.Duration {
+	p := &s.pipe
+	p.mu.Lock()
+	depth := len(p.queue)
+	p.mu.Unlock()
+	groups := depth/s.groupMax + 1
+	d := time.Duration(s.groupLatency.Load() * float64(groups) * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // logIngestGroup appends the group's applied members as one WAL record

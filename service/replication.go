@@ -69,6 +69,7 @@ type replayState struct {
 	touched  []*tenant          // keyed-group first-touch scratch
 	covered  uint64             // snapshot baseline (startup staleness check)
 	startup  bool
+	fallback bool // restore fell back to an older retention slot
 }
 
 func newReplayState(covered uint64, startup bool) *replayState {
@@ -235,10 +236,18 @@ func (s *Server) applyRecord(lsn uint64, typ wal.RecordType, payload []byte, st 
 		if n <= 0 {
 			return false, fmt.Errorf("service: wal replay: record %d: bad checkpoint marker", lsn)
 		}
-		if st.startup && c > st.covered {
+		if st.startup && c > st.covered && !st.fallback {
+			// A deliberate retention fallback restores an older snapshot
+			// on purpose; there the replay-gap check in replayWAL (first
+			// record must be covered+1) is the correctness guard instead.
 			return false, fmt.Errorf("service: wal replay: log has a checkpoint covering LSN %d but the restored snapshot covers only %d — snapshot at %q is stale or missing; refusing to double-apply (restore the matching snapshot, or move the WAL dir aside to start fresh)",
 				c, st.covered, s.cfg.SnapshotPath)
 		}
+		return false, nil
+	case wal.RecordProbe:
+		// A recovery probe: the record exists only to prove the log can
+		// append and fsync again. It carries no state — skip it on
+		// replay, and a live replica skips the shipped copy the same way.
 		return false, nil
 	default:
 		return false, fmt.Errorf("service: wal replay: record %d has unknown type %d", lsn, typ)
@@ -635,8 +644,12 @@ func (s *Server) openWALAt(firstLSN uint64) error {
 		Sync:         policy,
 		SyncEvery:    s.cfg.WALFsyncInterval,
 		FirstLSN:     firstLSN,
+		FS:           s.fs,
 		OnFsync:      func(d time.Duration) { s.metrics.walFsync.Observe(d.Seconds()) },
-		OnSyncError:  func(err error) { s.logf("wal: background fsync: %v", err) },
+		OnSyncError: func(err error) {
+			s.logf("wal: background fsync: %v", err)
+			s.noteBgSyncError(err)
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("service: wal: %w", err)

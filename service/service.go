@@ -47,6 +47,7 @@ import (
 
 	correlated "github.com/streamagg/correlated"
 	"github.com/streamagg/correlated/client"
+	"github.com/streamagg/correlated/internal/fault"
 	"github.com/streamagg/correlated/internal/replica"
 	"github.com/streamagg/correlated/internal/wal"
 	"github.com/streamagg/correlated/shard"
@@ -136,6 +137,27 @@ type Config struct {
 	// WALSegmentBytes is the segment rotation threshold; <= 0 means
 	// 64 MiB.
 	WALSegmentBytes int64
+
+	// SnapshotKeep is how many snapshot generations to retain on disk
+	// (the live file plus rotated .1, .2, ... predecessors); <= 0 means
+	// 2. Startup falls back through the generations when the newest is
+	// corrupt or truncated, replaying the correspondingly longer WAL
+	// suffix.
+	SnapshotKeep int
+
+	// FS routes the WAL's and the snapshot writer's filesystem calls;
+	// nil means the real OS. A *fault.Injector here (cmd/corrd's
+	// -fault-plan) turns the daemon into its own chaos harness: disk
+	// faults are injected by plan, and POST /v1/fault swaps the plan
+	// live.
+	FS fault.FS
+
+	// IngestQueueMax bounds the commit pipeline's queue (jobs waiting
+	// for the committer). Past it, HTTP ingest sheds with 429 +
+	// Retry-After and the stream transport nacks AckBusy — backpressure
+	// instead of unbounded memory growth when offered load outruns the
+	// fsync budget. 0 means unbounded (the historical behavior).
+	IngestQueueMax int
 
 	// PushTo switches the server into the site role: the base URL of
 	// the coordinator to push merged summary images to. The site role
@@ -304,13 +326,25 @@ type Server struct {
 	groupBuf   []byte    // committer-owned WAL group encode scratch
 	touchedBuf []*tenant // committer-owned touched-tenant scratch
 
+	// fs routes WAL and snapshot filesystem calls (fault.OS() unless
+	// Config.FS injects faults); health is the degraded-mode state
+	// machine (health.go); groupLatency is the EWMA of commit-group
+	// wall time, the Retry-After input for overload shedding.
+	fs           fault.FS
+	health       health
+	groupLatency fgauge
+
 	// wal is the durable-ingest log (nil without Config.WALDir);
 	// walReplayed counts state records replayed at the last startup.
 	// walSyncAlways mirrors the parsed fsync policy so the commit
 	// pipeline knows whether acks need an explicit group fsync.
+	// snapFellBack records that startup restored an older retention
+	// slot (the newest snapshot was corrupt), which relaxes the replay
+	// checkpoint-staleness check in favor of the LSN-continuity check.
 	wal           *wal.WAL
 	walReplayed   uint64
 	walSyncAlways bool
+	snapFellBack  bool
 
 	// xferMu serializes whole state transfers — a snapshot, or a full
 	// delta-push round (marshal, reset, ship, snapshot-after-ack) — so
@@ -371,6 +405,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IngestGroupMax <= 0 {
 		cfg.IngestGroupMax = defaultGroupMax
 	}
+	if cfg.SnapshotKeep <= 0 {
+		cfg.SnapshotKeep = 2
+	}
+	if cfg.FS == nil {
+		cfg.FS = fault.OS()
+	}
 	if cfg.PrimaryAddr != "" && cfg.PushTo != "" {
 		return nil, errors.New("service: PrimaryAddr and PushTo are incompatible (a replica cannot also be a push site)")
 	}
@@ -383,6 +423,7 @@ func New(cfg Config) (*Server, error) {
 		metrics:  newMetrics(),
 		logger:   cfg.Logger,
 		groupMax: cfg.IngestGroupMax,
+		fs:       cfg.FS,
 		done:     make(chan struct{}),
 	}
 	s.def = &tenant{eng: eng}
@@ -443,6 +484,8 @@ func New(cfg Config) (*Server, error) {
 		s.access != nil, cfg.SlowRequest)
 	s.wg.Add(1)
 	go s.committer()
+	s.wg.Add(1)
+	go s.recoveryLoop()
 	if cfg.SnapshotPath != "" {
 		s.wg.Add(1)
 		go s.snapshotLoop(cfg.SnapshotInterval)

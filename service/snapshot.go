@@ -136,14 +136,15 @@ func decodeSnapshotFileV2(data []byte) (covered uint64, images []tenantImage, er
 // writeFileAtomic writes data to path by writing a sibling temp file,
 // syncing it, and renaming it over path. The rename is atomic on POSIX
 // filesystems: readers see either the old snapshot or the new one,
-// never a prefix.
-func writeFileAtomic(path string, data []byte) error {
+// never a prefix. All calls route through s.fs so the fault harness can
+// break any step.
+func (s *Server) writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := s.fs.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -155,7 +156,7 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := s.fs.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
 	// Persist the rename itself; best effort — some filesystems do not
@@ -165,6 +166,28 @@ func writeFileAtomic(path string, data []byte) error {
 		d.Close()
 	}
 	return nil
+}
+
+// snapshotPathN is the retention slot path: slot 0 is the live
+// SnapshotPath, slot i>0 is SnapshotPath + ".<i>" (higher = older).
+func (s *Server) snapshotPathN(i int) string {
+	if i == 0 {
+		return s.cfg.SnapshotPath
+	}
+	return fmt.Sprintf("%s.%d", s.cfg.SnapshotPath, i)
+}
+
+// rotateSnapshots shifts the existing snapshots down one retention slot
+// (path → path.1 → … → path.(keep-1), oldest dropped by the rename) so
+// the upcoming write never destroys the last good restore point — a
+// snapshot that lands corrupt on disk still leaves path.1 restorable.
+func (s *Server) rotateSnapshots() {
+	for i := s.cfg.SnapshotKeep - 1; i >= 1; i-- {
+		err := s.fs.Rename(s.snapshotPathN(i-1), s.snapshotPathN(i))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			s.logf("snapshot: rotate %s: %v", s.snapshotPathN(i-1), err)
+		}
+	}
 }
 
 // Snapshot marshals the engine under the driver lock and persists it
@@ -244,10 +267,13 @@ func (s *Server) snapshotLocked() error {
 	covered, file, dataLen, err := s.buildSnapshot()
 	if err != nil {
 		s.metrics.snapshotErrors.Inc()
+		s.noteSnapshotResult(err)
 		return fmt.Errorf("service: snapshot marshal: %w", err)
 	}
-	if err := writeFileAtomic(s.cfg.SnapshotPath, file); err != nil {
+	s.rotateSnapshots()
+	if err := s.writeFileAtomic(s.cfg.SnapshotPath, file); err != nil {
 		s.metrics.snapshotErrors.Inc()
+		s.noteSnapshotResult(err)
 		return fmt.Errorf("service: snapshot write: %w", err)
 	}
 	nTenants := 1
@@ -269,34 +295,67 @@ func (s *Server) snapshotLocked() error {
 			s.logf("wal checkpoint: %v", err)
 		}
 	}
+	s.noteSnapshotResult(nil)
 	return nil
 }
 
-// restoreSnapshot loads the snapshot file at startup and returns the
-// WAL LSN the snapshot covers. A missing file is a clean first boot;
-// anything else that fails is fatal (a daemon must not silently serve
-// an empty state over data it was asked to remember). In the
+// restoreSnapshot loads a snapshot at startup and returns the WAL LSN
+// it covers. It walks the retention slots newest-first: a newest
+// snapshot that is corrupt (torn write, bit rot) falls back to the
+// previous good one — trading a longer WAL replay for a boot that still
+// serves every acknowledged record the log holds. No file in any slot
+// is a clean first boot; every slot present-but-corrupt is fatal (a
+// daemon must not silently serve an empty state over data it was asked
+// to remember).
+func (s *Server) restoreSnapshot() (covered uint64, err error) {
+	var lastErr error
+	for i := 0; i < s.cfg.SnapshotKeep; i++ {
+		path := s.snapshotPathN(i)
+		data, err := s.fs.ReadFile(path)
+		if errors.Is(err, os.ErrNotExist) {
+			if i == 0 {
+				continue // the live slot may be gone while a rotation slot survives
+			}
+			break // no older slots to try
+		}
+		if err != nil {
+			lastErr = fmt.Errorf("service: snapshot read %s: %w", path, err)
+			s.logf("snapshot: %v", lastErr)
+			continue
+		}
+		covered, err := s.restoreSnapshotData(path, data)
+		if err == nil {
+			if i > 0 {
+				s.snapFellBack = true
+				s.logf("snapshot: newest snapshot unusable; restored fallback %s (covered LSN %d; the wal replay suffix grows accordingly)", path, covered)
+			}
+			return covered, nil
+		}
+		lastErr = err
+		s.logf("snapshot: %v", err)
+		s.resetRestoredState()
+	}
+	if lastErr != nil {
+		return 0, lastErr
+	}
+	return 0, nil
+}
+
+// restoreSnapshotData applies one snapshot file's contents. In the
 // multi-tenant form the default tenant restores eagerly (its engine
 // already exists); every keyed tenant registers spilled and
 // materializes lazily on first touch.
-func (s *Server) restoreSnapshot() (covered uint64, err error) {
-	data, err := os.ReadFile(s.cfg.SnapshotPath)
-	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, fmt.Errorf("service: snapshot read: %w", err)
-	}
+func (s *Server) restoreSnapshotData(path string, data []byte) (covered uint64, err error) {
 	var dataLen int64
 	if bytes.HasPrefix(data, snapshotMagicV2) {
 		covered, images, err := decodeSnapshotFileV2(data)
 		if err != nil {
-			return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+			return 0, fmt.Errorf("service: snapshot restore %s: %w", path, err)
 		}
 		for _, ti := range images {
 			if ti.name == "" {
 				if err := s.def.eng.UnmarshalBinary(ti.image); err != nil {
-					return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+					return 0, fmt.Errorf("service: snapshot restore %s: %w", path, err)
 				}
 			} else {
 				// Copy out of the file buffer: the pending image may
@@ -311,14 +370,26 @@ func (s *Server) restoreSnapshot() (covered uint64, err error) {
 	}
 	covered, engine, err := decodeSnapshotFile(data)
 	if err != nil {
-		return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+		return 0, fmt.Errorf("service: snapshot restore %s: %w", path, err)
 	}
 	if err := s.def.eng.UnmarshalBinary(engine); err != nil {
-		return 0, fmt.Errorf("service: snapshot restore %s: %w", s.cfg.SnapshotPath, err)
+		return 0, fmt.Errorf("service: snapshot restore %s: %w", path, err)
 	}
 	s.restored = true
 	s.metrics.snapshotBytes.Set(int64(len(engine)))
 	return covered, nil
+}
+
+// resetRestoredState undoes a half-applied restore attempt so the next
+// retention slot starts from a clean engine. Startup-only, before any
+// goroutine exists, so no locks are needed.
+func (s *Server) resetRestoredState() {
+	if err := s.def.eng.Reset(); err != nil {
+		s.logf("snapshot: engine reset after failed restore: %v", err)
+	}
+	s.tenants = map[string]*tenant{"": s.def}
+	s.tenantBytes.Store(0)
+	s.restored = false
 }
 
 // snapshotLoop persists on every tick until the server closes.

@@ -254,6 +254,18 @@ func (s *Server) serveStreamConn(c net.Conn) {
 			inflight <- d
 			continue
 		}
+		if s.healthDegraded() {
+			// Degraded mode: nack with the typed status and keep the
+			// connection — the client's typed error (IsDegraded) tells it
+			// to back off, and the same conn resumes after recovery.
+			s.metrics.degradedRejects.Inc()
+			d.job.err, d.job.kind, d.job.lsn = errDegraded, ingestErrDegraded, 0
+			d.job.enqueuedAt = time.Now()
+			d.job.wakeAt = d.job.enqueuedAt
+			d.job.done <- struct{}{}
+			inflight <- d
+			continue
+		}
 		var tn *tenant
 		if keyed {
 			// Keyed frame: tenant prefix, then the counted batch. The
@@ -298,6 +310,15 @@ func (s *Server) serveStreamConn(c net.Conn) {
 		d.job.tn = tn
 		if err := s.enqueueIngest(&d.job); err != nil {
 			// enqueueIngest already stamped enqueuedAt before refusing.
+			if errors.Is(err, errOverloaded) {
+				// Shed: nack AckBusy and keep the connection — the queue
+				// bound is transient backpressure, not a conn problem.
+				d.job.err, d.job.kind = err, ingestErrBusy
+				d.job.wakeAt = time.Now()
+				d.job.done <- struct{}{}
+				inflight <- d
+				continue
+			}
 			d.job.err, d.job.kind = err, ingestErrShutdown
 			d.job.wakeAt = time.Now()
 			d.job.done <- struct{}{}
@@ -336,6 +357,10 @@ func (s *Server) streamAcker(c net.Conn, connID string, inflight <-chan *decodeS
 			status = tupleio.AckTenant
 		case ingestErrReadOnly:
 			status = tupleio.AckReadOnly
+		case ingestErrDegraded:
+			status = tupleio.AckDegraded
+		case ingestErrBusy:
+			status = tupleio.AckBusy
 		default:
 			s.metrics.streamFrames.Inc()
 			s.metrics.streamTuples.Add(uint64(len(d.job.tuples)))

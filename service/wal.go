@@ -66,8 +66,12 @@ func (s *Server) openWAL() error {
 		SegmentBytes: s.cfg.WALSegmentBytes,
 		Sync:         policy,
 		SyncEvery:    s.cfg.WALFsyncInterval,
+		FS:           s.fs,
 		OnFsync:      func(d time.Duration) { s.metrics.walFsync.Observe(d.Seconds()) },
-		OnSyncError:  func(err error) { s.logf("wal: background fsync: %v", err) },
+		OnSyncError: func(err error) {
+			s.logf("wal: background fsync: %v", err)
+			s.noteBgSyncError(err)
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("service: wal: %w", err)
@@ -147,7 +151,20 @@ func (s *Server) replayWAL(covered uint64) error {
 	start := time.Now()
 	var records uint64
 	st := newReplayState(covered, true)
+	st.fallback = s.snapFellBack
+	first := true
 	err := s.wal.Replay(covered, func(lsn uint64, typ wal.RecordType, payload []byte) error {
+		if first {
+			first = false
+			// Continuity: the suffix must begin exactly where the
+			// snapshot left off. A later first LSN means records between
+			// were pruned (a checkpoint for a newer snapshot this boot
+			// did not restore) — replaying around the hole would silently
+			// drop acknowledged data.
+			if lsn > covered+1 {
+				return fmt.Errorf("service: wal replay: log starts at LSN %d but the restored snapshot covers only %d — the records between were pruned; restore the snapshot the log was checkpointed against", lsn, covered)
+			}
+		}
 		counted, err := s.applyRecord(lsn, typ, payload, st)
 		if err != nil {
 			return err
